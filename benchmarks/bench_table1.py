@@ -1,0 +1,34 @@
+"""Experiment ``table1`` — regenerate the paper's Table 1.
+
+Paper values (30 rounds, urban loop): per-car losses before cooperation
+23.4 / 26.9 / 28.6 %, after cooperation 10.5 / 17.3 / 15.7 % — i.e.
+cooperation roughly halves residual loss.  The benchmark times one full
+simulation round (the unit of work behind every Table-1 cell) and prints
+the regenerated table next to the paper's percentages.
+"""
+
+from repro.analysis.stats import compute_table1
+from repro.analysis.report import render_table1
+from repro.experiments.scenario import build_urban_round
+from repro.experiments.testbed import PAPER_TABLE1, paper_testbed_config
+
+
+def test_table1(benchmark, urban_result, artifact_sink):
+    cfg = paper_testbed_config()
+
+    def one_round():
+        ctx = build_urban_round(cfg, 0)
+        ctx.run()
+        return ctx
+
+    benchmark.pedantic(one_round, rounds=3, iterations=1)
+
+    rows = compute_table1(urban_result.matrices_by_round())
+    text = render_table1(rows, paper_reference=PAPER_TABLE1)
+    artifact_sink("table1", text)
+
+    # Shape assertions: cooperation roughly halves losses for every car.
+    for row in rows.values():
+        assert row.lost_after_mean < row.lost_before_mean
+        assert row.loss_reduction_pct > 30.0
+        assert 15.0 < row.lost_before_pct < 50.0

@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""Quickstart: run a few rounds of the paper's urban testbed.
+
+Builds the Fig. 2 scenario (one AP in an office window, three cars
+lapping the block at ~20 km/h), runs five rounds, and prints the Table-1
+style loss summary — showing the headline result: Cooperative ARQ
+roughly halves residual packet loss at zero AP-airtime cost.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import paper_testbed_config, run_urban_experiment
+from repro.analysis import compute_table1, optimality_gap, render_table1
+from repro.experiments import PAPER_TABLE1
+
+
+def main() -> None:
+    config = paper_testbed_config(rounds=5)
+    print(f"Running {config.rounds} rounds of the urban testbed …")
+    result = run_urban_experiment(config)
+
+    rows = compute_table1(result.matrices_by_round())
+    print()
+    print(render_table1(rows, paper_reference=PAPER_TABLE1))
+
+    print()
+    for car, row in sorted(rows.items()):
+        gap = optimality_gap(result.matrices_for_flow(car))
+        print(
+            f"car {car}: cooperation removed {row.loss_reduction_pct:.0f}% of "
+            f"losses; optimality gap vs the platoon's joint reception: {gap:.3f}"
+        )
+    print(
+        "\nA gap near zero means each car recovered essentially every packet "
+        "that any platoon member received — the paper's 'virtual car' result."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The evaluation environment has setuptools 65 without the ``wheel`` package,
+so PEP 660 editable installs (``pip install -e .``) cannot build the
+editable wheel.  This shim lets ``python setup.py develop`` (which pip falls
+back to) work offline.  All real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,54 @@
+"""Reproduction of *A Cooperative ARQ for Delay-Tolerant Vehicular
+Networks* (Morillo-Pozo, Trullols, Barceló, García-Vidal — ICDCS
+Workshops 2008).
+
+Quick start::
+
+    from repro import paper_testbed_config, run_urban_experiment
+    from repro.analysis import compute_table1, render_table1
+
+    result = run_urban_experiment(paper_testbed_config(rounds=5))
+    print(render_table1(compute_table1(result.matrices_by_round())))
+
+Package map
+-----------
+``repro.core``
+    The paper's contribution: the Cooperative-ARQ vehicle protocol and
+    its extensions (batched requests, cooperator selection, AP
+    retransmission policies).
+``repro.sim`` / ``repro.geom`` / ``repro.mobility`` / ``repro.radio`` /
+``repro.mac`` / ``repro.net``
+    The substrates: discrete-event kernel, geometry, IDM platoon
+    mobility, statistical 802.11 PHY, CSMA medium, nodes/applications.
+``repro.baselines``
+    No-cooperation, in-coverage ARQ, and epidemic-exchange comparisons.
+``repro.trace`` / ``repro.analysis``
+    Capture and the post-processing that regenerates Table 1 and
+    Figures 3–8.
+``repro.experiments``
+    Scenario builders, the paper-testbed configuration, sweeps and the
+    multi-AP file-download study.
+"""
+
+from repro.core import CarqConfig, CarqProtocol, VehicleNode
+from repro.experiments import (
+    PAPER_TABLE1,
+    UrbanScenarioConfig,
+    paper_testbed_config,
+    run_urban_experiment,
+)
+from repro.sim import Simulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CarqConfig",
+    "CarqProtocol",
+    "PAPER_TABLE1",
+    "Simulator",
+    "UrbanScenarioConfig",
+    "VehicleNode",
+    "__version__",
+    "paper_testbed_config",
+    "run_urban_experiment",
+]

@@ -1,0 +1,70 @@
+"""Terminal line plots for the paper's figures.
+
+The benchmark harness and examples render the probability curves as ASCII
+charts so the figure *shapes* (region structure, curve coincidence) can
+be inspected without a plotting stack.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.analysis.reception_prob import ProbabilityCurve
+from repro.errors import AnalysisError
+
+#: Symbols assigned to successive curves.
+_MARKERS = "XO*#@+"
+
+
+def ascii_plot(
+    curves: Sequence[ProbabilityCurve],
+    *,
+    height: int = 12,
+    width: int = 78,
+    title: str = "",
+    y_label: str = "P(rx)",
+) -> str:
+    """Render probability curves as a character grid.
+
+    Curves are horizontally resampled to *width* columns and plotted on a
+    ``[0, 1]`` y-axis.  When several curves hit the same cell, the later
+    curve's marker wins — plot the reference curve first.
+
+    Raises
+    ------
+    AnalysisError
+        If no curves or empty curves are given.
+    """
+    if not curves:
+        raise AnalysisError("nothing to plot")
+    length = max(len(c.probabilities) for c in curves)
+    if length == 0:
+        raise AnalysisError("curves are empty")
+    if height < 3 or width < 10:
+        raise AnalysisError("plot area too small")
+
+    grid = [[" "] * width for _ in range(height)]
+    for curve_index, curve in enumerate(curves):
+        marker = _MARKERS[curve_index % len(_MARKERS)]
+        values = curve.probabilities
+        if not values:
+            continue
+        for col in range(width):
+            source = col * (len(values) - 1) / max(width - 1, 1)
+            value = values[min(int(round(source)), len(values) - 1)]
+            row = height - 1 - min(int(value * (height - 1) + 0.5), height - 1)
+            grid[row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    for row_index, row in enumerate(grid):
+        y_value = 1.0 - row_index / (height - 1)
+        prefix = f"{y_value:4.1f} |" if row_index % 3 == 0 else "     |"
+        lines.append(prefix + "".join(row))
+    lines.append("     +" + "-" * width)
+    lines.append(f"      packet number 1 .. {length}   ({y_label})")
+    for curve_index, curve in enumerate(curves):
+        marker = _MARKERS[curve_index % len(_MARKERS)]
+        lines.append(f"      {marker} = {curve.label}")
+    return "\n".join(lines)

@@ -1,0 +1,108 @@
+"""Per-packet-number reception probability curves (Figures 3–5).
+
+For the flow addressed to car *i*, the probability that each of the cars
+received packet number *n* directly from the AP, estimated across rounds.
+Packet numbers are window-relative (see
+:class:`~repro.trace.matrix.ReceptionMatrix`); rounds contribute to a
+packet number only while their window is at least that long.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AnalysisError
+from repro.mac.frames import NodeId
+from repro.trace.matrix import ReceptionMatrix
+
+
+@dataclass(frozen=True)
+class ProbabilityCurve:
+    """P(reception) as a function of packet number.
+
+    Attributes
+    ----------
+    label:
+        Series label, e.g. ``"Rx in car 2"``.
+    probabilities:
+        ``probabilities[n-1]`` is the estimate for packet number *n*.
+    samples:
+        Number of rounds contributing to each packet number.
+    """
+
+    label: str
+    probabilities: tuple[float, ...]
+    samples: tuple[int, ...]
+
+    def smoothed(self, window: int = 5) -> "ProbabilityCurve":
+        """Centred moving average, as the paper's plotted curves are.
+
+        Raises
+        ------
+        AnalysisError
+            If *window* is not positive.
+        """
+        if window <= 0:
+            raise AnalysisError(f"smoothing window must be positive, got {window!r}")
+        if window == 1 or not self.probabilities:
+            return self
+        values = self.probabilities
+        half = window // 2
+        out = []
+        for i in range(len(values)):
+            lo = max(0, i - half)
+            hi = min(len(values), i + half + 1)
+            out.append(sum(values[lo:hi]) / (hi - lo))
+        return ProbabilityCurve(self.label, tuple(out), self.samples)
+
+
+def _aggregate(indicator_lists: list[list[bool]], label: str) -> ProbabilityCurve:
+    if not indicator_lists:
+        return ProbabilityCurve(label, (), ())
+    max_len = max(len(ind) for ind in indicator_lists)
+    hits = [0] * max_len
+    counts = [0] * max_len
+    for indicators in indicator_lists:
+        for i, received in enumerate(indicators):
+            counts[i] += 1
+            if received:
+                hits[i] += 1
+    probs = tuple(h / c if c else 0.0 for h, c in zip(hits, counts))
+    return ProbabilityCurve(label, probs, tuple(counts))
+
+
+def reception_curves(
+    matrices: list[ReceptionMatrix],
+    observers: list[NodeId],
+    *,
+    car_names: dict[NodeId, str] | None = None,
+) -> dict[NodeId, ProbabilityCurve]:
+    """Direct-reception probability curves for one flow at several cars.
+
+    Parameters
+    ----------
+    matrices:
+        Per-round matrices of the *same* flow.
+    observers:
+        The cars to compute curves for (all three platoon cars in the
+        paper's figures).
+    car_names:
+        Optional id → display-name mapping for the series labels.
+
+    Raises
+    ------
+    AnalysisError
+        If matrices of different flows are mixed.
+    """
+    if not matrices:
+        raise AnalysisError("no matrices given")
+    flows = {m.flow for m in matrices}
+    if len(flows) != 1:
+        raise AnalysisError(f"mixed flows in input: {sorted(flows)}")
+    names = car_names or {}
+    curves: dict[NodeId, ProbabilityCurve] = {}
+    for car in observers:
+        label = f"Rx in {names.get(car, f'car {car}')}"
+        indicators = [m.direct_indicator(car) for m in matrices]
+        curves[car] = _aggregate(indicators, label)
+    return curves

@@ -1,0 +1,96 @@
+"""Region I/II/III segmentation of the packet-number axis.
+
+The paper (Figures 3–5) divides each flow's packet numbers into:
+
+* **Region I** — the destination is at the edge of coverage while other
+  platoon members are still entering;
+* **Region II** — the platoon is jointly inside the coverage area;
+* **Region III** — the destination is leaving while others still receive.
+
+We estimate the boundaries from the reception data itself: Region I ends
+at the mean packet number where the *last* car's reception first exceeds a
+threshold, Region III starts where the *first* car's reception last falls
+below it.  This mirrors how one reads the regions off the paper's plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AnalysisError
+from repro.mac.frames import NodeId
+from repro.trace.matrix import ReceptionMatrix
+
+
+@dataclass(frozen=True)
+class Regions:
+    """Packet-number boundaries ``[1, i_end] (i_end, iii_start) [iii_start, n]``."""
+
+    region_i_end: int
+    region_iii_start: int
+    window_length: int
+
+    def label_for(self, packet_number: int) -> str:
+        """``"I"``, ``"II"`` or ``"III"`` for a packet number."""
+        if packet_number <= self.region_i_end:
+            return "I"
+        if packet_number >= self.region_iii_start:
+            return "III"
+        return "II"
+
+
+def _first_reception(matrix: ReceptionMatrix, car: NodeId) -> int | None:
+    indicator = matrix.direct_indicator(car)
+    for index, received in enumerate(indicator):
+        if received:
+            return index + 1
+    return None
+
+
+def _last_reception(matrix: ReceptionMatrix, car: NodeId) -> int | None:
+    indicator = matrix.direct_indicator(car)
+    for index in range(len(indicator) - 1, -1, -1):
+        if indicator[index]:
+            return index + 1
+    return None
+
+
+def estimate_regions(
+    matrices: list[ReceptionMatrix], cars: list[NodeId]
+) -> Regions:
+    """Estimate region boundaries for one flow across rounds.
+
+    Region I ends at the mean (over rounds) of the *latest* first-reception
+    packet number among the cars; Region III starts at the mean of the
+    *earliest* last-reception packet number.
+
+    Raises
+    ------
+    AnalysisError
+        If no usable rounds exist (no car ever received anything).
+    """
+    if not matrices:
+        raise AnalysisError("no matrices given")
+    i_ends: list[int] = []
+    iii_starts: list[int] = []
+    lengths: list[int] = []
+    for matrix in matrices:
+        firsts = [f for car in cars if (f := _first_reception(matrix, car)) is not None]
+        lasts = [l for car in cars if (l := _last_reception(matrix, car)) is not None]
+        if not firsts or not lasts:
+            continue
+        i_ends.append(max(firsts))
+        iii_starts.append(min(lasts))
+        lengths.append(matrix.tx_by_ap)
+    if not i_ends:
+        raise AnalysisError("no round with receptions at the given cars")
+    window_length = round(sum(lengths) / len(lengths))
+    region_i_end = round(sum(i_ends) / len(i_ends))
+    region_iii_start = round(sum(iii_starts) / len(iii_starts))
+    region_i_end = max(1, min(region_i_end, window_length))
+    region_iii_start = max(region_i_end + 1, min(region_iii_start, window_length))
+    return Regions(
+        region_i_end=region_i_end,
+        region_iii_start=region_iii_start,
+        window_length=window_length,
+    )

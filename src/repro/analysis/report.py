@@ -1,0 +1,114 @@
+"""ASCII and CSV rendering of results.
+
+The benchmark harness prints the same rows and series the paper reports;
+these helpers keep that presentation in one place.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from collections.abc import Sequence
+
+from repro.analysis.reception_prob import ProbabilityCurve
+from repro.analysis.stats import Table1Row
+from repro.mac.frames import NodeId
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], *, title: str = ""
+) -> str:
+    """A plain monospace table with column alignment."""
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def render_table1(
+    rows: dict[NodeId, Table1Row],
+    *,
+    paper_reference: dict[NodeId, tuple[float, float]] | None = None,
+) -> str:
+    """Render Table 1 (optionally with the paper's percentages alongside).
+
+    Parameters
+    ----------
+    rows:
+        Output of :func:`repro.analysis.stats.compute_table1`.
+    paper_reference:
+        Optional car → (paper lost-before %, paper lost-after %) columns
+        for side-by-side comparison.
+    """
+    headers = [
+        "Car", "Rounds", "Tx by AP", "Lost before coop", "Lost after coop",
+        "Reduction",
+    ]
+    if paper_reference:
+        headers += ["Paper before", "Paper after"]
+    table_rows = []
+    for car, row in sorted(rows.items()):
+        cells: list[object] = [
+            car,
+            row.rounds,
+            f"{row.tx_by_ap_mean:.1f} ± {row.tx_by_ap_std:.1f}",
+            f"{row.lost_before_mean:.1f} ({row.lost_before_pct:.1f}%)",
+            f"{row.lost_after_mean:.1f} ({row.lost_after_pct:.1f}%)",
+            f"{row.loss_reduction_pct:.0f}%",
+        ]
+        if paper_reference:
+            ref = paper_reference.get(car)
+            cells += (
+                [f"{ref[0]:.1f}%", f"{ref[1]:.1f}%"] if ref else ["-", "-"]
+            )
+        table_rows.append(cells)
+    return format_table(headers, table_rows, title="Table 1 — packet losses per car")
+
+
+def format_series(
+    curves: Sequence[ProbabilityCurve], *, every: int = 10, title: str = ""
+) -> str:
+    """Print probability curves as aligned columns, one row per packet number.
+
+    ``every`` subsamples the axis so benchmark output stays compact.
+    """
+    if not curves:
+        return title
+    length = max(len(c.probabilities) for c in curves)
+    headers = ["Pkt#"] + [c.label for c in curves]
+    rows = []
+    for n in range(0, length, max(every, 1)):
+        row: list[object] = [n + 1]
+        for curve in curves:
+            if n < len(curve.probabilities):
+                row.append(f"{curve.probabilities[n]:.2f}")
+            else:
+                row.append("-")
+        rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def write_csv(
+    curves: Sequence[ProbabilityCurve], *, dialect: str = "excel"
+) -> str:
+    """Serialise curves to CSV (packet number + one column per curve)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, dialect=dialect)
+    writer.writerow(["packet_number"] + [c.label for c in curves])
+    length = max((len(c.probabilities) for c in curves), default=0)
+    for n in range(length):
+        row: list[object] = [n + 1]
+        for curve in curves:
+            row.append(curve.probabilities[n] if n < len(curve.probabilities) else "")
+        writer.writerow(row)
+    return buffer.getvalue()

@@ -1,0 +1,23 @@
+"""Comparison protocols.
+
+* :class:`PassiveVehicleNode` — reception only, no cooperation (the
+  "before coop" column as a standalone system);
+* :class:`ArqVehicleNode` / :class:`ArqAccessPoint` — classic in-coverage
+  ARQ: cars NACK missing packets while in range and the AP retransmits,
+  spending coverage airtime (what the paper deliberately avoids, §3.2);
+* :class:`EpidemicVehicleNode` — epidemic-style anti-entropy exchange in
+  the dark area [6]: summary vectors + flooding of everything a peer
+  lacks, the overhead reference point for C-ARQ's targeted REQUESTs
+  (§3.3 discussion).
+"""
+
+from repro.baselines.nocoop import PassiveVehicleNode
+from repro.baselines.arq import ArqAccessPoint, ArqVehicleNode
+from repro.baselines.epidemic import EpidemicVehicleNode
+
+__all__ = [
+    "ArqAccessPoint",
+    "ArqVehicleNode",
+    "EpidemicVehicleNode",
+    "PassiveVehicleNode",
+]

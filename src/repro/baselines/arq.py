@@ -1,0 +1,155 @@
+"""In-coverage ARQ baseline: NACK feedback + AP retransmissions.
+
+The paper's §3.2 argues that spending the short coverage window on
+retransmissions reduces the amount of *new* data the AP can push, and
+avoids them entirely.  This baseline implements the alternative the paper
+argues against, so the trade-off can be measured: cars send periodic
+cumulative NACKs while in coverage; the AP retransmits NACKed packets,
+competing for airtime with fresh data.
+"""
+
+from __future__ import annotations
+
+import typing
+
+import numpy as np
+
+from repro.core.state import FlowReceptionState
+from repro.errors import ConfigurationError
+from repro.mac.frames import DataFrame, Frame, NackFrame, NodeId
+from repro.mac.medium import Medium, RxInfo
+from repro.mobility.base import MobilityModel
+from repro.net.ap import AccessPoint, FlowConfig
+from repro.net.node import Node
+from repro.radio.phy import RadioConfig
+from repro.sim import Simulator
+
+
+class ArqVehicleNode(Node):
+    """A car that NACKs its missing packets while in AP coverage.
+
+    Parameters
+    ----------
+    feedback_period_s:
+        Interval between NACK frames while in coverage.
+    max_nack_seqs:
+        Cap on sequence numbers per NACK frame.
+    coverage_window_s:
+        An AP frame within this window means "still in coverage".
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        medium: Medium,
+        node_id: NodeId,
+        mobility: MobilityModel,
+        radio: RadioConfig,
+        rng: np.random.Generator,
+        ap_id: NodeId,
+        *,
+        feedback_period_s: float = 0.5,
+        max_nack_seqs: int = 32,
+        coverage_window_s: float = 2.0,
+        name: str = "",
+    ) -> None:
+        super().__init__(sim, medium, node_id, mobility, radio, rng, name=name)
+        if feedback_period_s <= 0.0:
+            raise ConfigurationError("feedback period must be positive")
+        if max_nack_seqs <= 0:
+            raise ConfigurationError("max_nack_seqs must be positive")
+        self.ap_id = ap_id
+        self.state = FlowReceptionState()
+        self.feedback_period_s = feedback_period_s
+        self.max_nack_seqs = max_nack_seqs
+        self.coverage_window_s = coverage_window_s
+        self._last_ap_time: float | None = None
+        self.nacks_sent = 0
+        self.iface.add_receive_callback(self._on_frame)
+
+    def start(self) -> None:
+        """Launch the feedback process."""
+        self.sim.process(self._feedback_loop(), name=f"{self.name}.nack")
+
+    def in_coverage(self) -> bool:
+        """Heard the AP recently enough to bother NACKing."""
+        return (
+            self._last_ap_time is not None
+            and self.sim.now - self._last_ap_time <= self.coverage_window_s
+        )
+
+    def _on_frame(self, frame: Frame, info: RxInfo) -> None:
+        if not isinstance(frame, DataFrame) or frame.src != self.ap_id:
+            return
+        self._last_ap_time = self.sim.now
+        if frame.flow_dst == self.node_id:
+            self.state.record_direct(frame.seq, self.sim.now)
+
+    def _feedback_loop(self) -> typing.Generator[float, None, None]:
+        while True:
+            yield self.feedback_period_s
+            if not self.in_coverage():
+                continue
+            missing = self.state.missing()[: self.max_nack_seqs]
+            if not missing:
+                continue
+            frame = NackFrame(
+                src=self.node_id,
+                dst=self.ap_id,
+                size_bytes=NackFrame.size_for(len(missing)),
+                missing=tuple(missing),
+            )
+            self.iface.send(frame)
+            self.nacks_sent += 1
+
+
+class ArqAccessPoint(AccessPoint):
+    """An AP that retransmits NACKed packets, competing with new data.
+
+    Retransmissions are injected into the same transmit queue as fresh
+    packets, so every retransmission delays new data by one frame time —
+    the airtime cost the paper's design avoids.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        medium: Medium,
+        node_id: NodeId,
+        mobility: MobilityModel,
+        radio: RadioConfig,
+        rng: np.random.Generator,
+        flows: typing.Sequence[FlowConfig],
+        *,
+        max_retx_per_nack: int = 8,
+        name: str = "arq-ap",
+        **kwargs: typing.Any,
+    ) -> None:
+        super().__init__(
+            sim, medium, node_id, mobility, radio, rng, flows, name=name, **kwargs
+        )
+        if max_retx_per_nack <= 0:
+            raise ConfigurationError("max_retx_per_nack must be positive")
+        self.max_retx_per_nack = max_retx_per_nack
+        self.retransmissions = 0
+        self._flow_by_dst = {f.destination: f for f in flows}
+        self.iface.add_receive_callback(self._on_frame)
+
+    def _on_frame(self, frame: Frame, info: RxInfo) -> None:
+        if not isinstance(frame, NackFrame):
+            return
+        flow = self._flow_by_dst.get(NodeId(frame.src))
+        if flow is None:
+            return
+        size = DataFrame.size_for_payload(flow.payload_bytes)
+        for seq in frame.missing[: self.max_retx_per_nack]:
+            retx = DataFrame(
+                src=self.node_id,
+                dst=flow.destination,
+                size_bytes=size,
+                flow_dst=flow.destination,
+                seq=seq,
+            )
+            self.iface.send(retx)
+            self.retransmissions += 1
+            self.frames_sent_per_flow[flow.destination] += 1

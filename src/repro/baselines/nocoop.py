@@ -1,0 +1,52 @@
+"""The no-cooperation receiver: what a lone car gets from the AP."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.state import FlowReceptionState
+from repro.mac.frames import DataFrame, Frame, NodeId
+from repro.mac.medium import Medium, RxInfo
+from repro.mobility.base import MobilityModel
+from repro.net.node import Node
+from repro.radio.phy import RadioConfig
+from repro.sim import Simulator
+
+
+class PassiveVehicleNode(Node):
+    """A car that records its own flow and does nothing else.
+
+    Shares :class:`~repro.core.state.FlowReceptionState` with the C-ARQ
+    vehicle so analysis code treats both uniformly (``recovered`` simply
+    stays empty).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        medium: Medium,
+        node_id: NodeId,
+        mobility: MobilityModel,
+        radio: RadioConfig,
+        rng: np.random.Generator,
+        ap_ids: NodeId | list[NodeId],
+        name: str = "",
+    ) -> None:
+        super().__init__(sim, medium, node_id, mobility, radio, rng, name=name)
+        if isinstance(ap_ids, int):
+            self.ap_ids = frozenset({NodeId(ap_ids)})
+        else:
+            self.ap_ids = frozenset(ap_ids)
+        self.state = FlowReceptionState()
+        self.iface.add_receive_callback(self._on_frame)
+
+    def start(self) -> None:
+        """No processes to launch; present for interface parity."""
+
+    def _on_frame(self, frame: Frame, info: RxInfo) -> None:
+        if not isinstance(frame, DataFrame):
+            return
+        if frame.src not in self.ap_ids:
+            return
+        if frame.flow_dst == self.node_id:
+            self.state.record_direct(frame.seq, self.sim.now)

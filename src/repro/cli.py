@@ -1,0 +1,153 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands regenerate the paper's artifacts from the shell without writing
+any Python:
+
+* ``table1 [--rounds N] [--seed S]`` — Table 1 with paper reference columns;
+* ``figures [--rounds N] [--flow CAR]`` — ASCII Figures 3–8 for one flow;
+* ``highway [--speeds KMH,KMH,…]`` — the drive-thru speed sweep;
+* ``multi-ap [--rounds N]`` — the §6 file-download study.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+
+from repro.analysis import (
+    ascii_plot,
+    compute_table1,
+    coop_curves,
+    estimate_regions,
+    optimality_gap,
+    reception_curves,
+    render_table1,
+)
+from repro.experiments import (
+    PAPER_TABLE1,
+    paper_testbed_config,
+    run_urban_experiment,
+)
+from repro.experiments.highway import HighwayConfig
+from repro.experiments.multi_ap import MultiApConfig, run_multi_ap_experiment
+from repro.experiments.sweeps import speed_sweep
+from repro.mac.frames import NodeId
+from repro.units import kmh_to_ms, ms_to_kmh
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    result = run_urban_experiment(
+        paper_testbed_config(rounds=args.rounds, seed=args.seed)
+    )
+    rows = compute_table1(result.matrices_by_round())
+    print(render_table1(rows, paper_reference=PAPER_TABLE1))
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    result = run_urban_experiment(
+        paper_testbed_config(rounds=args.rounds, seed=args.seed)
+    )
+    cars = [NodeId(i + 1) for i in range(3)]
+    flow = NodeId(args.flow)
+    if flow not in cars:
+        print(f"unknown car {args.flow}; choose 1-3", file=sys.stderr)
+        return 2
+    matrices = result.matrices_for_flow(flow)
+    names = {car: f"car {car}" for car in cars}
+
+    curves = reception_curves(matrices, cars, car_names=names)
+    regions = estimate_regions(matrices, cars)
+    print(f"Figure {2 + int(flow)} — P(reception), packets addressed to car {flow}")
+    print(
+        f"Region I: 1–{regions.region_i_end}, Region II: "
+        f"–{regions.region_iii_start - 1}, Region III: –{regions.window_length}"
+    )
+    print(ascii_plot([curves[car].smoothed(7) for car in cars]))
+
+    cc = coop_curves(matrices, car_name=f"car {flow}")
+    print(f"\nFigure {5 + int(flow)} — after-coop vs joint "
+          f"(optimality gap {optimality_gap(matrices):.4f})")
+    print(ascii_plot([cc.joint.smoothed(7), cc.after_coop.smoothed(7)]))
+    return 0
+
+
+def _cmd_highway(args: argparse.Namespace) -> int:
+    speeds_kmh = [float(v) for v in args.speeds.split(",")]
+    cfg = HighwayConfig(rounds=args.rounds, seed=args.seed)
+    points = speed_sweep(cfg, [kmh_to_ms(v) for v in speeds_kmh])
+    print(f"{'speed':>10} {'pkts':>7} {'before':>8} {'after':>7} {'gain':>6}")
+    for point in points:
+        print(
+            f"{ms_to_kmh(point.parameter):>7.0f} km/h {point.tx_by_ap_mean:>7.0f} "
+            f"{100 * point.lost_before_fraction:>7.1f}% "
+            f"{100 * point.lost_after_fraction:>6.1f}% "
+            f"{100 * point.reduction_fraction:>5.0f}%"
+        )
+    return 0
+
+
+def _cmd_multi_ap(args: argparse.Namespace) -> int:
+    cfg = MultiApConfig(rounds=args.rounds, seed=args.seed)
+    rounds = run_multi_ap_experiment(cfg)
+    coop, direct, pairs = 0.0, 0.0, 0
+    for outcomes in rounds:
+        for outcome in outcomes:
+            if math.isfinite(outcome.aps_visited_direct):
+                coop += outcome.aps_visited_coop
+                direct += outcome.aps_visited_direct
+                pairs += 1
+    if not pairs:
+        print("no car completed the download; lengthen the road")
+        return 1
+    print(
+        f"{cfg.file_blocks}-block file, APs every {cfg.ap_spacing_m:.0f} m: "
+        f"{coop / pairs:.1f} APs with C-ARQ vs {direct / pairs:.1f} without "
+        f"({100 * (1 - coop / direct):.0f}% fewer visits)"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce 'A Cooperative ARQ for Delay-Tolerant "
+        "Vehicular Networks' (ICDCS WS 2008)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    table1 = sub.add_parser("table1", help="regenerate Table 1")
+    table1.add_argument("--rounds", type=int, default=15)
+    table1.add_argument("--seed", type=int, default=2008)
+    table1.set_defaults(func=_cmd_table1)
+
+    figures = sub.add_parser("figures", help="ASCII Figures 3-8 for one flow")
+    figures.add_argument("--rounds", type=int, default=15)
+    figures.add_argument("--seed", type=int, default=2008)
+    figures.add_argument("--flow", type=int, default=1, help="destination car (1-3)")
+    figures.set_defaults(func=_cmd_figures)
+
+    highway = sub.add_parser("highway", help="drive-thru speed sweep")
+    highway.add_argument("--speeds", default="40,80,120", help="km/h, comma-separated")
+    highway.add_argument("--rounds", type=int, default=3)
+    highway.add_argument("--seed", type=int, default=404)
+    highway.set_defaults(func=_cmd_highway)
+
+    multi_ap = sub.add_parser("multi-ap", help="file download across APs")
+    multi_ap.add_argument("--rounds", type=int, default=2)
+    multi_ap.add_argument("--seed", type=int, default=77)
+    multi_ap.set_defaults(func=_cmd_multi_ap)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

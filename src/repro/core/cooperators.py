@@ -1,0 +1,110 @@
+"""Cooperator-table management (paper §3.2).
+
+Two symmetric relations are tracked:
+
+* **my cooperators** — nodes whose HELLOs I have heard; I put them in *my*
+  HELLO's ordered list, and they answer my REQUESTs in that order;
+* **I cooperate for** — nodes whose HELLO listed *me*; I buffer their
+  packets and answer their REQUESTs, using the order their list gave me.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mac.frames import NodeId
+
+
+@dataclass
+class _CooperatorEntry:
+    node: NodeId
+    last_heard: float
+    hello_count: int = 1
+    mean_rssi_dbm: float = 0.0
+
+
+class CooperatorTable:
+    """Ordered cooperator bookkeeping for one vehicle.
+
+    Order is assignment order (first HELLO heard first), exactly as the
+    prototype behaves: the cooperator list in outgoing HELLOs "indicates
+    the order in which cooperators should act" (§3.2).
+    """
+
+    def __init__(self) -> None:
+        self._my_cooperators: list[_CooperatorEntry] = []
+        # Nodes that consider me a cooperator → (my order index, last heard).
+        self._cooperating_for: dict[NodeId, tuple[int, float]] = {}
+
+    # -- my cooperators ---------------------------------------------------------
+
+    def hear_hello(self, node: NodeId, time: float, rssi_dbm: float) -> bool:
+        """Register a HELLO from *node*; returns ``True`` if newly added."""
+        for entry in self._my_cooperators:
+            if entry.node == node:
+                entry.last_heard = time
+                entry.mean_rssi_dbm += (rssi_dbm - entry.mean_rssi_dbm) / (
+                    entry.hello_count + 1
+                )
+                entry.hello_count += 1
+                return False
+        self._my_cooperators.append(
+            _CooperatorEntry(node, time, mean_rssi_dbm=rssi_dbm)
+        )
+        return True
+
+    def expire(self, now: float, ttl_s: float) -> list[NodeId]:
+        """Drop cooperators not heard within *ttl_s*; returns the dropped ids."""
+        dropped = [e.node for e in self._my_cooperators if now - e.last_heard > ttl_s]
+        if dropped:
+            self._my_cooperators = [
+                e for e in self._my_cooperators if now - e.last_heard <= ttl_s
+            ]
+        stale_partners = [
+            node
+            for node, (_order, heard) in self._cooperating_for.items()
+            if now - heard > ttl_s
+        ]
+        for node in stale_partners:
+            del self._cooperating_for[node]
+        return dropped
+
+    def my_cooperators(self) -> tuple[NodeId, ...]:
+        """Ordered cooperator ids — the list carried in my HELLOs."""
+        return tuple(e.node for e in self._my_cooperators)
+
+    def order_of(self, node: NodeId) -> int | None:
+        """The responder order I assigned to *node*, or ``None``."""
+        for index, entry in enumerate(self._my_cooperators):
+            if entry.node == node:
+                return index
+        return None
+
+    def mean_rssi_of(self, node: NodeId) -> float | None:
+        """Running mean HELLO RSSI of a cooperator (selection metric)."""
+        for entry in self._my_cooperators:
+            if entry.node == node:
+                return entry.mean_rssi_dbm
+        return None
+
+    # -- nodes I cooperate for ----------------------------------------------------
+
+    def note_partner(self, node: NodeId, my_order: int, time: float) -> None:
+        """*node*'s HELLO listed me at index *my_order*."""
+        self._cooperating_for[node] = (my_order, time)
+
+    def forget_partner(self, node: NodeId) -> None:
+        """*node*'s HELLO no longer lists me."""
+        self._cooperating_for.pop(node, None)
+
+    def cooperating_for(self) -> set[NodeId]:
+        """Nodes whose packets I must buffer."""
+        return set(self._cooperating_for)
+
+    def my_order_for(self, node: NodeId) -> int | None:
+        """My responder order in *node*'s list, or ``None``."""
+        entry = self._cooperating_for.get(node)
+        return entry[0] if entry is not None else None
+
+    def __len__(self) -> int:
+        return len(self._my_cooperators)

@@ -1,0 +1,78 @@
+"""AP-side retransmission policies (paper §3.2 remark and §6 future work).
+
+The prototype disables retransmissions entirely "at the hope that other
+cars in the platoon will receive [the] packets", trading in-coverage
+airtime for dark-area recovery.  The paper notes that "a retransmission
+scheme (possibly adaptive with respect to the number of cooperators) would
+be needed in a real system" — these policies implement that design space
+for the ablation experiment:
+
+* :class:`NoRetransmission` — the paper's prototype (1 copy);
+* :class:`FixedRetransmission` — blindly send *n* copies of every packet;
+* :class:`AdaptiveRetransmission` — send ``max(1, n - cooperators)``
+  copies: the more cooperators a car has, the more the AP relies on
+  C-ARQ instead of spending its own airtime.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Callable
+
+from repro.errors import ConfigurationError
+from repro.mac.frames import NodeId
+
+
+class RetransmissionPolicy(abc.ABC):
+    """Interface: how many copies of each data packet the AP transmits."""
+
+    @abc.abstractmethod
+    def copies_for(self, flow_dst: NodeId, seq: int) -> int:
+        """Total transmit count (≥ 1) for the given packet."""
+
+
+class NoRetransmission(RetransmissionPolicy):
+    """Exactly one transmission per packet — the paper's prototype."""
+
+    def copies_for(self, flow_dst: NodeId, seq: int) -> int:
+        return 1
+
+
+class FixedRetransmission(RetransmissionPolicy):
+    """A constant number of copies per packet."""
+
+    def __init__(self, copies: int) -> None:
+        if copies < 1:
+            raise ConfigurationError(f"copies must be >= 1, got {copies!r}")
+        self.copies = copies
+
+    def copies_for(self, flow_dst: NodeId, seq: int) -> int:
+        return self.copies
+
+
+class AdaptiveRetransmission(RetransmissionPolicy):
+    """Copies shrink as the destination's cooperator count grows.
+
+    Parameters
+    ----------
+    base_copies:
+        Copies for a car with no cooperators.
+    cooperator_count_fn:
+        Callback reporting the current cooperator count of a car (the
+        scenario wires this to the vehicles' tables; a deployed system
+        would learn it from uplink HELLO summaries).
+    """
+
+    def __init__(
+        self,
+        base_copies: int,
+        cooperator_count_fn: Callable[[NodeId], int],
+    ) -> None:
+        if base_copies < 1:
+            raise ConfigurationError(f"base copies must be >= 1, got {base_copies!r}")
+        self.base_copies = base_copies
+        self._cooperator_count_fn = cooperator_count_fn
+
+    def copies_for(self, flow_dst: NodeId, seq: int) -> int:
+        cooperators = max(self._cooperator_count_fn(flow_dst), 0)
+        return max(1, self.base_copies - cooperators)

@@ -1,0 +1,85 @@
+"""Cooperator-selection strategies (paper §6 future work).
+
+The prototype "does not focus on the cooperators selection algorithm" and
+uses every one-hop neighbour.  The paper lists optimal selection as an open
+issue; these strategies make the design space explorable:
+
+* :class:`AllNeighbors` — the paper's implicit rule;
+* :class:`BestK` — keep the *k* cooperators with the strongest mean HELLO
+  RSSI (a proxy for link quality / proximity);
+* :class:`RandomK` — keep a random *k* (the control for BestK).
+
+A strategy filters the *ordered* cooperator list a node advertises in its
+HELLOs; order among the survivors is preserved, so the responder-ordering
+collision-avoidance scheme is untouched.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.core.cooperators import CooperatorTable
+from repro.errors import ConfigurationError
+from repro.mac.frames import NodeId
+
+
+class CooperatorSelection(abc.ABC):
+    """Interface: pick which heard neighbours to enlist as cooperators."""
+
+    @abc.abstractmethod
+    def select(
+        self, table: CooperatorTable, candidates: tuple[NodeId, ...]
+    ) -> tuple[NodeId, ...]:
+        """Return the (ordered) subset of *candidates* to advertise."""
+
+
+class AllNeighbors(CooperatorSelection):
+    """Use every one-hop neighbour (the paper's prototype behaviour)."""
+
+    def select(
+        self, table: CooperatorTable, candidates: tuple[NodeId, ...]
+    ) -> tuple[NodeId, ...]:
+        return candidates
+
+
+class BestK(CooperatorSelection):
+    """Keep the *k* candidates with the strongest mean HELLO RSSI."""
+
+    def __init__(self, k: int) -> None:
+        if k <= 0:
+            raise ConfigurationError(f"k must be positive, got {k!r}")
+        self.k = k
+
+    def select(
+        self, table: CooperatorTable, candidates: tuple[NodeId, ...]
+    ) -> tuple[NodeId, ...]:
+        if len(candidates) <= self.k:
+            return candidates
+        ranked = sorted(
+            candidates,
+            key=lambda node: table.mean_rssi_of(node) or float("-inf"),
+            reverse=True,
+        )
+        keep = set(ranked[: self.k])
+        return tuple(node for node in candidates if node in keep)
+
+
+class RandomK(CooperatorSelection):
+    """Keep a uniformly random subset of size *k* (control strategy)."""
+
+    def __init__(self, k: int, rng: np.random.Generator) -> None:
+        if k <= 0:
+            raise ConfigurationError(f"k must be positive, got {k!r}")
+        self.k = k
+        self._rng = rng
+
+    def select(
+        self, table: CooperatorTable, candidates: tuple[NodeId, ...]
+    ) -> tuple[NodeId, ...]:
+        if len(candidates) <= self.k:
+            return candidates
+        chosen_idx = self._rng.choice(len(candidates), size=self.k, replace=False)
+        keep = {candidates[i] for i in chosen_idx}
+        return tuple(node for node in candidates if node in keep)

@@ -1,0 +1,90 @@
+"""Protocol phase and per-flow reception bookkeeping."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Phase(enum.Enum):
+    """Where in the paper's three-phase cycle a vehicle currently is.
+
+    ``IDLE`` precedes the first association (the car has never heard an
+    AP); afterwards the node alternates between ``RECEPTION`` (in
+    coverage) and ``RECOVERY`` (dark area, Cooperative-ARQ).
+    """
+
+    IDLE = "idle"
+    RECEPTION = "reception"
+    RECOVERY = "recovery"
+
+
+@dataclass
+class FlowReceptionState:
+    """What a vehicle knows about its *own* download flow.
+
+    Attributes
+    ----------
+    received:
+        Sequence numbers received directly from the AP.
+    recovered:
+        Sequence numbers obtained through cooperation, mapped to the
+        recovery timestamp.
+    known_lo / known_hi:
+        The flow range the node believes exists — from its own receptions
+        plus (in ``"platoon"`` recovery-range mode) cooperator
+        advertisements.  ``None`` until anything is known.
+    first_rx_time:
+        Instant of association (first direct reception).
+    last_rx_time:
+        Instant of the most recent direct reception.
+    """
+
+    received: set[int] = field(default_factory=set)
+    recovered: dict[int, float] = field(default_factory=dict)
+    known_lo: int | None = None
+    known_hi: int | None = None
+    first_rx_time: float | None = None
+    last_rx_time: float | None = None
+
+    def record_direct(self, seq: int, time: float) -> None:
+        """Record a packet received straight from the AP."""
+        self.received.add(seq)
+        self.extend_range(seq, seq)
+        if self.first_rx_time is None:
+            self.first_rx_time = time
+        self.last_rx_time = time
+
+    def record_recovered(self, seq: int, time: float) -> bool:
+        """Record a cooperative recovery; returns ``False`` for duplicates."""
+        if seq in self.received or seq in self.recovered:
+            return False
+        self.recovered[seq] = time
+        self.extend_range(seq, seq)
+        return True
+
+    def extend_range(self, lo: int, hi: int) -> None:
+        """Widen the known flow range to include ``[lo, hi]``."""
+        if self.known_lo is None or lo < self.known_lo:
+            self.known_lo = lo
+        if self.known_hi is None or hi > self.known_hi:
+            self.known_hi = hi
+
+    def has(self, seq: int) -> bool:
+        """Whether the packet is available (directly or via recovery)."""
+        return seq in self.received or seq in self.recovered
+
+    def missing(self) -> list[int]:
+        """Sorted sequence numbers still absent within the known range."""
+        if self.known_lo is None or self.known_hi is None:
+            return []
+        return [
+            seq
+            for seq in range(self.known_lo, self.known_hi + 1)
+            if seq not in self.received and seq not in self.recovered
+        ]
+
+    @property
+    def delivered_count(self) -> int:
+        """Packets available after cooperation."""
+        return len(self.received) + len(self.recovered)

@@ -1,0 +1,48 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library-specific failures derive from :class:`ReproError` so callers can
+catch everything coming from this package with a single ``except`` clause
+while still being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event kernel was used incorrectly.
+
+    Examples: scheduling into the past, running a simulator that has been
+    stopped and not reset, or resuming a finished process.
+    """
+
+
+class ConfigurationError(ReproError):
+    """A configuration dataclass carries invalid or inconsistent values."""
+
+
+class GeometryError(ReproError):
+    """A geometric primitive was constructed or queried out of domain."""
+
+
+class MobilityError(ReproError):
+    """A mobility model was asked for a state it cannot produce."""
+
+
+class RadioError(ReproError):
+    """A PHY-layer computation received out-of-domain inputs."""
+
+
+class MacError(ReproError):
+    """The MAC layer was driven through an illegal state transition."""
+
+
+class ProtocolError(ReproError):
+    """The C-ARQ protocol state machine was driven illegally."""
+
+
+class AnalysisError(ReproError):
+    """Post-processing was asked to analyse inconsistent trace data."""

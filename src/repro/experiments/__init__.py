@@ -1,0 +1,45 @@
+"""Experiment harness: scenario wiring, the paper testbed, sweeps.
+
+* :mod:`repro.experiments.scenario` — configuration dataclasses and the
+  per-round builder that wires kernel + mobility + radio + MAC + nodes;
+* :mod:`repro.experiments.testbed` — the paper's urban experiment
+  (3 cars, 30 rounds) and its published reference numbers;
+* :mod:`repro.experiments.runner` — multi-round execution and result
+  aggregation;
+* :mod:`repro.experiments.sweeps` — parameter sweeps (speed, platoon
+  size, bit-rate, hello period);
+* :mod:`repro.experiments.multi_ap` — the §6 file-download-across-APs
+  study.
+"""
+
+from repro.experiments.scenario import (
+    PlatoonConfig,
+    RadioEnvironment,
+    RoundContext,
+    UrbanScenarioConfig,
+    build_urban_round,
+)
+from repro.experiments.runner import (
+    ExperimentResult,
+    RoundOutcome,
+    collect_round,
+    run_urban_experiment,
+)
+from repro.experiments.testbed import (
+    PAPER_TABLE1,
+    paper_testbed_config,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "PAPER_TABLE1",
+    "PlatoonConfig",
+    "RadioEnvironment",
+    "RoundContext",
+    "RoundOutcome",
+    "UrbanScenarioConfig",
+    "build_urban_round",
+    "collect_round",
+    "paper_testbed_config",
+    "run_urban_experiment",
+]

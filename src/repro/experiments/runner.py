@@ -1,0 +1,106 @@
+"""Multi-round execution and result aggregation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.protocol import CarqStats
+from repro.errors import AnalysisError
+from repro.mac.frames import NodeId
+from repro.experiments.scenario import (
+    RoundContext,
+    UrbanScenarioConfig,
+    build_urban_round,
+)
+from repro.trace.matrix import ReceptionMatrix
+
+
+@dataclass(frozen=True)
+class RoundOutcome:
+    """Post-processed result of one round.
+
+    Attributes
+    ----------
+    index:
+        Round number (0-based).
+    matrices:
+        Car → its flow's reception matrix (cars whose flow was never
+        received by anyone are absent).
+    stats:
+        Car → protocol counters.
+    frames_sent:
+        Node → frames transmitted (AP and cars), for overhead accounting.
+    """
+
+    index: int
+    matrices: dict[NodeId, ReceptionMatrix]
+    stats: dict[NodeId, CarqStats]
+    frames_sent: dict[NodeId, int]
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """All rounds of one experiment."""
+
+    config: UrbanScenarioConfig
+    rounds: list[RoundOutcome]
+
+    def matrices_by_round(self) -> list[dict[NodeId, ReceptionMatrix]]:
+        """Input shape expected by :func:`repro.analysis.stats.compute_table1`."""
+        return [outcome.matrices for outcome in self.rounds]
+
+    def matrices_for_flow(self, car: NodeId) -> list[ReceptionMatrix]:
+        """All rounds' matrices of one car's flow (rounds missing it skipped)."""
+        matrices = [
+            outcome.matrices[car]
+            for outcome in self.rounds
+            if car in outcome.matrices
+        ]
+        if not matrices:
+            raise AnalysisError(f"car {car} never associated in any round")
+        return matrices
+
+
+def collect_round(ctx: RoundContext, index: int) -> RoundOutcome:
+    """Post-process a finished round into a :class:`RoundOutcome`."""
+    car_ids = list(ctx.cars)
+    matrices: dict[NodeId, ReceptionMatrix] = {}
+    stats: dict[NodeId, CarqStats] = {}
+    for car_id, car in ctx.cars.items():
+        direct_by_car = {
+            observer: ctx.capture.delivered_seqs(observer, car_id)
+            for observer in car_ids
+        }
+        recovered = set(car.protocol.state.recovered)
+        matrix = ReceptionMatrix.build(car_id, direct_by_car, recovered)
+        if matrix is not None:
+            matrices[car_id] = matrix
+        stats[car_id] = car.protocol.stats
+    frames_sent = {ctx.ap.node_id: ctx.ap.iface.frames_sent}
+    for car_id, car in ctx.cars.items():
+        frames_sent[car_id] = car.iface.frames_sent
+    return RoundOutcome(
+        index=index, matrices=matrices, stats=stats, frames_sent=frames_sent
+    )
+
+
+def run_urban_experiment(
+    cfg: UrbanScenarioConfig, *, rounds: int | None = None
+) -> ExperimentResult:
+    """Run the urban testbed for the configured number of rounds.
+
+    Parameters
+    ----------
+    cfg:
+        Scenario configuration.
+    rounds:
+        Override the configured round count (used by quick tests and
+        benchmark warm-ups).
+    """
+    n_rounds = rounds if rounds is not None else cfg.rounds
+    outcomes = []
+    for index in range(n_rounds):
+        ctx = build_urban_round(cfg, index)
+        ctx.run()
+        outcomes.append(collect_round(ctx, index))
+    return ExperimentResult(config=cfg, rounds=outcomes)

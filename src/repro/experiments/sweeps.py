@@ -1,0 +1,129 @@
+"""Parameter sweeps over the urban and highway scenarios.
+
+Each sweep returns plain result rows so benchmarks and examples can print
+them directly.  Sweeps address the paper's open questions (§6): how the
+gain scales with platoon size, what the bit-rate head-room is, and how
+speed (the highway motivation, [1]) changes the picture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core.config import CarqConfig
+from repro.errors import ConfigurationError
+from repro.experiments.highway import HighwayConfig, run_highway_experiment
+from repro.experiments.runner import run_urban_experiment
+from repro.experiments.scenario import UrbanScenarioConfig
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One sweep sample: loss fractions aggregated over cars and rounds."""
+
+    parameter: float | str
+    tx_by_ap_mean: float
+    lost_before_fraction: float
+    lost_after_fraction: float
+
+    @property
+    def reduction_fraction(self) -> float:
+        """Relative loss reduction achieved by cooperation."""
+        if self.lost_before_fraction == 0.0:
+            return 0.0
+        return 1.0 - self.lost_after_fraction / self.lost_before_fraction
+
+
+def _aggregate(matrices_by_round, parameter) -> SweepPoint:
+    tx = before = after = 0
+    n = 0
+    for round_matrices in matrices_by_round:
+        for matrix in round_matrices.values():
+            tx += matrix.tx_by_ap
+            before += matrix.lost_before_coop
+            after += matrix.lost_after_coop
+            n += 1
+    if n == 0 or tx == 0:
+        raise ConfigurationError(
+            f"sweep point {parameter!r} produced no reception data"
+        )
+    return SweepPoint(
+        parameter=parameter,
+        tx_by_ap_mean=tx / n,
+        lost_before_fraction=before / tx,
+        lost_after_fraction=after / tx,
+    )
+
+
+def platoon_size_sweep(
+    base: UrbanScenarioConfig, sizes: list[int], *, rounds: int = 8
+) -> list[SweepPoint]:
+    """Urban after-coop loss vs number of cars in the platoon.
+
+    More cars = more diversity = lower joint loss; the marginal gain
+    shrinks, which is the cooperator-selection motivation (§6).
+    """
+    points = []
+    for size in sizes:
+        styles = tuple(
+            ("normal", "timid", "aggressive")[i % 3] for i in range(size)
+        )
+        cfg = replace(
+            base,
+            rounds=rounds,
+            platoon=replace(base.platoon, n_cars=size, driver_styles=styles),
+        )
+        result = run_urban_experiment(cfg)
+        points.append(_aggregate(result.matrices_by_round(), size))
+    return points
+
+
+def bitrate_sweep(
+    base: UrbanScenarioConfig, rate_names: list[str], *, rounds: int = 8
+) -> list[SweepPoint]:
+    """Urban losses vs AP bit rate.
+
+    Higher rates shrink the reliable coverage area; the sweep quantifies
+    the paper's closing question of whether C-ARQ "can allow to increment
+    the bit rate used by the APs".
+    """
+    points = []
+    for rate_name in rate_names:
+        cfg = replace(
+            base, rounds=rounds, radio=replace(base.radio, rate_name=rate_name)
+        )
+        result = run_urban_experiment(cfg)
+        points.append(_aggregate(result.matrices_by_round(), rate_name))
+    return points
+
+
+def hello_period_sweep(
+    base: UrbanScenarioConfig, periods_s: list[float], *, rounds: int = 8
+) -> list[SweepPoint]:
+    """Urban after-coop loss vs HELLO beacon period.
+
+    Slower beacons delay cooperator discovery and stale the responder
+    ordering; the sweep shows how much slack the 1 s default has.
+    """
+    points = []
+    for period in periods_s:
+        cfg = replace(
+            base,
+            rounds=rounds,
+            carq=replace(base.carq, hello_period_s=period),
+        )
+        result = run_urban_experiment(cfg)
+        points.append(_aggregate(result.matrices_by_round(), period))
+    return points
+
+
+def speed_sweep(
+    base: HighwayConfig, speeds_ms: list[float]
+) -> list[SweepPoint]:
+    """Highway losses vs pass speed (the drive-thru motivation, [1])."""
+    points = []
+    for speed in speeds_ms:
+        cfg = replace(base, speed_ms=speed)
+        matrices_by_round = run_highway_experiment(cfg)
+        points.append(_aggregate(matrices_by_round, speed))
+    return points

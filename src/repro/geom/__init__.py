@@ -1,0 +1,12 @@
+"""2-D geometry substrate: vectors and arc-length-parameterised polylines.
+
+Mobility models express vehicle positions as points along a road *track*
+(a :class:`Polyline`), while the radio layer needs Euclidean distances
+between :class:`Vec2` positions.  This package provides both, with no
+dependencies beyond the standard library.
+"""
+
+from repro.geom.vec import Vec2
+from repro.geom.polyline import Polyline
+
+__all__ = ["Vec2", "Polyline"]

@@ -1,0 +1,206 @@
+"""Arc-length-parameterised polylines used as road tracks.
+
+A :class:`Polyline` is a sequence of way-points connected by straight
+segments.  Positions along it are addressed by *arc length* ``s`` measured
+from the first way-point, which is the natural coordinate for car-following
+models (a vehicle's longitudinal position on the road).
+
+Closed polylines (loops) wrap arc length modulo the total length, which is
+how the paper's urban circuit (Fig. 2) is modelled: cars keep driving rounds
+around the same loop.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from collections.abc import Iterable, Sequence
+
+from repro.errors import GeometryError
+from repro.geom.vec import Vec2
+
+
+class Polyline:
+    """A piecewise-linear path through 2-D space.
+
+    Parameters
+    ----------
+    points:
+        At least two way-points.  Consecutive duplicates are rejected
+        because they would create zero-length segments.
+    closed:
+        If true, the path wraps from the last point back to the first and
+        arc length is taken modulo :attr:`length`.
+    """
+
+    def __init__(self, points: Iterable[Vec2], *, closed: bool = False) -> None:
+        pts = list(points)
+        if len(pts) < 2:
+            raise GeometryError("a polyline needs at least two points")
+        for a, b in zip(pts, pts[1:]):
+            if a.distance_to(b) == 0.0:
+                raise GeometryError(f"zero-length segment at {a}")
+        if closed and pts[0].distance_to(pts[-1]) == 0.0:
+            # Caller already repeated the first point; drop the duplicate.
+            pts = pts[:-1]
+            if len(pts) < 2:
+                raise GeometryError("a closed polyline needs at least three points")
+        self._points: list[Vec2] = pts
+        self._closed = closed
+
+        # Cumulative arc length at each vertex; one extra entry for the
+        # closing segment of a loop.
+        cums = [0.0]
+        for a, b in zip(pts, pts[1:]):
+            cums.append(cums[-1] + a.distance_to(b))
+        if closed:
+            cums.append(cums[-1] + pts[-1].distance_to(pts[0]))
+        self._cumulative: list[float] = cums
+
+    # -- basic properties ----------------------------------------------------
+
+    @property
+    def points(self) -> Sequence[Vec2]:
+        """The way-points (without a repeated closing point)."""
+        return tuple(self._points)
+
+    @property
+    def closed(self) -> bool:
+        """Whether the path is a loop."""
+        return self._closed
+
+    @property
+    def length(self) -> float:
+        """Total arc length, including the closing segment for loops."""
+        return self._cumulative[-1]
+
+    @property
+    def segment_count(self) -> int:
+        """Number of straight segments."""
+        return len(self._points) if self._closed else len(self._points) - 1
+
+    # -- parameterisation ----------------------------------------------------
+
+    def _wrap(self, s: float) -> float:
+        """Normalise arc length into the valid domain."""
+        if self._closed:
+            return s % self.length
+        if s < 0.0 or s > self.length:
+            raise GeometryError(
+                f"arc length {s!r} outside [0, {self.length!r}] on open polyline"
+            )
+        return s
+
+    def _locate(self, s: float) -> tuple[int, float]:
+        """Return ``(segment_index, distance_into_segment)`` for arc length *s*."""
+        s = self._wrap(s)
+        # bisect_right-1 gives the last vertex with cumulative <= s.
+        idx = bisect.bisect_right(self._cumulative, s) - 1
+        idx = min(idx, self.segment_count - 1)
+        return idx, s - self._cumulative[idx]
+
+    def _segment(self, idx: int) -> tuple[Vec2, Vec2]:
+        a = self._points[idx]
+        b = self._points[(idx + 1) % len(self._points)]
+        return a, b
+
+    def point_at(self, s: float) -> Vec2:
+        """Position at arc length *s* from the start."""
+        idx, into = self._locate(s)
+        a, b = self._segment(idx)
+        seg_len = a.distance_to(b)
+        return a.lerp(b, into / seg_len)
+
+    def heading_at(self, s: float) -> float:
+        """Travel direction (radians, CCW from +x) at arc length *s*."""
+        idx, _ = self._locate(s)
+        a, b = self._segment(idx)
+        return (b - a).angle()
+
+    def tangent_at(self, s: float) -> Vec2:
+        """Unit tangent at arc length *s*."""
+        idx, _ = self._locate(s)
+        a, b = self._segment(idx)
+        return (b - a).normalized()
+
+    def turn_angle_at_vertex(self, vertex_index: int) -> float:
+        """Absolute heading change (radians) at an interior vertex.
+
+        For closed polylines every vertex is interior.  Used by the
+        curvature-aware speed profile to slow vehicles down at corners.
+        """
+        n = len(self._points)
+        if self._closed:
+            prev_pt = self._points[(vertex_index - 1) % n]
+            here = self._points[vertex_index % n]
+            next_pt = self._points[(vertex_index + 1) % n]
+        else:
+            if vertex_index <= 0 or vertex_index >= n - 1:
+                raise GeometryError(
+                    f"vertex {vertex_index} of an open polyline has no turn angle"
+                )
+            prev_pt = self._points[vertex_index - 1]
+            here = self._points[vertex_index]
+            next_pt = self._points[vertex_index + 1]
+        incoming = (here - prev_pt).angle()
+        outgoing = (next_pt - here).angle()
+        diff = outgoing - incoming
+        # Wrap to (-pi, pi].
+        while diff <= -math.pi:
+            diff += 2.0 * math.pi
+        while diff > math.pi:
+            diff -= 2.0 * math.pi
+        return abs(diff)
+
+    def vertex_arc_length(self, vertex_index: int) -> float:
+        """Arc length coordinate of the given vertex."""
+        n = len(self._points)
+        if self._closed:
+            return self._cumulative[vertex_index % n]
+        if vertex_index < 0 or vertex_index >= n:
+            raise GeometryError(f"vertex index {vertex_index} out of range")
+        return self._cumulative[vertex_index]
+
+    def distance_along(self, s_from: float, s_to: float) -> float:
+        """Forward travel distance from ``s_from`` to ``s_to``.
+
+        On loops this is always taken in the direction of travel and lies in
+        ``[0, length)``; on open paths it is simply the difference and may be
+        negative.
+        """
+        if self._closed:
+            return (s_to - s_from) % self.length
+        return s_to - s_from
+
+    # -- construction helpers -------------------------------------------------
+
+    @staticmethod
+    def rectangle(width: float, height: float, *, origin: Vec2 = Vec2(0.0, 0.0)) -> Polyline:
+        """A closed rectangular loop (counter-clockwise from *origin*).
+
+        Convenience used by the urban-testbed track builder.
+        """
+        if width <= 0.0 or height <= 0.0:
+            raise GeometryError("rectangle dimensions must be positive")
+        o = origin
+        return Polyline(
+            [
+                o,
+                Vec2(o.x + width, o.y),
+                Vec2(o.x + width, o.y + height),
+                Vec2(o.x, o.y + height),
+            ],
+            closed=True,
+        )
+
+    @staticmethod
+    def straight(length: float, *, origin: Vec2 = Vec2(0.0, 0.0), heading_rad: float = 0.0) -> Polyline:
+        """An open straight path — the highway drive-thru scenario."""
+        if length <= 0.0:
+            raise GeometryError("straight length must be positive")
+        end = origin + Vec2(math.cos(heading_rad), math.sin(heading_rad)) * length
+        return Polyline([origin, end])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "closed" if self._closed else "open"
+        return f"Polyline({len(self._points)} pts, {kind}, length={self.length:.1f} m)"

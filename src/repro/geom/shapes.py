@@ -1,0 +1,68 @@
+"""Axis-aligned rectangles used as building footprints."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import GeometryError
+from repro.geom.vec import Vec2
+
+
+@dataclass(frozen=True)
+class AxisRect:
+    """An axis-aligned rectangle (building footprint).
+
+    Attributes are the min/max corners; degenerate (zero-area) rectangles
+    are rejected.
+    """
+
+    x_min: float
+    y_min: float
+    x_max: float
+    y_max: float
+
+    def __post_init__(self) -> None:
+        if self.x_min >= self.x_max or self.y_min >= self.y_max:
+            raise GeometryError(f"degenerate rectangle {self!r}")
+
+    @property
+    def center(self) -> Vec2:
+        """Geometric centre."""
+        return Vec2((self.x_min + self.x_max) / 2.0, (self.y_min + self.y_max) / 2.0)
+
+    def contains(self, point: Vec2) -> bool:
+        """Whether *point* lies inside or on the boundary."""
+        return (
+            self.x_min <= point.x <= self.x_max
+            and self.y_min <= point.y <= self.y_max
+        )
+
+    def intersects_segment(self, a: Vec2, b: Vec2) -> bool:
+        """Whether the segment ``a→b`` passes through the rectangle.
+
+        Liang–Barsky clipping: the segment intersects iff the parametric
+        interval clipped against all four slabs stays non-empty.
+        """
+        dx = b.x - a.x
+        dy = b.y - a.y
+        t0, t1 = 0.0, 1.0
+        for p, q in (
+            (-dx, a.x - self.x_min),
+            (dx, self.x_max - a.x),
+            (-dy, a.y - self.y_min),
+            (dy, self.y_max - a.y),
+        ):
+            if p == 0.0:
+                if q < 0.0:
+                    return False  # parallel and outside this slab
+                continue
+            t = q / p
+            if p < 0.0:
+                if t > t1:
+                    return False
+                t0 = max(t0, t)
+            else:
+                if t < t0:
+                    return False
+                t1 = min(t1, t)
+        return t0 <= t1

@@ -1,0 +1,105 @@
+"""Immutable 2-D vector."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Vec2:
+    """An immutable 2-D point/vector in metres.
+
+    Supports the usual vector arithmetic.  Being frozen and hashable, it can
+    be used as a dict key and safely shared between components.
+
+    Examples
+    --------
+    >>> (Vec2(1, 2) + Vec2(3, 4)).x
+    4
+    >>> Vec2(3, 4).norm()
+    5.0
+    """
+
+    x: float
+    y: float
+
+    # -- arithmetic ---------------------------------------------------------
+
+    def __add__(self, other: Vec2) -> Vec2:
+        return Vec2(self.x + other.x, self.y + other.y)
+
+    def __sub__(self, other: Vec2) -> Vec2:
+        return Vec2(self.x - other.x, self.y - other.y)
+
+    def __mul__(self, scalar: float) -> Vec2:
+        return Vec2(self.x * scalar, self.y * scalar)
+
+    def __rmul__(self, scalar: float) -> Vec2:
+        return self.__mul__(scalar)
+
+    def __truediv__(self, scalar: float) -> Vec2:
+        return Vec2(self.x / scalar, self.y / scalar)
+
+    def __neg__(self) -> Vec2:
+        return Vec2(-self.x, -self.y)
+
+    # -- metrics ------------------------------------------------------------
+
+    def dot(self, other: Vec2) -> float:
+        """Dot product with *other*."""
+        return self.x * other.x + self.y * other.y
+
+    def cross(self, other: Vec2) -> float:
+        """Z-component of the 3-D cross product (signed area)."""
+        return self.x * other.y - self.y * other.x
+
+    def norm(self) -> float:
+        """Euclidean length."""
+        return math.hypot(self.x, self.y)
+
+    def norm_squared(self) -> float:
+        """Squared Euclidean length (avoids the sqrt in hot paths)."""
+        return self.x * self.x + self.y * self.y
+
+    def distance_to(self, other: Vec2) -> float:
+        """Euclidean distance to *other*."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def normalized(self) -> Vec2:
+        """Unit vector in the same direction.
+
+        Raises
+        ------
+        ZeroDivisionError
+            If this is the zero vector.
+        """
+        n = self.norm()
+        if n == 0.0:
+            raise ZeroDivisionError("cannot normalise the zero vector")
+        return Vec2(self.x / n, self.y / n)
+
+    def perpendicular(self) -> Vec2:
+        """The vector rotated +90° (counter-clockwise)."""
+        return Vec2(-self.y, self.x)
+
+    def angle(self) -> float:
+        """Heading in radians, measured counter-clockwise from +x."""
+        return math.atan2(self.y, self.x)
+
+    def rotated(self, angle_rad: float) -> Vec2:
+        """This vector rotated counter-clockwise by *angle_rad*."""
+        c, s = math.cos(angle_rad), math.sin(angle_rad)
+        return Vec2(c * self.x - s * self.y, s * self.x + c * self.y)
+
+    def lerp(self, other: Vec2, t: float) -> Vec2:
+        """Linear interpolation: ``self`` at ``t=0``, *other* at ``t=1``."""
+        return Vec2(
+            self.x + (other.x - self.x) * t,
+            self.y + (other.y - self.y) * t,
+        )
+
+    @staticmethod
+    def zero() -> Vec2:
+        """The origin."""
+        return Vec2(0.0, 0.0)

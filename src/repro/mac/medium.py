@@ -1,0 +1,253 @@
+"""The shared wireless medium.
+
+One :class:`Medium` instance connects all interfaces of a scenario.  For
+every transmission it samples the channel toward every attached receiver,
+tracks concurrent arrivals for interference/SINR, enforces half-duplex
+radios, and reports outcomes to an optional trace collector.
+
+Reception pipeline per (frame, receiver):
+
+1. sample path loss + shadowing + fading → received power;
+2. drop silently if the mean power is far below the noise floor (the
+   receiver's hardware would never sync to the preamble — real sniffers
+   record nothing there either);
+3. accumulate interference from temporally overlapping arrivals;
+4. at frame end, draw delivery from the SINR-dependent frame error rate;
+5. a receiver that transmitted during any part of the arrival loses the
+   frame outright (half-duplex).
+"""
+
+from __future__ import annotations
+
+import enum
+import typing
+from dataclasses import dataclass
+
+from repro.errors import MacError
+from repro.mac.frames import Frame
+from repro.mac.timing import frame_airtime
+from repro.radio.channel import Channel, LinkSample
+from repro.radio.modulation import WifiRate
+from repro.sim import Priority, Simulator
+from repro.units import dbm_sum
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.mac.interface import NetworkInterface
+
+
+class LossCause(enum.Enum):
+    """Why a frame did or did not make it to a given receiver."""
+
+    DELIVERED = "delivered"
+    CHANNEL = "channel"            # SNR-driven corruption, no interference present
+    INTERFERENCE = "interference"  # corrupted with concurrent arrivals on air
+    HALF_DUPLEX = "half-duplex"    # receiver was transmitting
+    BELOW_SENSITIVITY = "below-sensitivity"
+
+
+@dataclass(frozen=True)
+class RxInfo:
+    """Receive-side metadata handed to the interface with each frame."""
+
+    time: float
+    rx_power_dbm: float
+    snr_db: float
+
+
+class _Arrival:
+    """Book-keeping for one frame in flight toward one receiver."""
+
+    __slots__ = (
+        "frame", "rate", "sample", "start", "end",
+        "interferers_dbm", "half_duplex",
+    )
+
+    def __init__(
+        self,
+        frame: Frame,
+        rate: WifiRate,
+        sample: LinkSample,
+        start: float,
+        end: float,
+    ) -> None:
+        self.frame = frame
+        self.rate = rate
+        self.sample = sample
+        self.start = start
+        self.end = end
+        self.interferers_dbm: list[float] = []
+        self.half_duplex = False
+
+
+class Medium:
+    """Connects interfaces through a :class:`~repro.radio.channel.Channel`.
+
+    Parameters
+    ----------
+    sim:
+        The simulator that provides the clock and event queue.
+    channel:
+        Propagation model shared by all links.
+    trace:
+        Optional collector with ``on_tx(...)`` / ``on_rx(...)`` methods
+        (see :mod:`repro.trace.capture`).
+    sensitivity_margin_db:
+        Arrivals whose mean power is more than this below the receiver
+        noise floor are discarded without bookkeeping.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        channel: Channel,
+        *,
+        trace: typing.Any | None = None,
+        sensitivity_margin_db: float = 10.0,
+    ) -> None:
+        self._sim = sim
+        self._channel = channel
+        self._trace = trace
+        self._sensitivity_margin_db = sensitivity_margin_db
+        self._interfaces: list[NetworkInterface] = []
+        self._ongoing: dict[NetworkInterface, list[_Arrival]] = {}
+
+    @property
+    def channel(self) -> Channel:
+        """The propagation model in use."""
+        return self._channel
+
+    @property
+    def trace(self) -> typing.Any | None:
+        """The attached trace collector, if any."""
+        return self._trace
+
+    def set_trace(self, trace: typing.Any | None) -> None:
+        """Install or replace the trace collector."""
+        self._trace = trace
+
+    def attach(self, iface: "NetworkInterface") -> None:
+        """Register an interface.  Each interface joins exactly one medium."""
+        if iface in self._interfaces:
+            raise MacError(f"interface {iface.name!r} already attached")
+        self._interfaces.append(iface)
+        self._ongoing[iface] = []
+
+    # -- transmission ---------------------------------------------------------
+
+    def transmit(self, tx_iface: "NetworkInterface", frame: Frame, rate: WifiRate) -> float:
+        """Put *frame* on the air from *tx_iface*; returns the airtime.
+
+        Called by the interface at the instant its back-off completed; the
+        interface is responsible for marking itself as transmitting for the
+        returned duration.
+        """
+        if tx_iface not in self._ongoing:
+            raise MacError(f"interface {tx_iface.name!r} not attached to this medium")
+        now = self._sim.now
+        airtime = frame_airtime(frame.size_bytes, rate)
+        tx_pos = tx_iface.position()
+        if self._trace is not None:
+            self._trace.on_tx(now, tx_iface.node_id, frame, rate)
+
+        # A station that starts transmitting kills anything it was receiving.
+        for arrival in self._ongoing[tx_iface]:
+            arrival.half_duplex = True
+
+        for rx_iface in self._interfaces:
+            if rx_iface is tx_iface:
+                continue
+            self._start_arrival(tx_iface, rx_iface, frame, rate, tx_pos, now, airtime)
+        return airtime
+
+    def _start_arrival(
+        self,
+        tx_iface: "NetworkInterface",
+        rx_iface: "NetworkInterface",
+        frame: Frame,
+        rate: WifiRate,
+        tx_pos: typing.Any,
+        now: float,
+        airtime: float,
+    ) -> None:
+        sample = self._channel.sample(
+            tx_iface.node_id,
+            rx_iface.node_id,
+            tx_pos,
+            rx_iface.position(),
+            tx_iface.config.tx_power_dbm,
+            rx_iface.config.antenna_gain_db,
+            time=now,
+        )
+        noise_floor = rx_iface.config.noise_floor_dbm
+        if sample.mean_rx_power_dbm < noise_floor - self._sensitivity_margin_db:
+            return  # far out of range: the radio never syncs, nothing recorded
+        arrival = _Arrival(frame, rate, sample, now, now + airtime)
+
+        # Mutual interference with everything already on the air here.
+        for other in self._ongoing[rx_iface]:
+            other.interferers_dbm.append(sample.rx_power_dbm)
+            arrival.interferers_dbm.append(other.sample.rx_power_dbm)
+        if rx_iface.transmitting:
+            arrival.half_duplex = True
+
+        self._ongoing[rx_iface].append(arrival)
+        # URGENT so medium bookkeeping settles before normal callbacks at
+        # the same instant observe the channel state.
+        self._sim.schedule(
+            airtime, self._finish_arrival, rx_iface, arrival, priority=Priority.URGENT
+        )
+
+    def _finish_arrival(self, rx_iface: "NetworkInterface", arrival: _Arrival) -> None:
+        self._ongoing[rx_iface].remove(arrival)
+        noise_floor = rx_iface.config.noise_floor_dbm
+        if arrival.interferers_dbm:
+            noise_plus_interference = dbm_sum(noise_floor, *arrival.interferers_dbm)
+        else:
+            noise_plus_interference = noise_floor
+        snr_db = arrival.sample.rx_power_dbm - noise_plus_interference
+
+        if arrival.half_duplex:
+            cause = LossCause.HALF_DUPLEX
+        elif (
+            arrival.interferers_dbm
+            and snr_db < rx_iface.config.capture_threshold_db
+        ):
+            # Same-code DSSS interference is not suppressed by processing
+            # gain: without a capture margin over the interferers the frame
+            # is destroyed (classic 802.11 capture model).
+            cause = LossCause.INTERFERENCE
+        elif self._channel.frame_delivered(
+            arrival.sample,
+            arrival.rate,
+            arrival.frame,
+            noise_plus_interference,
+            rx_id=rx_iface.node_id,
+        ):
+            cause = LossCause.DELIVERED
+        elif arrival.interferers_dbm:
+            cause = LossCause.INTERFERENCE
+        else:
+            cause = LossCause.CHANNEL
+
+        if self._trace is not None:
+            self._trace.on_rx(
+                self._sim.now, rx_iface.node_id, arrival.frame, cause, snr_db,
+                arrival.sample.rx_power_dbm,
+            )
+        if cause is LossCause.DELIVERED:
+            rx_iface.deliver(
+                arrival.frame,
+                RxInfo(self._sim.now, arrival.sample.rx_power_dbm, snr_db),
+            )
+
+    # -- carrier sense ----------------------------------------------------------
+
+    def busy(self, iface: "NetworkInterface") -> bool:
+        """Whether *iface* senses energy above its carrier-sense threshold."""
+        if iface.transmitting:
+            return True
+        threshold = iface.config.carrier_sense_threshold_dbm
+        return any(
+            arrival.sample.mean_rx_power_dbm >= threshold
+            for arrival in self._ongoing[iface]
+        )

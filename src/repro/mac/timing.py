@@ -1,0 +1,76 @@
+"""802.11 MAC/PHY timing constants and airtime computation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MacError
+from repro.radio.modulation import PhyScheme, WifiRate
+from repro.units import MICROSECOND, bytes_to_bits
+
+
+@dataclass(frozen=True)
+class MacTiming:
+    """Timing parameters of one PHY family.
+
+    Attributes
+    ----------
+    slot_s:
+        Back-off slot duration.
+    sifs_s:
+        Short inter-frame space.
+    preamble_s:
+        PLCP preamble + header time prepended to every frame.
+    cw_min / cw_max:
+        Contention-window bounds (slots).
+    """
+
+    slot_s: float
+    sifs_s: float
+    preamble_s: float
+    cw_min: int = 31
+    cw_max: int = 1023
+
+    @property
+    def difs_s(self) -> float:
+        """DCF inter-frame space: SIFS + 2 slots."""
+        return self.sifs_s + 2.0 * self.slot_s
+
+
+#: 802.11b DSSS timing (long preamble, as MadWiFi used at 1-2 Mb/s).
+DSSS_TIMING = MacTiming(
+    slot_s=20 * MICROSECOND,
+    sifs_s=10 * MICROSECOND,
+    preamble_s=192 * MICROSECOND,
+)
+
+#: 802.11g OFDM timing.
+OFDM_TIMING = MacTiming(
+    slot_s=9 * MICROSECOND,
+    sifs_s=16 * MICROSECOND,
+    preamble_s=20 * MICROSECOND,
+    cw_min=15,
+)
+
+
+def timing_for(rate: WifiRate) -> MacTiming:
+    """The timing set matching a rate's PHY family."""
+    if rate.scheme is PhyScheme.DSSS:
+        return DSSS_TIMING
+    if rate.scheme is PhyScheme.OFDM:
+        return OFDM_TIMING
+    raise MacError(f"no timing defined for scheme {rate.scheme!r}")
+
+
+def frame_airtime(size_bytes: int, rate: WifiRate) -> float:
+    """Total on-air duration of a frame: preamble + serialisation.
+
+    Raises
+    ------
+    MacError
+        If *size_bytes* is not positive.
+    """
+    if size_bytes <= 0:
+        raise MacError(f"frame size must be positive, got {size_bytes!r}")
+    timing = timing_for(rate)
+    return timing.preamble_s + bytes_to_bits(size_bytes) / rate.bitrate_bps

@@ -1,0 +1,39 @@
+"""Mobility substrate.
+
+The testbed's three cars drove a small urban loop (paper Fig. 2) at about
+20 km/h, with human drivers producing round-to-round variability in gaps
+and corner behaviour.  This package substitutes:
+
+* :class:`StaticMobility` — fixed mounts (the AP);
+* :class:`PathMobility` — constant-speed motion along a polyline;
+* :class:`TraceMobility` — interpolation over a precomputed trajectory;
+* :mod:`repro.mobility.idm` — the Intelligent Driver Model integrator that
+  generates realistic platoon trajectories (per-driver parameters, corner
+  slow-downs, acceleration noise);
+* :func:`~repro.mobility.urban.urban_loop` — the Fig. 2 circuit;
+* :func:`~repro.mobility.highway.highway_scenario` — the Ott & Kutscher
+  drive-thru geometry used by the speed-sweep experiment.
+"""
+
+from repro.mobility.base import MobilityModel, TraceMobility
+from repro.mobility.static import StaticMobility
+from repro.mobility.path import PathMobility
+from repro.mobility.profile import CurvatureSpeedProfile
+from repro.mobility.idm import DriverProfile, IdmParameters, simulate_platoon
+from repro.mobility.urban import UrbanTestbed, urban_loop
+from repro.mobility.highway import HighwayScenario, highway_scenario
+
+__all__ = [
+    "CurvatureSpeedProfile",
+    "DriverProfile",
+    "HighwayScenario",
+    "IdmParameters",
+    "MobilityModel",
+    "PathMobility",
+    "StaticMobility",
+    "TraceMobility",
+    "UrbanTestbed",
+    "highway_scenario",
+    "simulate_platoon",
+    "urban_loop",
+]

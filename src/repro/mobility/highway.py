@@ -1,0 +1,53 @@
+"""The drive-thru highway geometry (after Ott & Kutscher [1]).
+
+A straight road passes an AP placed a small distance off the roadside.
+Cars traverse it once at highway speed.  This is the geometry behind the
+paper's motivation numbers ("50–60 % losses depending on speed") and is
+used by the speed-sweep experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.geom import Polyline, Vec2
+
+
+@dataclass(frozen=True)
+class HighwayScenario:
+    """Geometry of one drive-thru pass.
+
+    Attributes
+    ----------
+    track:
+        Open straight road, driven start→end.
+    ap_position:
+        AP mast position (off the roadside at the middle of the road).
+    """
+
+    track: Polyline
+    ap_position: Vec2
+
+
+def highway_scenario(
+    *,
+    road_length: float = 2000.0,
+    ap_offset: float = 20.0,
+) -> HighwayScenario:
+    """Build a straight drive-thru road with a mid-road AP.
+
+    Parameters
+    ----------
+    road_length:
+        Total road length [m]; cars start far outside coverage.
+    ap_offset:
+        Perpendicular distance of the AP from the road [m].
+    """
+    if road_length <= 0.0:
+        raise ConfigurationError("road length must be positive")
+    if ap_offset < 0.0:
+        raise ConfigurationError("ap_offset must be >= 0")
+    track = Polyline.straight(road_length)
+    ap_position = Vec2(road_length / 2.0, ap_offset)
+    return HighwayScenario(track=track, ap_position=ap_position)

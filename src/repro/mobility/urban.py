@@ -1,0 +1,112 @@
+"""The paper's urban testbed geometry (Fig. 2).
+
+The testbed loop circles a university block: the AP antenna sits in a
+first-floor office window on one street; cars drive the block
+counter-clockwise at about 20 km/h; the corner labelled *C* in the paper is
+where the inexperienced driver of car 2 braked and car 3 closed up.
+
+We model the block as a rectangular circuit.  The exact street lengths of
+the real campus are unknown (and irrelevant to the phenomenon); what the
+reproduction needs is (a) a coverage window a few tens of seconds long on
+one street, (b) a dark area covering the rest of the loop, and (c) corners
+that modulate platoon spacing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.geom import Polyline, Vec2
+from repro.geom.shapes import AxisRect
+
+
+@dataclass(frozen=True)
+class UrbanTestbed:
+    """Geometry of the urban loop scenario.
+
+    Attributes
+    ----------
+    track:
+        The closed circuit driven by the cars.
+    ap_position:
+        The AP antenna (set back from the street — in the building).
+    start_arc_length:
+        Where the platoon leader starts a round: diametrically opposite
+        the AP street, deep in the dark area.
+    corner_c_arc_length:
+        Arc-length coordinate of the paper's corner *C* (the corner the
+        cars turn just before re-entering the AP street).
+    buildings:
+        Building footprints: the block the loop circles (confining AP
+        coverage to its street and creating the dark area) and the row of
+        facades behind the far side of the AP street.
+    """
+
+    track: Polyline
+    ap_position: Vec2
+    start_arc_length: float
+    corner_c_arc_length: float
+    buildings: tuple[AxisRect, ...] = ()
+
+
+def urban_loop(
+    *,
+    block_width: float = 95.0,
+    block_height: float = 75.0,
+    ap_street_fraction: float = 0.5,
+    ap_setback: float = 12.0,
+) -> UrbanTestbed:
+    """Build the Fig. 2 urban circuit.
+
+    Parameters
+    ----------
+    block_width:
+        Length of the AP street [m] (the bottom edge, driven left→right).
+    block_height:
+        Length of the side streets [m].
+    ap_street_fraction:
+        Where along the AP street the antenna sits (0 = start corner,
+        1 = end corner).
+    ap_setback:
+        Perpendicular distance from the street to the antenna [m]
+        (the office is inside the building).
+
+    Returns
+    -------
+    UrbanTestbed
+        Geometry bundle used by the scenario builder.
+    """
+    if not 0.0 <= ap_street_fraction <= 1.0:
+        raise ConfigurationError("ap_street_fraction must be in [0, 1]")
+    if ap_setback < 0.0:
+        raise ConfigurationError("ap_setback must be >= 0")
+    track = Polyline.rectangle(block_width, block_height)
+    # Bottom edge runs from (0,0) to (width,0); the AP is set back on the
+    # building side (negative y — the far side from the block interior).
+    ap_position = Vec2(block_width * ap_street_fraction, -ap_setback)
+    perimeter = track.length
+    # Start opposite the AP street: middle of the top edge.  The top edge
+    # spans arc lengths [width + height, 2*width + height] (driven in the
+    # -x direction), so its middle is at width*1.5 + height.
+    start_arc = 1.5 * block_width + block_height
+    # Corner C: the last corner before re-entering the AP street, i.e. the
+    # rectangle vertex at (0, 0) whose arc length is 0 ≡ perimeter.
+    corner_c = perimeter
+    # The block the loop circles, inset from the kerb line so cars on the
+    # streets are outside it, plus the facade row behind the AP street on
+    # the AP's side (the AP's own window bay is left open).
+    street_clearance = 6.0
+    inner_block = AxisRect(
+        street_clearance,
+        street_clearance,
+        block_width - street_clearance,
+        block_height - street_clearance,
+    )
+    return UrbanTestbed(
+        track=track,
+        ap_position=ap_position,
+        start_arc_length=start_arc,
+        corner_c_arc_length=corner_c,
+        buildings=(inner_block,),
+    )

@@ -1,0 +1,24 @@
+"""Node and application layer.
+
+* :class:`Node` — identity + mobility + radio interface;
+* :class:`AccessPoint` — the road-side infostation streaming numbered
+  packets to each car (the testbed's 5 × 1000 B ICMP echo per second per
+  car);
+* :class:`PacketBuffer` — bounded storage for own and cooperatively
+  buffered packets.
+"""
+
+from repro.mac.frames import BROADCAST, NodeId
+from repro.net.node import Node
+from repro.net.ap import AccessPoint, FlowConfig
+from repro.net.buffer import BufferEntry, PacketBuffer
+
+__all__ = [
+    "AccessPoint",
+    "BROADCAST",
+    "BufferEntry",
+    "FlowConfig",
+    "Node",
+    "NodeId",
+    "PacketBuffer",
+]

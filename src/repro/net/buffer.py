@@ -1,0 +1,106 @@
+"""Bounded packet storage.
+
+Cars store two kinds of packets: their *own* flow (the download) and
+packets buffered *for cooperation partners*.  Both use this structure.
+Capacity is bounded with FIFO eviction — a real in-car device has finite
+memory, and the eviction policy is exercised by the capacity-pressure
+tests and the multi-AP experiment.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.mac.frames import NodeId
+
+
+@dataclass(frozen=True)
+class BufferEntry:
+    """One stored packet."""
+
+    flow_dst: NodeId
+    seq: int
+    received_at: float
+    size_bytes: int
+
+
+class PacketBuffer:
+    """Packets keyed by ``(flow destination, sequence number)``.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of stored packets; ``None`` means unbounded.
+        When full, the oldest entry (insertion order) is evicted.
+    """
+
+    def __init__(self, capacity: int | None = None) -> None:
+        if capacity is not None and capacity <= 0:
+            raise ConfigurationError(f"buffer capacity must be positive, got {capacity!r}")
+        self._capacity = capacity
+        self._entries: OrderedDict[tuple[NodeId, int], BufferEntry] = OrderedDict()
+        #: Number of entries evicted due to capacity pressure.
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: tuple[NodeId, int]) -> bool:
+        return key in self._entries
+
+    @property
+    def capacity(self) -> int | None:
+        """Configured capacity (``None`` = unbounded)."""
+        return self._capacity
+
+    def add(self, entry: BufferEntry) -> bool:
+        """Store an entry; returns ``False`` if it was already present.
+
+        Duplicates do not refresh insertion order (re-hearing an old packet
+        must not protect it from eviction forever).
+        """
+        key = (entry.flow_dst, entry.seq)
+        if key in self._entries:
+            return False
+        if self._capacity is not None and len(self._entries) >= self._capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+        self._entries[key] = entry
+        return True
+
+    def has(self, flow_dst: NodeId, seq: int) -> bool:
+        """Whether the packet is stored."""
+        return (flow_dst, seq) in self._entries
+
+    def get(self, flow_dst: NodeId, seq: int) -> BufferEntry | None:
+        """The stored entry, or ``None``."""
+        return self._entries.get((flow_dst, seq))
+
+    def discard(self, flow_dst: NodeId, seq: int) -> bool:
+        """Remove a packet; returns whether it was present."""
+        return self._entries.pop((flow_dst, seq), None) is not None
+
+    def seqs_for_flow(self, flow_dst: NodeId) -> set[int]:
+        """All stored sequence numbers of one flow."""
+        return {seq for (dst, seq) in self._entries if dst == flow_dst}
+
+    def flow_range(self, flow_dst: NodeId) -> tuple[int, int] | None:
+        """``(min, max)`` stored sequence numbers of a flow, or ``None``."""
+        seqs = self.seqs_for_flow(flow_dst)
+        if not seqs:
+            return None
+        return (min(seqs), max(seqs))
+
+    def flows(self) -> set[NodeId]:
+        """All flow destinations with at least one stored packet."""
+        return {dst for (dst, _seq) in self._entries}
+
+    def entries(self) -> list[BufferEntry]:
+        """All entries in insertion order (copy)."""
+        return list(self._entries.values())
+
+    def clear(self) -> None:
+        """Drop everything (eviction counter is preserved)."""
+        self._entries.clear()

@@ -1,0 +1,64 @@
+"""Base class tying identity, mobility and radio together."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geom import Vec2
+from repro.mac.frames import NodeId
+from repro.mac.interface import NetworkInterface
+from repro.mac.medium import Medium
+from repro.mobility.base import MobilityModel
+from repro.radio.phy import RadioConfig
+from repro.sim import Simulator
+
+
+class Node:
+    """A network participant: an AP or a vehicle.
+
+    Parameters
+    ----------
+    sim, medium:
+        Simulation kernel and shared medium.
+    node_id:
+        Unique identity.
+    mobility:
+        Position source (static mount for APs, trajectory for cars).
+    radio:
+        PHY parameters for this node's interface.
+    rng:
+        Random stream for this node's MAC back-off.
+    name:
+        Human-readable label.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        medium: Medium,
+        node_id: NodeId,
+        mobility: MobilityModel,
+        radio: RadioConfig,
+        rng: np.random.Generator,
+        name: str = "",
+    ) -> None:
+        self.sim = sim
+        self.node_id = node_id
+        self.name = name or f"node-{node_id}"
+        self.mobility = mobility
+        self.iface = NetworkInterface(
+            sim,
+            medium,
+            node_id,
+            self.position,
+            radio,
+            rng,
+            name=f"{self.name}.iface",
+        )
+
+    def position(self) -> Vec2:
+        """Current position at the simulator clock."""
+        return self.mobility.position(self.sim.now)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.name!r})"

@@ -1,0 +1,70 @@
+"""Radio / PHY substrate.
+
+The paper's testbed used real 802.11b/g radios in an urban street.  This
+package substitutes a statistical PHY with the same observable structure:
+
+* large-scale **path loss** (:mod:`repro.radio.pathloss`) — reception decays
+  with distance, defining the AP *coverage area* and its soft edges;
+* **shadowing** (:mod:`repro.radio.shadowing`) — log-normal, spatially
+  correlated (Gudmundson model), so nearby packets share fate but different
+  cars see *different* obstructions — exactly the diversity C-ARQ exploits;
+* small-scale **fading** (:mod:`repro.radio.fading`) — per-frame Rayleigh /
+  Rician variation;
+* **modulation & coding** (:mod:`repro.radio.modulation`,
+  :mod:`repro.radio.error_models`) — SNR → BER → frame-error-rate curves for
+  the 802.11 DSSS and OFDM rate sets;
+* the :class:`~repro.radio.channel.Channel` façade that the MAC's shared
+  medium queries per frame.
+"""
+
+from repro.radio.pathloss import (
+    FreeSpacePathLoss,
+    LogDistancePathLoss,
+    PathLossModel,
+    TwoRayGroundPathLoss,
+)
+from repro.radio.shadowing import (
+    CompositeShadowing,
+    GudmundsonShadowing,
+    NoShadowing,
+    ShadowingModel,
+    TemporalTxShadowing,
+)
+from repro.radio.fading import FadingModel, NoFading, RayleighFading, RicianFading
+from repro.radio.obstruction import (
+    BuildingObstruction,
+    NoObstruction,
+    ObstructionModel,
+)
+from repro.radio.modulation import WifiRate, DSSS_RATES, OFDM_RATES, rate_by_name
+from repro.radio.error_models import frame_error_rate, frame_success_probability
+from repro.radio.phy import RadioConfig
+from repro.radio.channel import Channel, LinkSample
+
+__all__ = [
+    "BuildingObstruction",
+    "Channel",
+    "CompositeShadowing",
+    "DSSS_RATES",
+    "FadingModel",
+    "FreeSpacePathLoss",
+    "frame_error_rate",
+    "frame_success_probability",
+    "GudmundsonShadowing",
+    "LinkSample",
+    "LogDistancePathLoss",
+    "NoFading",
+    "NoObstruction",
+    "NoShadowing",
+    "OFDM_RATES",
+    "ObstructionModel",
+    "PathLossModel",
+    "TemporalTxShadowing",
+    "RadioConfig",
+    "RayleighFading",
+    "RicianFading",
+    "ShadowingModel",
+    "TwoRayGroundPathLoss",
+    "WifiRate",
+    "rate_by_name",
+]

@@ -1,0 +1,128 @@
+"""The channel façade queried by the MAC's shared medium.
+
+For every transmitted frame and every potential receiver the
+:class:`Channel` combines path loss, correlated shadowing and per-frame
+fading into one received-power figure, from which the medium derives
+carrier-sense levels, SINR and frame-error draws.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+import numpy as np
+
+from repro.geom import Vec2
+from repro.radio.error_models import frame_error_rate
+from repro.radio.fading import FadingModel, NoFading
+from repro.radio.modulation import WifiRate
+from repro.radio.obstruction import NoObstruction, ObstructionModel
+from repro.radio.pathloss import LogDistancePathLoss, PathLossModel
+from repro.radio.shadowing import NoShadowing, ShadowingModel
+
+
+@dataclass(frozen=True)
+class LinkSample:
+    """One channel realisation for a frame on a link.
+
+    Attributes
+    ----------
+    rx_power_dbm:
+        Received signal power (after path loss, shadowing and fading).
+    mean_rx_power_dbm:
+        Received power *without* the per-frame fading draw — used for
+        carrier sensing, which averages over small-scale fading.
+    distance_m:
+        Link distance at transmission time.
+    """
+
+    rx_power_dbm: float
+    mean_rx_power_dbm: float
+    distance_m: float
+
+
+class Channel:
+    """Combines propagation effects into per-frame link samples.
+
+    Parameters
+    ----------
+    pathloss:
+        Large-scale model (shared by all links).
+    shadowing:
+        Spatially-correlated medium-scale model (stateful per link).
+    fading:
+        Per-frame small-scale model.
+    obstruction:
+        Geometry-dependent extra loss (building blockage).
+    rng:
+        Stream for the frame-error Bernoulli draws.
+    """
+
+    def __init__(
+        self,
+        *,
+        pathloss: PathLossModel | None = None,
+        shadowing: ShadowingModel | None = None,
+        fading: FadingModel | None = None,
+        obstruction: ObstructionModel | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        self.pathloss = pathloss if pathloss is not None else LogDistancePathLoss()
+        self.shadowing = shadowing if shadowing is not None else NoShadowing()
+        self.fading = fading if fading is not None else NoFading()
+        self.obstruction = obstruction if obstruction is not None else NoObstruction()
+        self._rng = rng if rng is not None else np.random.default_rng()
+
+    @staticmethod
+    def link_key(node_a: Hashable, node_b: Hashable) -> tuple[Hashable, Hashable]:
+        """Canonical (order-independent) link identifier for reciprocity."""
+        return (node_a, node_b) if repr(node_a) <= repr(node_b) else (node_b, node_a)
+
+    def sample(
+        self,
+        tx_id: Hashable,
+        rx_id: Hashable,
+        tx_pos: Vec2,
+        rx_pos: Vec2,
+        tx_power_dbm: float,
+        rx_gain_db: float = 0.0,
+        time: float = 0.0,
+    ) -> LinkSample:
+        """Draw the channel realisation for one frame on one link."""
+        distance = tx_pos.distance_to(rx_pos)
+        loss = self.pathloss.loss_db(distance)
+        loss += self.obstruction.extra_loss_db(tx_pos, rx_pos)
+        shadow = self.shadowing.sample_db(
+            self.link_key(tx_id, rx_id), tx_pos, rx_pos, time
+        )
+        mean_power = tx_power_dbm + rx_gain_db - loss - shadow
+        fade = self.fading.sample_db()
+        return LinkSample(
+            rx_power_dbm=mean_power + fade,
+            mean_rx_power_dbm=mean_power,
+            distance_m=distance,
+        )
+
+    def frame_delivered(
+        self,
+        sample: LinkSample,
+        rate: WifiRate,
+        frame: object,
+        noise_plus_interference_dbm: float,
+        rx_id: Hashable | None = None,
+    ) -> bool:
+        """Bernoulli frame-delivery outcome given the link sample and SINR.
+
+        *frame* (anything with ``size_bytes``) and *rx_id* are passed so
+        subclasses can implement scripted per-frame/per-receiver outcomes
+        for deterministic protocol tests.
+        """
+        sinr_db = sample.rx_power_dbm - noise_plus_interference_dbm
+        size_bytes = getattr(frame, "size_bytes")
+        fer = frame_error_rate(rate, sinr_db, size_bytes)
+        return bool(self._rng.random() >= fer)
+
+    def reset(self) -> None:
+        """Clear per-link shadowing state (between rounds)."""
+        self.shadowing.reset()

@@ -1,0 +1,127 @@
+"""Large-scale path-loss models.
+
+All models return path loss in dB (a positive number to subtract from the
+transmit power) as a function of link distance in metres.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass
+
+from repro.errors import RadioError
+from repro.units import SPEED_OF_LIGHT
+
+
+class PathLossModel(abc.ABC):
+    """Interface: distance [m] → path loss [dB]."""
+
+    @abc.abstractmethod
+    def loss_db(self, distance_m: float) -> float:
+        """Path loss in dB at the given distance.
+
+        Implementations must be monotonically non-decreasing in distance and
+        must handle ``distance_m == 0`` gracefully (clamping to a minimum
+        distance) because a mobility model may momentarily co-locate nodes.
+        """
+
+
+def _clamp_distance(distance_m: float, minimum: float = 1.0) -> float:
+    if distance_m < 0.0:
+        raise RadioError(f"negative link distance {distance_m!r}")
+    return max(distance_m, minimum)
+
+
+@dataclass(frozen=True)
+class FreeSpacePathLoss(PathLossModel):
+    """Friis free-space propagation.
+
+    ``PL(d) = 20 log10(4 π d f / c)``
+
+    Parameters
+    ----------
+    frequency_hz:
+        Carrier frequency (2.412e9 for 802.11 channel 1).
+    min_distance_m:
+        Distances below this are clamped to avoid the near-field singularity.
+    """
+
+    frequency_hz: float = 2.412e9
+    min_distance_m: float = 1.0
+
+    def loss_db(self, distance_m: float) -> float:
+        d = _clamp_distance(distance_m, self.min_distance_m)
+        return 20.0 * math.log10(4.0 * math.pi * d * self.frequency_hz / SPEED_OF_LIGHT)
+
+
+@dataclass(frozen=True)
+class LogDistancePathLoss(PathLossModel):
+    """Log-distance model — the standard urban-street abstraction.
+
+    ``PL(d) = PL(d0) + 10 n log10(d / d0)``
+
+    where the reference loss ``PL(d0)`` defaults to free space at *d0* and
+    ``n`` is the path-loss exponent (≈2 free space, 2.7–3.5 urban).  This is
+    the model used by the paper-testbed scenario: the office-window antenna
+    in a street canyon is well described by ``n≈2.8–3.2``.
+    """
+
+    exponent: float = 3.0
+    reference_distance_m: float = 1.0
+    reference_loss_db: float | None = None
+    frequency_hz: float = 2.412e9
+
+    def __post_init__(self) -> None:
+        if self.exponent <= 0.0:
+            raise RadioError(f"path-loss exponent must be positive, got {self.exponent!r}")
+        if self.reference_distance_m <= 0.0:
+            raise RadioError("reference distance must be positive")
+
+    def _reference_loss(self) -> float:
+        if self.reference_loss_db is not None:
+            return self.reference_loss_db
+        return FreeSpacePathLoss(self.frequency_hz, self.reference_distance_m).loss_db(
+            self.reference_distance_m
+        )
+
+    def loss_db(self, distance_m: float) -> float:
+        d = _clamp_distance(distance_m, self.reference_distance_m)
+        return self._reference_loss() + 10.0 * self.exponent * math.log10(
+            d / self.reference_distance_m
+        )
+
+
+@dataclass(frozen=True)
+class TwoRayGroundPathLoss(PathLossModel):
+    """Two-ray ground-reflection model for long flat links (highway).
+
+    Below the crossover distance ``d_c = 4 π h_t h_r / λ`` the model falls
+    back to free space; beyond it the ground reflection dominates:
+
+    ``PL(d) = 40 log10(d) - 10 log10(h_t² h_r²)``
+    """
+
+    tx_height_m: float = 5.0
+    rx_height_m: float = 1.5
+    frequency_hz: float = 2.412e9
+    min_distance_m: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.tx_height_m <= 0.0 or self.rx_height_m <= 0.0:
+            raise RadioError("antenna heights must be positive")
+
+    @property
+    def crossover_distance_m(self) -> float:
+        """Distance where the two-ray regime takes over from free space."""
+        wavelength = SPEED_OF_LIGHT / self.frequency_hz
+        return 4.0 * math.pi * self.tx_height_m * self.rx_height_m / wavelength
+
+    def loss_db(self, distance_m: float) -> float:
+        d = _clamp_distance(distance_m, self.min_distance_m)
+        free_space = FreeSpacePathLoss(self.frequency_hz, self.min_distance_m)
+        if d <= self.crossover_distance_m:
+            return free_space.loss_db(d)
+        return 40.0 * math.log10(d) - 10.0 * math.log10(
+            self.tx_height_m**2 * self.rx_height_m**2
+        )

@@ -1,0 +1,59 @@
+"""Per-node radio parameters."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.radio.modulation import WifiRate, rate_by_name
+from repro.units import thermal_noise_dbm
+
+
+@dataclass(frozen=True)
+class RadioConfig:
+    """Static PHY parameters of one radio.
+
+    Defaults approximate the testbed hardware: a consumer 802.11b/g card
+    (15 dBm EIRP, 22 MHz DSSS bandwidth, ~5 dB noise figure) running the
+    1 Mb/s basic rate with carrier sensing.
+
+    Attributes
+    ----------
+    tx_power_dbm:
+        Transmit power including antenna gain (EIRP).
+    antenna_gain_db:
+        Extra receive-side gain (the AP's external Proxim antenna).
+    frequency_hz:
+        Carrier frequency.
+    bandwidth_hz:
+        Receiver noise bandwidth (22 MHz DSSS / 20 MHz OFDM).
+    noise_figure_db:
+        Receiver noise figure.
+    rate:
+        Default :class:`WifiRate` used for transmissions.
+    carrier_sense_threshold_dbm:
+        Energy level above which the medium is sensed busy.
+    capture_threshold_db:
+        SINR margin at which the stronger of two overlapping frames
+        survives (classic 802.11 capture model).
+    """
+
+    tx_power_dbm: float = 15.0
+    antenna_gain_db: float = 0.0
+    frequency_hz: float = 2.412e9
+    bandwidth_hz: float = 22e6
+    noise_figure_db: float = 5.0
+    rate: WifiRate = field(default_factory=lambda: rate_by_name("dsss-1"))
+    carrier_sense_threshold_dbm: float = -96.0
+    capture_threshold_db: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_hz <= 0.0:
+            raise ConfigurationError("bandwidth must be positive")
+        if self.noise_figure_db < 0.0:
+            raise ConfigurationError("noise figure must be >= 0 dB")
+
+    @property
+    def noise_floor_dbm(self) -> float:
+        """Thermal noise power in the receiver bandwidth plus noise figure."""
+        return thermal_noise_dbm(self.bandwidth_hz, self.noise_figure_db)

@@ -1,0 +1,34 @@
+"""Discrete-event simulation kernel.
+
+A small, dependency-free DES engine in the style of SimPy, built for this
+reproduction because the evaluation environment ships no simulation
+framework.  It provides:
+
+* :class:`Simulator` — the event loop and clock;
+* :class:`Event` / :class:`EventQueue` — heap-scheduled callbacks with
+  deterministic FIFO tie-breaking;
+* :class:`Process` / :class:`Signal` — generator-based cooperative
+  processes (``yield delay`` / ``yield signal``);
+* :class:`RandomStreams` — named, independently-seeded numpy generators so
+  every stochastic component is reproducible in isolation;
+* :class:`Monitor` — time-series probes for instrumentation.
+"""
+
+from repro.sim.event import Event, Priority
+from repro.sim.scheduler import EventQueue
+from repro.sim.process import Interrupt, Process, Signal
+from repro.sim.random import RandomStreams
+from repro.sim.monitor import Monitor
+from repro.sim.simulator import Simulator
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "Interrupt",
+    "Monitor",
+    "Priority",
+    "Process",
+    "RandomStreams",
+    "Signal",
+    "Simulator",
+]

@@ -1,0 +1,71 @@
+"""Scheduled events and their ordering."""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Callable
+from typing import Any
+
+
+class Priority(enum.IntEnum):
+    """Tie-break priority for events scheduled at the same instant.
+
+    Lower values run first.  The MAC layer uses :attr:`URGENT` for
+    frame-end bookkeeping so receivers observe a consistent medium state
+    before application callbacks run.
+    """
+
+    URGENT = 0
+    NORMAL = 1
+    LATE = 2
+
+
+class Event:
+    """A callback scheduled at a simulated instant.
+
+    Events are ordered by ``(time, priority, sequence)`` where *sequence* is
+    a monotonically increasing insertion counter, making execution order
+    fully deterministic.
+
+    Events are created through :meth:`repro.sim.Simulator.schedule` — not
+    directly — and may be cancelled via :meth:`cancel` (cancellation is
+    O(1); the queue discards dead entries lazily).
+    """
+
+    __slots__ = ("time", "priority", "seq", "callback", "args", "_cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        priority: Priority,
+        seq: int,
+        callback: Callable[..., Any],
+        args: tuple[Any, ...],
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self._cancelled = False
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` has been called."""
+        return self._cancelled
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent."""
+        self._cancelled = True
+
+    def sort_key(self) -> tuple[float, int, int]:
+        """The deterministic heap ordering key."""
+        return (self.time, int(self.priority), self.seq)
+
+    def __lt__(self, other: "Event") -> bool:
+        return self.sort_key() < other.sort_key()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self._cancelled else "pending"
+        name = getattr(self.callback, "__name__", repr(self.callback))
+        return f"Event(t={self.time:.6f}, {name}, {state})"

@@ -1,0 +1,99 @@
+"""Time-series probes for simulation instrumentation."""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterator
+
+
+class Monitor:
+    """Records ``(time, value)`` samples and summarises them.
+
+    Components call :meth:`record`; analysis code reads :attr:`times`,
+    :attr:`values` or the summary statistics.  Values must be numeric.
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._times: list[float] = []
+        self._values: list[float] = []
+
+    def record(self, time: float, value: float) -> None:
+        """Append a sample.  Times must be non-decreasing."""
+        if self._times and time < self._times[-1]:
+            raise ValueError(
+                f"monitor {self.name!r}: sample at t={time} before last t={self._times[-1]}"
+            )
+        self._times.append(time)
+        self._values.append(float(value))
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __iter__(self) -> Iterator[tuple[float, float]]:
+        return iter(zip(self._times, self._values))
+
+    @property
+    def times(self) -> list[float]:
+        """Sample timestamps (copy)."""
+        return list(self._times)
+
+    @property
+    def values(self) -> list[float]:
+        """Sample values (copy)."""
+        return list(self._values)
+
+    # -- summary statistics ---------------------------------------------------
+
+    def mean(self) -> float:
+        """Arithmetic mean of the sample values.
+
+        Raises
+        ------
+        ValueError
+            If the monitor is empty.
+        """
+        if not self._values:
+            raise ValueError(f"monitor {self.name!r} has no samples")
+        return sum(self._values) / len(self._values)
+
+    def std(self) -> float:
+        """Sample standard deviation (ddof=1); 0.0 for a single sample."""
+        n = len(self._values)
+        if n == 0:
+            raise ValueError(f"monitor {self.name!r} has no samples")
+        if n == 1:
+            return 0.0
+        mu = self.mean()
+        return math.sqrt(sum((v - mu) ** 2 for v in self._values) / (n - 1))
+
+    def minimum(self) -> float:
+        """Smallest sample value."""
+        if not self._values:
+            raise ValueError(f"monitor {self.name!r} has no samples")
+        return min(self._values)
+
+    def maximum(self) -> float:
+        """Largest sample value."""
+        if not self._values:
+            raise ValueError(f"monitor {self.name!r} has no samples")
+        return max(self._values)
+
+    def time_average(self) -> float:
+        """Time-weighted average, treating each value as holding until the
+        next sample (zero-order hold).  Needs at least two samples.
+        """
+        if len(self._values) < 2:
+            raise ValueError(f"monitor {self.name!r} needs >=2 samples for a time average")
+        total = 0.0
+        for i in range(len(self._values) - 1):
+            total += self._values[i] * (self._times[i + 1] - self._times[i])
+        span = self._times[-1] - self._times[0]
+        if span == 0.0:
+            return self.mean()
+        return total / span
+
+    def clear(self) -> None:
+        """Drop all samples."""
+        self._times.clear()
+        self._values.clear()

@@ -1,0 +1,83 @@
+"""The pending-event set: a binary heap with lazy deletion."""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.sim.event import Event
+
+
+class EventQueue:
+    """Min-heap of :class:`Event` ordered by ``(time, priority, seq)``.
+
+    Cancelled events stay in the heap and are skipped on pop — O(1)
+    cancellation at the cost of occasional dead entries, the standard
+    lazy-deletion trade-off.  :meth:`compact` can be called to purge dead
+    entries if a workload cancels heavily (the MAC layer does when frames
+    are suppressed).
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._live = 0
+
+    def __len__(self) -> int:
+        """Number of *live* (non-cancelled) events."""
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(self, event: Event) -> None:
+        """Insert an event."""
+        heapq.heappush(self._heap, event)
+        self._live += 1
+
+    def pop(self) -> Event:
+        """Remove and return the earliest live event.
+
+        Raises
+        ------
+        IndexError
+            If the queue holds no live events.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                self._live -= 1
+                return event
+        raise IndexError("pop from empty EventQueue")
+
+    def peek_time(self) -> float:
+        """Timestamp of the earliest live event without removing it.
+
+        Raises
+        ------
+        IndexError
+            If the queue holds no live events.
+        """
+        self._discard_dead_head()
+        if not self._heap:
+            raise IndexError("peek on empty EventQueue")
+        return self._heap[0].time
+
+    def note_cancelled(self) -> None:
+        """Inform the queue that one of its events was cancelled.
+
+        Called by the simulator so :meth:`__len__` stays accurate.
+        """
+        self._live -= 1
+
+    def compact(self) -> None:
+        """Drop all cancelled entries and re-heapify."""
+        self._heap = [e for e in self._heap if not e.cancelled]
+        heapq.heapify(self._heap)
+
+    def clear(self) -> None:
+        """Remove everything."""
+        self._heap.clear()
+        self._live = 0
+
+    def _discard_dead_head(self) -> None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)

@@ -1,0 +1,151 @@
+"""The simulation event loop and clock."""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Generator
+from typing import Any
+
+from repro.errors import SimulationError
+from repro.sim.event import Event, Priority
+from repro.sim.process import Process
+from repro.sim.random import RandomStreams
+from repro.sim.scheduler import EventQueue
+
+
+class Simulator:
+    """Discrete-event simulator: a clock plus an ordered event queue.
+
+    Parameters
+    ----------
+    seed:
+        Root seed for :attr:`streams`.  ``None`` draws fresh OS entropy
+        (still recorded, so runs can be replayed).
+    start_time:
+        Initial clock value in seconds.
+
+    Examples
+    --------
+    >>> sim = Simulator(seed=1)
+    >>> fired = []
+    >>> _ = sim.schedule(2.0, fired.append, "a")
+    >>> _ = sim.schedule(1.0, fired.append, "b")
+    >>> sim.run()
+    >>> fired
+    ['b', 'a']
+    """
+
+    def __init__(self, *, seed: int | None = None, start_time: float = 0.0) -> None:
+        self._now = start_time
+        self._queue = EventQueue()
+        self._seq = 0
+        self._running = False
+        self._stopped = False
+        self.streams = RandomStreams(seed)
+
+    # -- clock -----------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def pending_events(self) -> int:
+        """Number of live events awaiting execution."""
+        return len(self._queue)
+
+    # -- scheduling --------------------------------------------------------------
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: Priority = Priority.NORMAL,
+    ) -> Event:
+        """Schedule *callback(*args)* to run *delay* seconds from now.
+
+        Raises
+        ------
+        SimulationError
+            If *delay* is negative.
+        """
+        if delay < 0.0:
+            raise SimulationError(f"cannot schedule {delay!r} s into the past")
+        return self.schedule_at(self._now + delay, callback, *args, priority=priority)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: Priority = Priority.NORMAL,
+    ) -> Event:
+        """Schedule *callback(*args)* at absolute simulated *time*."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time!r}, clock already at t={self._now!r}"
+            )
+        event = Event(time, priority, self._seq, callback, args)
+        self._seq += 1
+        self._queue.push(event)
+        return event
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a pending event.  Idempotent."""
+        if not event.cancelled:
+            event.cancel()
+            self._queue.note_cancelled()
+
+    # -- processes ----------------------------------------------------------------
+
+    def process(self, generator: Generator[Any, Any, Any], name: str = "") -> Process:
+        """Launch a generator as a cooperative process (see :mod:`repro.sim.process`)."""
+        return Process(self, generator, name)
+
+    # -- execution ------------------------------------------------------------------
+
+    def step(self) -> bool:
+        """Execute the single earliest event.
+
+        Returns
+        -------
+        bool
+            ``True`` if an event ran, ``False`` if the queue was empty.
+        """
+        if not self._queue:
+            return False
+        event = self._queue.pop()
+        self._now = event.time
+        event.callback(*event.args)
+        return True
+
+    def run(self, until: float | None = None) -> None:
+        """Run events until the queue drains or the clock passes *until*.
+
+        When *until* is given, the clock is advanced to exactly *until* even
+        if the last event fires earlier — mirroring ns-3's ``Stop`` time —
+        so back-to-back ``run(until=...)`` calls tile time contiguously.
+
+        Raises
+        ------
+        SimulationError
+            If called re-entrantly from within an event callback.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run() is not re-entrant")
+        self._running = True
+        self._stopped = False
+        try:
+            while self._queue and not self._stopped:
+                if until is not None and self._queue.peek_time() > until:
+                    break
+                self.step()
+            if until is not None and not self._stopped and self._now < until:
+                self._now = until
+        finally:
+            self._running = False
+
+    def stop(self) -> None:
+        """Stop :meth:`run` after the current event callback returns."""
+        self._stopped = True

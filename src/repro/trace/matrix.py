@@ -1,0 +1,134 @@
+"""The car × packet reception matrix — the paper's core data structure.
+
+All results in the paper reduce to, per flow: which packets (by number)
+were received directly at each car, which the destination held after
+cooperation, and which any car in the platoon received (the "joint" /
+virtual-car reference the protocol is measured against, Figs 6–8).
+
+Packet *numbers* are 1-based indices within the flow's platoon window —
+the range from the first to the last sequence number any platoon member
+captured — matching how the paper aligns its per-packet curves at the
+moment the platoon associates with the AP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AnalysisError
+from repro.mac.frames import NodeId
+
+
+@dataclass(frozen=True)
+class ReceptionMatrix:
+    """Per-flow reception outcome of one experiment round.
+
+    Attributes
+    ----------
+    flow:
+        The destination car of this flow.
+    window:
+        ``(lo, hi)`` sequence-number window (platoon association window).
+    direct:
+        Car → set of seqs that car received straight from the AP (within
+        the window).
+    after_coop:
+        Seqs the destination holds after cooperative recovery (direct ∪
+        recovered, within the window).
+    """
+
+    flow: NodeId
+    window: tuple[int, int]
+    direct: dict[NodeId, frozenset[int]]
+    after_coop: frozenset[int]
+
+    def __post_init__(self) -> None:
+        lo, hi = self.window
+        if lo > hi:
+            raise AnalysisError(f"empty window {self.window!r}")
+
+    @staticmethod
+    def build(
+        flow: NodeId,
+        direct_by_car: dict[NodeId, set[int]],
+        recovered: set[int],
+    ) -> "ReceptionMatrix | None":
+        """Assemble a matrix from raw reception sets.
+
+        Returns ``None`` when no car received anything (no association —
+        the round contributes nothing for this flow).
+        """
+        all_seqs = set().union(*direct_by_car.values()) if direct_by_car else set()
+        if not all_seqs:
+            return None
+        lo, hi = min(all_seqs), max(all_seqs)
+        window_filter = lambda seqs: frozenset(s for s in seqs if lo <= s <= hi)
+        direct = {car: window_filter(seqs) for car, seqs in direct_by_car.items()}
+        own = direct.get(flow, frozenset())
+        after = own | window_filter(recovered)
+        return ReceptionMatrix(flow=flow, window=(lo, hi), direct=direct, after_coop=after)
+
+    # -- scalar summaries (Table 1) ------------------------------------------------
+
+    @property
+    def tx_by_ap(self) -> int:
+        """Packets the AP transmitted in the window ("Tx by the AP")."""
+        return self.window[1] - self.window[0] + 1
+
+    @property
+    def lost_before_coop(self) -> int:
+        """Packets the destination missed from the AP directly."""
+        own = self.direct.get(self.flow, frozenset())
+        return self.tx_by_ap - len(own)
+
+    @property
+    def lost_after_coop(self) -> int:
+        """Packets still missing after cooperative recovery."""
+        return self.tx_by_ap - len(self.after_coop)
+
+    @property
+    def joint(self) -> frozenset[int]:
+        """Seqs received by *any* car — the virtual-car upper bound."""
+        result: set[int] = set()
+        for seqs in self.direct.values():
+            result |= seqs
+        return frozenset(result)
+
+    @property
+    def lost_joint(self) -> int:
+        """Packets no car in the platoon received."""
+        return self.tx_by_ap - len(self.joint)
+
+    # -- per-packet-number views (Figures 3–8) ---------------------------------------
+
+    def packet_number(self, seq: int) -> int:
+        """1-based packet number of a sequence number within the window."""
+        lo, hi = self.window
+        if not lo <= seq <= hi:
+            raise AnalysisError(f"seq {seq} outside window {self.window}")
+        return seq - lo + 1
+
+    def direct_indicator(self, car: NodeId) -> list[bool]:
+        """Reception indicator by packet number at one car."""
+        lo, hi = self.window
+        seqs = self.direct.get(car, frozenset())
+        return [seq in seqs for seq in range(lo, hi + 1)]
+
+    def after_coop_indicator(self) -> list[bool]:
+        """After-cooperation indicator by packet number (destination)."""
+        lo, hi = self.window
+        return [seq in self.after_coop for seq in range(lo, hi + 1)]
+
+    def joint_indicator(self) -> list[bool]:
+        """Any-car indicator by packet number."""
+        joint = self.joint
+        lo, hi = self.window
+        return [seq in joint for seq in range(lo, hi + 1)]
+
+    def optimality_violations(self) -> frozenset[int]:
+        """Seqs recovered by the destination that *no* car received.
+
+        Must be empty: cooperation cannot create packets out of thin air.
+        Used as a cross-validation invariant by the test suite.
+        """
+        return self.after_coop - self.joint

@@ -1,0 +1,129 @@
+"""Reception-probability curves, joint/after-coop curves, regions."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.analysis.joint import coop_curves, optimality_gap
+from repro.analysis.reception_prob import ProbabilityCurve, reception_curves
+from repro.analysis.regions import estimate_regions
+from repro.mac.frames import NodeId
+from repro.trace.matrix import ReceptionMatrix
+
+CAR1, CAR2, CAR3 = NodeId(1), NodeId(2), NodeId(3)
+
+
+def matrix(d1, d2, d3=frozenset(), recovered=frozenset()):
+    return ReceptionMatrix.build(
+        CAR1, {CAR1: set(d1), CAR2: set(d2), CAR3: set(d3)}, set(recovered)
+    )
+
+
+class TestReceptionCurves:
+    def test_probabilities_across_rounds(self):
+        rounds = [
+            matrix({1, 2, 3}, {1}),
+            matrix({1, 3}, {1, 2, 3}),
+        ]
+        curves = reception_curves(rounds, [CAR1, CAR2])
+        assert curves[CAR1].probabilities == (1.0, 0.5, 1.0)
+        assert curves[CAR2].probabilities == (1.0, 0.5, 0.5)
+
+    def test_samples_counted_per_packet_number(self):
+        rounds = [matrix({1, 2}, set()), matrix({1, 2, 3}, set())]
+        curves = reception_curves(rounds, [CAR1])
+        assert curves[CAR1].samples == (2, 2, 1)
+
+    def test_labels_use_car_names(self):
+        rounds = [matrix({1}, {1})]
+        curves = reception_curves(rounds, [CAR1], car_names={CAR1: "car 1"})
+        assert curves[CAR1].label == "Rx in car 1"
+
+    def test_mixed_flows_rejected(self):
+        a = matrix({1}, set())
+        b = ReceptionMatrix.build(CAR2, {CAR2: {1}, CAR1: set()}, set())
+        with pytest.raises(AnalysisError):
+            reception_curves([a, b], [CAR1])
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            reception_curves([], [CAR1])
+
+
+class TestSmoothing:
+    def test_moving_average(self):
+        curve = ProbabilityCurve("x", (0.0, 1.0, 0.0, 1.0, 0.0), (1,) * 5)
+        smoothed = curve.smoothed(3)
+        assert smoothed.probabilities[1] == pytest.approx(1.0 / 3.0)
+        assert smoothed.probabilities[2] == pytest.approx(2.0 / 3.0)
+
+    def test_edges_use_partial_windows(self):
+        curve = ProbabilityCurve("x", (1.0, 0.0, 0.0), (1,) * 3)
+        smoothed = curve.smoothed(3)
+        assert smoothed.probabilities[0] == pytest.approx(0.5)
+
+    def test_window_one_is_identity(self):
+        curve = ProbabilityCurve("x", (0.3, 0.7), (1, 1))
+        assert curve.smoothed(1) is curve
+
+    def test_invalid_window(self):
+        with pytest.raises(AnalysisError):
+            ProbabilityCurve("x", (0.5,), (1,)).smoothed(0)
+
+
+class TestCoopCurves:
+    def test_after_coop_vs_joint(self):
+        rounds = [matrix({1, 3}, {2}, recovered={2})]
+        curves = coop_curves(rounds, car_name="car 1")
+        assert curves.after_coop.probabilities == (1.0, 1.0, 1.0)
+        assert curves.joint.probabilities == (1.0, 1.0, 1.0)
+        assert "after coop" in curves.after_coop.label
+
+    def test_gap_visible_when_recovery_incomplete(self):
+        rounds = [matrix({1, 3}, {2}, recovered=set())]
+        curves = coop_curves(rounds)
+        assert curves.after_coop.probabilities == (1.0, 0.0, 1.0)
+        assert curves.joint.probabilities == (1.0, 1.0, 1.0)
+
+    def test_optimality_gap_zero_when_optimal(self):
+        rounds = [matrix({1, 3}, {2}, recovered={2})]
+        assert optimality_gap(rounds) == pytest.approx(0.0)
+
+    def test_optimality_gap_positive_when_suboptimal(self):
+        rounds = [matrix({1, 3}, {2}, recovered=set())]
+        assert optimality_gap(rounds) == pytest.approx(1.0 / 3.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            coop_curves([])
+        with pytest.raises(AnalysisError):
+            optimality_gap([])
+
+
+class TestRegions:
+    def test_staggered_entry_and_exit(self):
+        # Car 1 receives 1-6, car 2 receives 3-8, car 3 receives 4-10.
+        rounds = [
+            matrix(set(range(1, 7)), set(range(3, 9)), set(range(4, 11)))
+        ]
+        regions = estimate_regions(rounds, [CAR1, CAR2, CAR3])
+        assert regions.region_i_end == 4     # latest first reception
+        assert regions.region_iii_start == 6  # earliest last reception
+        assert regions.window_length == 10
+
+    def test_labels(self):
+        rounds = [
+            matrix(set(range(1, 7)), set(range(3, 9)), set(range(4, 11)))
+        ]
+        regions = estimate_regions(rounds, [CAR1, CAR2, CAR3])
+        assert regions.label_for(1) == "I"
+        assert regions.label_for(5) == "II"
+        assert regions.label_for(9) == "III"
+
+    def test_cars_without_receptions_ignored(self):
+        rounds = [matrix({1, 2, 3}, set())]
+        regions = estimate_regions(rounds, [CAR1, CAR2])
+        assert regions.region_i_end == 1
+
+    def test_no_receptions_anywhere_raises(self):
+        with pytest.raises(AnalysisError):
+            estimate_regions([], [CAR1])

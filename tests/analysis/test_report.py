@@ -1,0 +1,114 @@
+"""Report rendering: tables, series, CSV, ASCII plots."""
+
+import csv
+import io
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.analysis.ascii_plot import ascii_plot
+from repro.analysis.report import (
+    format_series,
+    format_table,
+    render_table1,
+    write_csv,
+)
+from repro.analysis.reception_prob import ProbabilityCurve
+from repro.analysis.stats import Table1Row
+from repro.mac.frames import NodeId
+
+
+def sample_row(car=1):
+    return Table1Row(
+        car=NodeId(car), rounds=30,
+        tx_by_ap_mean=130.4, tx_by_ap_std=17.7,
+        lost_before_mean=30.5, lost_before_std=12.9, lost_before_pct=23.4,
+        lost_after_mean=13.7, lost_after_std=9.1, lost_after_pct=10.5,
+    )
+
+
+class TestFormatTable:
+    def test_contains_headers_and_cells(self):
+        text = format_table(["A", "Bee"], [[1, "x"], [22, "yy"]])
+        assert "A" in text and "Bee" in text
+        assert "22" in text and "yy" in text
+
+    def test_columns_aligned(self):
+        text = format_table(["A", "B"], [["looooong", "x"]])
+        lines = text.splitlines()
+        assert lines[0].index("B") == lines[2].index("x")
+
+    def test_title_prepended(self):
+        text = format_table(["A"], [[1]], title="My title")
+        assert text.splitlines()[0] == "My title"
+
+
+class TestRenderTable1:
+    def test_contains_means_and_percentages(self):
+        text = render_table1({NodeId(1): sample_row()})
+        assert "130.4" in text
+        assert "23.4%" in text
+        assert "10.5%" in text
+
+    def test_paper_reference_columns(self):
+        text = render_table1(
+            {NodeId(1): sample_row()},
+            paper_reference={NodeId(1): (23.4, 10.5)},
+        )
+        assert "Paper before" in text
+
+    def test_reduction_column(self):
+        text = render_table1({NodeId(1): sample_row()})
+        assert "55%" in text  # 1 - 13.7/30.5
+
+
+class TestSeries:
+    def test_subsampling(self):
+        curve = ProbabilityCurve("Rx", tuple([0.5] * 100), tuple([1] * 100))
+        text = format_series([curve], every=10)
+        lines = [l for l in text.splitlines() if l and l[0].isdigit()]
+        assert len(lines) == 10
+
+    def test_short_curve_shows_dash(self):
+        long = ProbabilityCurve("L", (0.1, 0.2, 0.3), (1, 1, 1))
+        short = ProbabilityCurve("S", (0.9,), (1,))
+        text = format_series([long, short], every=1)
+        assert "-" in text
+
+
+class TestCsv:
+    def test_round_trip(self):
+        curves = [
+            ProbabilityCurve("a", (0.1, 0.2), (1, 1)),
+            ProbabilityCurve("b", (0.9,), (1,)),
+        ]
+        text = write_csv(curves)
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows[0] == ["packet_number", "a", "b"]
+        assert rows[1] == ["1", "0.1", "0.9"]
+        assert rows[2] == ["2", "0.2", ""]
+
+
+class TestAsciiPlot:
+    def test_plot_contains_markers_and_labels(self):
+        curve = ProbabilityCurve("Rx in car 1", tuple([0.5] * 20), tuple([1] * 20))
+        text = ascii_plot([curve], title="Figure 3")
+        assert "Figure 3" in text
+        assert "X = Rx in car 1" in text
+        assert "X" in text
+
+    def test_high_curve_plots_near_top(self):
+        high = ProbabilityCurve("high", tuple([1.0] * 10), tuple([1] * 10))
+        text = ascii_plot([high], height=5, width=20)
+        data_lines = [l for l in text.splitlines() if "|" in l]
+        assert "X" in data_lines[0]
+        assert "X" not in data_lines[-1]
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            ascii_plot([])
+
+    def test_tiny_area_rejected(self):
+        curve = ProbabilityCurve("x", (0.5,), (1,))
+        with pytest.raises(AnalysisError):
+            ascii_plot([curve], height=1)

@@ -1,0 +1,73 @@
+"""Table 1 aggregation."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.analysis.stats import Table1Row, compute_table1
+from repro.mac.frames import NodeId
+from repro.trace.matrix import ReceptionMatrix
+
+CAR1, CAR2 = NodeId(1), NodeId(2)
+
+
+def matrix(flow, direct_own, direct_other, recovered, other=CAR2):
+    return ReceptionMatrix.build(
+        flow, {flow: set(direct_own), other: set(direct_other)}, set(recovered)
+    )
+
+
+class TestComputeTable1:
+    def test_single_round_counts(self):
+        m = matrix(CAR1, {1, 2, 5}, {3}, {3})  # window 1..5
+        rows = compute_table1([{CAR1: m}])
+        row = rows[CAR1]
+        assert row.rounds == 1
+        assert row.tx_by_ap_mean == 5.0
+        assert row.lost_before_mean == 2.0  # seqs 3, 4
+        assert row.lost_after_mean == 1.0   # seq 4
+        assert row.lost_before_pct == pytest.approx(40.0)
+        assert row.lost_after_pct == pytest.approx(20.0)
+
+    def test_mean_and_std_across_rounds(self):
+        m1 = matrix(CAR1, {1, 2, 3, 4}, set(), set())      # window 1..4, lost 0
+        m2 = matrix(CAR1, {1, 6}, set(), set())            # window 1..6, lost 4
+        rows = compute_table1([{CAR1: m1}, {CAR1: m2}])
+        row = rows[CAR1]
+        assert row.tx_by_ap_mean == 5.0
+        assert row.lost_before_mean == 2.0
+        assert row.lost_before_std == pytest.approx(2.8284, abs=1e-3)
+
+    def test_rounds_missing_a_car_skipped_for_that_car(self):
+        m1 = matrix(CAR1, {1, 2}, set(), set())
+        rows = compute_table1([{CAR1: m1}, {}])
+        assert rows[CAR1].rounds == 1
+
+    def test_multiple_cars_sorted(self):
+        m1 = matrix(CAR1, {1, 2}, set(), set())
+        m2 = matrix(CAR2, {1, 2, 3}, set(), set(), other=CAR1)
+        rows = compute_table1([{CAR1: m1, CAR2: m2}])
+        assert list(rows) == [CAR1, CAR2]
+
+    def test_empty_input_raises(self):
+        with pytest.raises(AnalysisError):
+            compute_table1([])
+        with pytest.raises(AnalysisError):
+            compute_table1([{}])
+
+    def test_loss_reduction_pct(self):
+        row = Table1Row(
+            car=CAR1, rounds=1,
+            tx_by_ap_mean=100.0, tx_by_ap_std=0.0,
+            lost_before_mean=30.0, lost_before_std=0.0, lost_before_pct=30.0,
+            lost_after_mean=15.0, lost_after_std=0.0, lost_after_pct=15.0,
+        )
+        assert row.loss_reduction_pct == pytest.approx(50.0)
+
+    def test_loss_reduction_with_zero_before(self):
+        row = Table1Row(
+            car=CAR1, rounds=1,
+            tx_by_ap_mean=100.0, tx_by_ap_std=0.0,
+            lost_before_mean=0.0, lost_before_std=0.0, lost_before_pct=0.0,
+            lost_after_mean=0.0, lost_after_std=0.0, lost_after_pct=0.0,
+        )
+        assert row.loss_reduction_pct == 0.0

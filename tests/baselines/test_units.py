@@ -1,0 +1,181 @@
+"""Unit-level behaviour of the baseline nodes on scripted micro-scenarios."""
+
+import pytest
+
+from repro.baselines.arq import ArqAccessPoint, ArqVehicleNode
+from repro.baselines.epidemic import EpidemicVehicleNode
+from repro.baselines.nocoop import PassiveVehicleNode
+from repro.errors import ConfigurationError
+from repro.geom import Vec2
+from repro.mac.frames import DataFrame, NackFrame, NodeId
+from repro.mac.medium import Medium
+from repro.mobility.static import StaticMobility
+from repro.net.ap import AccessPoint, FlowConfig
+from repro.radio.phy import RadioConfig
+from repro.sim import Simulator
+from repro.trace.capture import TraceCollector
+
+from tests.core.test_protocol import AP, ScriptedChannel
+
+CAR1, CAR2 = NodeId(1), NodeId(2)
+
+
+def make_env(n_cars=2, node_factory=None, ap_class=AccessPoint, rate_hz=5.0):
+    sim = Simulator(seed=3)
+    channel = ScriptedChannel(sim)
+    capture = TraceCollector()
+    medium = Medium(sim, channel, trace=capture)
+    flows = [
+        FlowConfig(destination=NodeId(i + 1), packet_rate_hz=rate_hz,
+                   payload_bytes=200)
+        for i in range(n_cars)
+    ]
+    ap = ap_class(
+        sim, medium, AP, StaticMobility(Vec2(0, 0)), RadioConfig(),
+        sim.streams.get("ap"), flows, jitter_fraction=0.0,
+    )
+    cars = {}
+    for i in range(n_cars):
+        car_id = NodeId(i + 1)
+        cars[car_id] = node_factory(
+            sim, medium, car_id, StaticMobility(Vec2(5.0 + 5 * i, 0)),
+            RadioConfig(), sim.streams.get(f"car-{car_id}"), AP,
+        )
+    ap.start()
+    for car in cars.values():
+        car.start()
+    return sim, channel, capture, ap, cars
+
+
+class TestPassive:
+    def test_records_only_own_flow(self):
+        sim, _, _, _, cars = make_env(node_factory=PassiveVehicleNode)
+        sim.run(until=3.0)
+        car1 = cars[CAR1]
+        assert len(car1.state.received) >= 10
+        assert car1.state.recovered == {}
+
+    def test_ignores_foreign_ap(self):
+        def factory(sim, medium, node_id, mobility, radio, rng, ap_id):
+            return PassiveVehicleNode(
+                sim, medium, node_id, mobility, radio, rng, NodeId(999)
+            )
+
+        sim, _, _, _, cars = make_env(node_factory=factory)
+        sim.run(until=3.0)
+        assert len(cars[CAR1].state.received) == 0
+
+
+class TestArqNode:
+    def test_nacks_sent_while_in_coverage(self):
+        def factory(*args):
+            return ArqVehicleNode(*args, feedback_period_s=0.4)
+
+        sim, channel, capture, ap, cars = make_env(node_factory=factory)
+        channel.drop_ap_data(CAR1, CAR1, {3, 4})
+        sim.run(until=5.0)
+        assert cars[CAR1].nacks_sent >= 1
+
+    def test_silent_when_nothing_missing(self):
+        def factory(*args):
+            return ArqVehicleNode(*args, feedback_period_s=0.4)
+
+        sim, _, _, _, cars = make_env(node_factory=factory)
+        sim.run(until=5.0)
+        assert cars[CAR1].nacks_sent == 0
+
+    def test_no_nacks_out_of_coverage(self):
+        def factory(*args):
+            return ArqVehicleNode(*args, feedback_period_s=0.4)
+
+        sim, channel, _, _, cars = make_env(node_factory=factory)
+        channel.drop_ap_data(CAR1, CAR1, {3})
+        channel.blackout_ap_after(2.0)
+        sim.run(until=10.0)
+        nacks_at_blackout = cars[CAR1].nacks_sent
+        sim.run(until=20.0)
+        assert cars[CAR1].nacks_sent == nacks_at_blackout
+
+    def test_validation(self):
+        sim = Simulator()
+        medium = Medium(sim, ScriptedChannel(sim))
+        with pytest.raises(ConfigurationError):
+            ArqVehicleNode(
+                sim, medium, CAR1, StaticMobility(Vec2(0, 0)), RadioConfig(),
+                sim.streams.get("x"), AP, feedback_period_s=0.0,
+            )
+
+
+class TestArqAccessPoint:
+    def test_retransmits_nacked_seqs(self):
+        def factory(*args):
+            return ArqVehicleNode(*args, feedback_period_s=0.4)
+
+        sim, channel, capture, ap, cars = make_env(
+            node_factory=factory, ap_class=ArqAccessPoint
+        )
+
+        # Drop only the original copy of seq 3 (sent around t = 0.4 s);
+        # retransmissions after t = 1 s may get through.
+        def drop_first_copy(frame, rx_id, now):
+            return (
+                isinstance(frame, DataFrame)
+                and frame.src == AP
+                and rx_id == CAR1
+                and frame.flow_dst == CAR1
+                and frame.seq == 3
+                and now < 1.0
+            )
+
+        channel.rules.append(drop_first_copy)
+        sim.run(until=6.0)
+        assert ap.retransmissions >= 1
+        # The retransmitted copy eventually reached the car.
+        assert 3 in cars[CAR1].state.received
+
+    def test_nack_from_unknown_flow_ignored(self):
+        sim, channel, capture, ap, cars = make_env(
+            node_factory=lambda *a: ArqVehicleNode(*a), ap_class=ArqAccessPoint
+        )
+        stranger = NackFrame(
+            src=NodeId(77), dst=AP, size_bytes=50, missing=(1, 2)
+        )
+        ap._on_frame(stranger, None)
+        assert ap.retransmissions == 0
+
+
+class TestEpidemicNode:
+    def test_buffers_all_flows_unconditionally(self):
+        sim, _, _, _, cars = make_env(node_factory=EpidemicVehicleNode)
+        sim.run(until=3.0)
+        # CAR1 buffered CAR2's packets without any HELLO handshake.
+        assert cars[CAR1].buffer.seqs_for_flow(CAR2)
+
+    def test_holdings_include_own_and_buffered(self):
+        sim, _, _, _, cars = make_env(node_factory=EpidemicVehicleNode)
+        sim.run(until=3.0)
+        holdings = cars[CAR1].holdings()
+        assert any(flow == CAR1 for flow, _ in holdings)
+        assert any(flow == CAR2 for flow, _ in holdings)
+
+    def test_no_summaries_while_in_coverage(self):
+        sim, _, _, _, cars = make_env(node_factory=EpidemicVehicleNode)
+        sim.run(until=4.0)
+        assert cars[CAR1].summaries_sent == 0
+
+    def test_exchange_recovers_in_dark_area(self):
+        sim, channel, _, _, cars = make_env(node_factory=EpidemicVehicleNode)
+        channel.drop_ap_data(CAR1, CAR1, {4})
+        channel.blackout_ap_after(3.0)
+        sim.run(until=20.0)
+        assert 4 in cars[CAR1].state.recovered
+        assert cars[CAR2].payloads_forwarded >= 1
+
+    def test_validation(self):
+        sim = Simulator()
+        medium = Medium(sim, ScriptedChannel(sim))
+        with pytest.raises(ConfigurationError):
+            EpidemicVehicleNode(
+                sim, medium, CAR1, StaticMobility(Vec2(0, 0)), RadioConfig(),
+                sim.streams.get("x"), AP, summary_period_s=0.0,
+            )

@@ -1,0 +1,85 @@
+"""Cooperator table: ordering, expiry, partner tracking."""
+
+from repro.core.cooperators import CooperatorTable
+from repro.mac.frames import NodeId
+
+A, B, C = NodeId(1), NodeId(2), NodeId(3)
+
+
+class TestMyCooperators:
+    def test_first_heard_first_ordered(self):
+        table = CooperatorTable()
+        assert table.hear_hello(B, 0.0, -60.0)
+        assert table.hear_hello(C, 1.0, -70.0)
+        assert table.my_cooperators() == (B, C)
+        assert table.order_of(B) == 0
+        assert table.order_of(C) == 1
+
+    def test_rehearing_does_not_reorder(self):
+        table = CooperatorTable()
+        table.hear_hello(B, 0.0, -60.0)
+        table.hear_hello(C, 1.0, -70.0)
+        assert not table.hear_hello(B, 2.0, -61.0)
+        assert table.my_cooperators() == (B, C)
+
+    def test_order_of_unknown_is_none(self):
+        assert CooperatorTable().order_of(B) is None
+
+    def test_mean_rssi_running_average(self):
+        table = CooperatorTable()
+        table.hear_hello(B, 0.0, -60.0)
+        table.hear_hello(B, 1.0, -70.0)
+        assert table.mean_rssi_of(B) == -65.0
+        assert table.mean_rssi_of(C) is None
+
+    def test_len(self):
+        table = CooperatorTable()
+        table.hear_hello(B, 0.0, -60.0)
+        assert len(table) == 1
+
+
+class TestExpiry:
+    def test_stale_cooperators_dropped(self):
+        table = CooperatorTable()
+        table.hear_hello(B, 0.0, -60.0)
+        table.hear_hello(C, 8.0, -70.0)
+        dropped = table.expire(now=10.0, ttl_s=5.0)
+        assert dropped == [B]
+        assert table.my_cooperators() == (C,)
+
+    def test_fresh_survive(self):
+        table = CooperatorTable()
+        table.hear_hello(B, 9.0, -60.0)
+        assert table.expire(now=10.0, ttl_s=5.0) == []
+        assert table.my_cooperators() == (B,)
+
+    def test_stale_partners_dropped_too(self):
+        table = CooperatorTable()
+        table.note_partner(B, 0, 0.0)
+        table.note_partner(C, 1, 9.0)
+        table.expire(now=10.0, ttl_s=5.0)
+        assert table.cooperating_for() == {C}
+
+
+class TestPartners:
+    def test_note_and_query_order(self):
+        table = CooperatorTable()
+        table.note_partner(B, 2, 0.0)
+        assert table.cooperating_for() == {B}
+        assert table.my_order_for(B) == 2
+        assert table.my_order_for(C) is None
+
+    def test_forget_partner(self):
+        table = CooperatorTable()
+        table.note_partner(B, 0, 0.0)
+        table.forget_partner(B)
+        assert table.cooperating_for() == set()
+
+    def test_forget_unknown_partner_is_noop(self):
+        CooperatorTable().forget_partner(B)
+
+    def test_order_updates_on_new_hello(self):
+        table = CooperatorTable()
+        table.note_partner(B, 0, 0.0)
+        table.note_partner(B, 3, 1.0)
+        assert table.my_order_for(B) == 3

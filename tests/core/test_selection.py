@@ -1,0 +1,78 @@
+"""Cooperator-selection strategies."""
+
+import numpy as np
+import pytest
+
+from repro.core.cooperators import CooperatorTable
+from repro.core.selection import AllNeighbors, BestK, RandomK
+from repro.errors import ConfigurationError
+from repro.mac.frames import NodeId
+
+
+def table_with_rssi(rssi_by_node):
+    table = CooperatorTable()
+    for time, (node, rssi) in enumerate(rssi_by_node.items()):
+        table.hear_hello(node, float(time), rssi)
+    return table
+
+
+N2, N3, N4, N5 = NodeId(2), NodeId(3), NodeId(4), NodeId(5)
+
+
+class TestAllNeighbors:
+    def test_identity(self):
+        table = table_with_rssi({N2: -60.0, N3: -80.0})
+        strategy = AllNeighbors()
+        candidates = table.my_cooperators()
+        assert strategy.select(table, candidates) == candidates
+
+
+class TestBestK:
+    def test_keeps_strongest(self):
+        table = table_with_rssi({N2: -90.0, N3: -50.0, N4: -70.0})
+        strategy = BestK(2)
+        selected = strategy.select(table, table.my_cooperators())
+        assert set(selected) == {N3, N4}
+
+    def test_preserves_original_order(self):
+        table = table_with_rssi({N2: -90.0, N3: -50.0, N4: -70.0})
+        selected = BestK(2).select(table, table.my_cooperators())
+        # N3 was heard before N4, so it must stay first.
+        assert selected == (N3, N4)
+
+    def test_small_candidate_set_unchanged(self):
+        table = table_with_rssi({N2: -60.0})
+        candidates = table.my_cooperators()
+        assert BestK(3).select(table, candidates) == candidates
+
+    def test_invalid_k(self):
+        with pytest.raises(ConfigurationError):
+            BestK(0)
+
+
+class TestRandomK:
+    def test_selects_exactly_k(self):
+        table = table_with_rssi({N2: -1.0, N3: -2.0, N4: -3.0, N5: -4.0})
+        strategy = RandomK(2, np.random.default_rng(0))
+        selected = strategy.select(table, table.my_cooperators())
+        assert len(selected) == 2
+
+    def test_subset_of_candidates(self):
+        table = table_with_rssi({N2: -1.0, N3: -2.0, N4: -3.0})
+        candidates = table.my_cooperators()
+        selected = RandomK(2, np.random.default_rng(1)).select(table, candidates)
+        assert set(selected) <= set(candidates)
+
+    def test_order_preserved(self):
+        table = table_with_rssi({N2: -1.0, N3: -2.0, N4: -3.0, N5: -4.0})
+        candidates = table.my_cooperators()
+        for seed in range(10):
+            selected = RandomK(3, np.random.default_rng(seed)).select(
+                table, candidates
+            )
+            indices = [candidates.index(node) for node in selected]
+            assert indices == sorted(indices)
+
+    def test_invalid_k(self):
+        with pytest.raises(ConfigurationError):
+            RandomK(0, np.random.default_rng(0))

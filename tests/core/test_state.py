@@ -1,0 +1,113 @@
+"""Per-flow reception state."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.state import FlowReceptionState, Phase
+
+
+class TestPhases:
+    def test_enum_values(self):
+        assert {p.value for p in Phase} == {"idle", "reception", "recovery"}
+
+
+class TestDirectReception:
+    def test_record_direct_tracks_times(self):
+        state = FlowReceptionState()
+        state.record_direct(5, 1.0)
+        state.record_direct(7, 2.0)
+        assert state.first_rx_time == 1.0
+        assert state.last_rx_time == 2.0
+        assert state.received == {5, 7}
+
+    def test_range_grows_with_receptions(self):
+        state = FlowReceptionState()
+        state.record_direct(5, 0.0)
+        state.record_direct(2, 0.1)
+        state.record_direct(9, 0.2)
+        assert (state.known_lo, state.known_hi) == (2, 9)
+
+
+class TestRecovery:
+    def test_record_recovered(self):
+        state = FlowReceptionState()
+        state.record_direct(1, 0.0)
+        assert state.record_recovered(3, 5.0)
+        assert state.recovered == {3: 5.0}
+        assert state.has(3)
+
+    def test_duplicate_recovery_rejected(self):
+        state = FlowReceptionState()
+        state.record_recovered(3, 5.0)
+        assert not state.record_recovered(3, 6.0)
+        assert state.recovered[3] == 5.0
+
+    def test_recovery_of_direct_packet_rejected(self):
+        state = FlowReceptionState()
+        state.record_direct(3, 0.0)
+        assert not state.record_recovered(3, 5.0)
+
+    def test_delivered_count(self):
+        state = FlowReceptionState()
+        state.record_direct(1, 0.0)
+        state.record_direct(2, 0.0)
+        state.record_recovered(5, 1.0)
+        assert state.delivered_count == 3
+
+
+class TestMissing:
+    def test_empty_state_missing_nothing(self):
+        assert FlowReceptionState().missing() == []
+
+    def test_gaps_detected(self):
+        state = FlowReceptionState()
+        for seq in (1, 2, 5):
+            state.record_direct(seq, 0.0)
+        assert state.missing() == [3, 4]
+
+    def test_recovered_closes_gaps(self):
+        state = FlowReceptionState()
+        for seq in (1, 5):
+            state.record_direct(seq, 0.0)
+        state.record_recovered(3, 1.0)
+        assert state.missing() == [2, 4]
+
+    def test_extend_range_expands_missing(self):
+        state = FlowReceptionState()
+        state.record_direct(5, 0.0)
+        state.extend_range(1, 8)
+        assert state.missing() == [1, 2, 3, 4, 6, 7, 8]
+
+
+seq_sets = st.sets(st.integers(min_value=1, max_value=80), min_size=1, max_size=40)
+
+
+class TestInvariants:
+    @given(seq_sets, seq_sets)
+    def test_missing_disjoint_from_held(self, direct, recovered):
+        state = FlowReceptionState()
+        for seq in direct:
+            state.record_direct(seq, 0.0)
+        for seq in recovered:
+            state.record_recovered(seq, 1.0)
+        missing = set(state.missing())
+        assert missing.isdisjoint(state.received)
+        assert missing.isdisjoint(state.recovered)
+
+    @given(seq_sets)
+    def test_window_partition(self, direct):
+        """received + missing exactly tile the known range."""
+        state = FlowReceptionState()
+        for seq in direct:
+            state.record_direct(seq, 0.0)
+        full = set(range(state.known_lo, state.known_hi + 1))
+        assert state.received | set(state.missing()) == full
+
+    @given(seq_sets, seq_sets)
+    def test_received_and_recovered_disjoint(self, direct, recovered):
+        state = FlowReceptionState()
+        for seq in direct:
+            state.record_direct(seq, 0.0)
+        for seq in recovered:
+            state.record_recovered(seq, 1.0)
+        assert state.received.isdisjoint(state.recovered)

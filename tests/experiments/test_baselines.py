@@ -1,0 +1,84 @@
+"""Baseline protocols on the same urban testbed."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.baseline_runner import (
+    build_baseline_round,
+    collect_baseline_matrices,
+)
+from repro.experiments.scenario import UrbanScenarioConfig
+from repro.mac.frames import NodeId
+
+CFG = UrbanScenarioConfig(seed=23)
+
+
+class TestNoCoop:
+    def test_no_recovery_happens(self):
+        ctx = build_baseline_round(CFG, 0, "nocoop")
+        ctx.run()
+        matrices = collect_baseline_matrices(ctx)
+        for matrix in matrices.values():
+            assert matrix.lost_after_coop == matrix.lost_before_coop
+
+    def test_losses_match_carq_before_coop_statistically(self):
+        ctx = build_baseline_round(CFG, 0, "nocoop")
+        ctx.run()
+        matrices = collect_baseline_matrices(ctx)
+        for matrix in matrices.values():
+            fraction = matrix.lost_before_coop / matrix.tx_by_ap
+            assert 0.05 < fraction < 0.7
+
+
+class TestArq:
+    def test_ap_retransmits_on_nacks(self):
+        ctx = build_baseline_round(CFG, 0, "arq")
+        ctx.run()
+        assert ctx.ap.retransmissions > 0
+        nacks = sum(car.nacks_sent for car in ctx.cars.values())
+        assert nacks > 0
+
+    def test_retransmissions_consume_ap_airtime(self):
+        """The ARQ AP sends more frames for the same fresh-data stream."""
+        plain = build_baseline_round(CFG, 0, "nocoop")
+        plain.run()
+        arq = build_baseline_round(CFG, 0, "arq")
+        arq.run()
+        assert arq.ap.iface.frames_sent > plain.ap.iface.frames_sent
+
+
+class TestEpidemic:
+    def test_dark_area_exchange_recovers_packets(self):
+        ctx = build_baseline_round(CFG, 0, "epidemic")
+        ctx.run()
+        matrices = collect_baseline_matrices(ctx)
+        improved = sum(
+            1
+            for matrix in matrices.values()
+            if matrix.lost_after_coop < matrix.lost_before_coop
+        )
+        assert improved >= 2  # at least two of three cars recovered data
+
+    def test_summary_vectors_sent(self):
+        ctx = build_baseline_round(CFG, 0, "epidemic")
+        ctx.run()
+        summaries = sum(car.summaries_sent for car in ctx.cars.values())
+        assert summaries > 0
+
+    def test_epidemic_nodes_buffer_all_flows(self):
+        ctx = build_baseline_round(CFG, 0, "epidemic")
+        ctx.run()
+        car1 = ctx.cars[NodeId(1)]
+        assert len(car1.buffer.flows()) >= 2
+
+    def test_no_violations(self):
+        ctx = build_baseline_round(CFG, 0, "epidemic")
+        ctx.run()
+        for matrix in collect_baseline_matrices(ctx).values():
+            assert matrix.optimality_violations() == frozenset()
+
+
+class TestValidation:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_baseline_round(CFG, 0, "teleportation")

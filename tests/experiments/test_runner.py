@@ -1,0 +1,74 @@
+"""End-to-end urban experiment: the paper's claims as test invariants."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.analysis.joint import optimality_gap
+from repro.analysis.stats import compute_table1
+from repro.experiments.runner import run_urban_experiment
+from repro.experiments.scenario import UrbanScenarioConfig
+from repro.mac.frames import NodeId
+
+CARS = [NodeId(1), NodeId(2), NodeId(3)]
+
+
+@pytest.fixture(scope="module")
+def result():
+    """Four rounds of the paper testbed (module-scoped: ~2 s)."""
+    return run_urban_experiment(UrbanScenarioConfig(seed=11), rounds=4)
+
+
+class TestStructure:
+    def test_all_rounds_have_all_cars(self, result):
+        for outcome in result.rounds:
+            assert set(outcome.matrices) == set(CARS)
+
+    def test_matrices_for_flow(self, result):
+        assert len(result.matrices_for_flow(NodeId(1))) == 4
+
+    def test_unknown_car_raises(self, result):
+        with pytest.raises(AnalysisError):
+            result.matrices_for_flow(NodeId(99))
+
+
+class TestPaperClaims:
+    def test_cooperation_reduces_losses(self, result):
+        """The headline claim: cooperation roughly halves losses."""
+        rows = compute_table1(result.matrices_by_round())
+        for row in rows.values():
+            assert row.lost_after_mean < row.lost_before_mean
+            assert row.loss_reduction_pct > 30.0
+
+    def test_losses_in_plausible_range(self, result):
+        rows = compute_table1(result.matrices_by_round())
+        for row in rows.values():
+            assert 10.0 < row.lost_before_pct < 60.0
+
+    def test_near_optimality(self, result):
+        """After-coop ≈ joint (Figs 6–8: 'almost coincident')."""
+        for car in CARS:
+            gap = optimality_gap(result.matrices_for_flow(car))
+            assert gap <= 0.02
+
+    def test_no_optimality_violations(self, result):
+        """Recovery never produces packets nobody received."""
+        for outcome in result.rounds:
+            for matrix in outcome.matrices.values():
+                assert matrix.optimality_violations() == frozenset()
+
+    def test_recovery_activity_happened(self, result):
+        for outcome in result.rounds:
+            total_requests = sum(
+                s.request_frames_sent for s in outcome.stats.values()
+            )
+            total_responses = sum(
+                s.responses_sent for s in outcome.stats.values()
+            )
+            assert total_requests > 0
+            assert total_responses > 0
+
+    def test_window_length_near_testbed_scale(self, result):
+        """Per-flow windows are in the ~100–250 packet range like Table 1."""
+        rows = compute_table1(result.matrices_by_round())
+        for row in rows.values():
+            assert 80.0 <= row.tx_by_ap_mean <= 260.0

@@ -1,0 +1,65 @@
+"""Parameter sweeps: structural behaviour on reduced configurations."""
+
+import pytest
+
+from dataclasses import replace
+
+from repro.experiments.scenario import UrbanScenarioConfig
+from repro.experiments.sweeps import (
+    SweepPoint,
+    bitrate_sweep,
+    hello_period_sweep,
+    platoon_size_sweep,
+)
+
+
+@pytest.fixture(scope="module")
+def base():
+    return UrbanScenarioConfig(seed=55)
+
+
+class TestSweepPoint:
+    def test_reduction_fraction(self):
+        point = SweepPoint("x", 100.0, 0.4, 0.1)
+        assert point.reduction_fraction == pytest.approx(0.75)
+
+    def test_zero_before_means_zero_reduction(self):
+        point = SweepPoint("x", 100.0, 0.0, 0.0)
+        assert point.reduction_fraction == 0.0
+
+
+class TestPlatoonSizeSweep:
+    @pytest.fixture(scope="class")
+    def points(self, request):
+        cfg = UrbanScenarioConfig(seed=55)
+        return platoon_size_sweep(cfg, [1, 3], rounds=3)
+
+    def test_single_car_cannot_cooperate(self, points):
+        solo = points[0]
+        assert solo.parameter == 1
+        assert solo.reduction_fraction == pytest.approx(0.0, abs=0.01)
+
+    def test_three_cars_gain_substantially(self, points):
+        trio = points[1]
+        assert trio.reduction_fraction > 0.3
+
+    def test_diversity_grows_with_size(self, points):
+        assert points[1].lost_after_fraction < points[0].lost_after_fraction
+
+
+class TestBitrateSweep:
+    def test_higher_rate_shrinks_window_and_raises_loss(self, base):
+        points = bitrate_sweep(base, ["dsss-1", "dsss-11"], rounds=3)
+        one, eleven = points
+        # At 11 Mb/s the reliable coverage area is much smaller: fewer
+        # packets make it at all and the loss fraction in-window grows.
+        assert eleven.lost_before_fraction > one.lost_before_fraction
+        # Cooperation still helps at the high rate.
+        assert eleven.lost_after_fraction < eleven.lost_before_fraction
+
+
+class TestHelloPeriodSweep:
+    def test_runs_and_recovers_for_all_periods(self, base):
+        points = hello_period_sweep(base, [0.5, 3.0], rounds=2)
+        for point in points:
+            assert point.lost_after_fraction < point.lost_before_fraction

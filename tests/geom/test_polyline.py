@@ -1,0 +1,133 @@
+"""Polyline arc-length parameterisation."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import GeometryError
+from repro.geom import Polyline, Vec2
+
+
+@pytest.fixture
+def rect():
+    return Polyline.rectangle(100.0, 50.0)
+
+
+@pytest.fixture
+def open_line():
+    return Polyline([Vec2(0, 0), Vec2(10, 0), Vec2(10, 10)])
+
+
+class TestConstruction:
+    def test_needs_two_points(self):
+        with pytest.raises(GeometryError):
+            Polyline([Vec2(0, 0)])
+
+    def test_rejects_zero_length_segment(self):
+        with pytest.raises(GeometryError):
+            Polyline([Vec2(0, 0), Vec2(0, 0), Vec2(1, 1)])
+
+    def test_closed_drops_repeated_closing_point(self):
+        p = Polyline(
+            [Vec2(0, 0), Vec2(1, 0), Vec2(1, 1), Vec2(0, 0)], closed=True
+        )
+        assert len(p.points) == 3
+
+    def test_rectangle_dimensions_validated(self):
+        with pytest.raises(GeometryError):
+            Polyline.rectangle(0.0, 10.0)
+
+    def test_straight_length_validated(self):
+        with pytest.raises(GeometryError):
+            Polyline.straight(-5.0)
+
+
+class TestLength:
+    def test_open_length(self, open_line):
+        assert open_line.length == pytest.approx(20.0)
+
+    def test_rectangle_perimeter(self, rect):
+        assert rect.length == pytest.approx(300.0)
+
+    def test_segment_count_open(self, open_line):
+        assert open_line.segment_count == 2
+
+    def test_segment_count_closed(self, rect):
+        assert rect.segment_count == 4
+
+
+class TestPointAt:
+    def test_start(self, open_line):
+        assert open_line.point_at(0.0) == Vec2(0, 0)
+
+    def test_mid_segment(self, open_line):
+        assert open_line.point_at(5.0) == Vec2(5, 0)
+
+    def test_vertex(self, open_line):
+        assert open_line.point_at(10.0) == Vec2(10, 0)
+
+    def test_end(self, open_line):
+        assert open_line.point_at(20.0) == Vec2(10, 10)
+
+    def test_open_out_of_range_raises(self, open_line):
+        with pytest.raises(GeometryError):
+            open_line.point_at(20.1)
+        with pytest.raises(GeometryError):
+            open_line.point_at(-0.1)
+
+    def test_closed_wraps(self, rect):
+        assert rect.point_at(rect.length + 25.0) == rect.point_at(25.0)
+
+    def test_closed_negative_wraps(self, rect):
+        assert rect.point_at(-10.0) == rect.point_at(rect.length - 10.0)
+
+
+class TestHeadings:
+    def test_heading_first_segment(self, open_line):
+        assert open_line.heading_at(5.0) == pytest.approx(0.0)
+
+    def test_heading_second_segment(self, open_line):
+        assert open_line.heading_at(15.0) == pytest.approx(math.pi / 2)
+
+    def test_tangent_unit_length(self, rect):
+        for s in (0.0, 60.0, 120.0, 250.0):
+            assert rect.tangent_at(s).norm() == pytest.approx(1.0)
+
+    def test_rectangle_turn_angles_are_right_angles(self, rect):
+        for vertex in range(4):
+            assert rect.turn_angle_at_vertex(vertex) == pytest.approx(math.pi / 2)
+
+    def test_open_endpoint_turn_angle_raises(self, open_line):
+        with pytest.raises(GeometryError):
+            open_line.turn_angle_at_vertex(0)
+
+    def test_vertex_arc_length(self, rect):
+        assert rect.vertex_arc_length(1) == pytest.approx(100.0)
+        assert rect.vertex_arc_length(2) == pytest.approx(150.0)
+
+
+class TestDistanceAlong:
+    def test_open_signed(self, open_line):
+        assert open_line.distance_along(5.0, 15.0) == pytest.approx(10.0)
+        assert open_line.distance_along(15.0, 5.0) == pytest.approx(-10.0)
+
+    def test_closed_always_forward(self, rect):
+        assert rect.distance_along(290.0, 10.0) == pytest.approx(20.0)
+
+
+class TestProperties:
+    @given(st.floats(min_value=0.0, max_value=10_000.0))
+    def test_closed_points_inside_bounding_box(self, s):
+        rect = Polyline.rectangle(100.0, 50.0)
+        p = rect.point_at(s)
+        assert -1e-9 <= p.x <= 100.0 + 1e-9
+        assert -1e-9 <= p.y <= 50.0 + 1e-9
+
+    @given(st.floats(min_value=0.0, max_value=299.0), st.floats(min_value=0.0, max_value=1.0))
+    def test_consecutive_points_close(self, s, ds):
+        rect = Polyline.rectangle(100.0, 50.0)
+        a = rect.point_at(s)
+        b = rect.point_at(s + ds)
+        # Arc-length parameterisation: straight-line distance <= arc distance.
+        assert a.distance_to(b) <= ds + 1e-9

@@ -1,0 +1,100 @@
+"""AxisRect containment and segment intersection."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import GeometryError
+from repro.geom import Vec2
+from repro.geom.shapes import AxisRect
+
+
+@pytest.fixture
+def unit():
+    return AxisRect(0.0, 0.0, 10.0, 10.0)
+
+
+class TestConstruction:
+    def test_degenerate_rejected(self):
+        with pytest.raises(GeometryError):
+            AxisRect(0, 0, 0, 10)
+
+    def test_inverted_rejected(self):
+        with pytest.raises(GeometryError):
+            AxisRect(5, 0, 1, 10)
+
+    def test_center(self, unit):
+        assert unit.center == Vec2(5.0, 5.0)
+
+
+class TestContains:
+    def test_inside(self, unit):
+        assert unit.contains(Vec2(5, 5))
+
+    def test_boundary(self, unit):
+        assert unit.contains(Vec2(0, 0))
+        assert unit.contains(Vec2(10, 10))
+
+    def test_outside(self, unit):
+        assert not unit.contains(Vec2(-0.1, 5))
+        assert not unit.contains(Vec2(5, 10.1))
+
+
+class TestSegmentIntersection:
+    def test_crossing_through(self, unit):
+        assert unit.intersects_segment(Vec2(-5, 5), Vec2(15, 5))
+
+    def test_diagonal_through(self, unit):
+        assert unit.intersects_segment(Vec2(-1, -1), Vec2(11, 11))
+
+    def test_fully_inside(self, unit):
+        assert unit.intersects_segment(Vec2(2, 2), Vec2(8, 8))
+
+    def test_one_endpoint_inside(self, unit):
+        assert unit.intersects_segment(Vec2(5, 5), Vec2(50, 50))
+
+    def test_miss_above(self, unit):
+        assert not unit.intersects_segment(Vec2(-5, 20), Vec2(15, 20))
+
+    def test_miss_parallel_left(self, unit):
+        assert not unit.intersects_segment(Vec2(-1, 0), Vec2(-1, 10))
+
+    def test_miss_diagonal_near_corner(self, unit):
+        assert not unit.intersects_segment(Vec2(11, 0), Vec2(20, 5))
+
+    def test_stops_short_of_rect(self, unit):
+        assert not unit.intersects_segment(Vec2(-10, 5), Vec2(-1, 5))
+
+    def test_grazes_edge(self, unit):
+        # Segment along the boundary line counts as intersecting.
+        assert unit.intersects_segment(Vec2(-5, 0), Vec2(15, 0))
+
+    def test_degenerate_segment_inside(self, unit):
+        assert unit.intersects_segment(Vec2(5, 5), Vec2(5, 5))
+
+    def test_degenerate_segment_outside(self, unit):
+        assert not unit.intersects_segment(Vec2(50, 50), Vec2(50, 50))
+
+
+coords = st.floats(min_value=-100.0, max_value=100.0, allow_nan=False)
+
+
+class TestIntersectionProperties:
+    @given(coords, coords, coords, coords)
+    def test_symmetric_in_endpoints(self, x1, y1, x2, y2):
+        rect = AxisRect(-10.0, -10.0, 10.0, 10.0)
+        a, b = Vec2(x1, y1), Vec2(x2, y2)
+        assert rect.intersects_segment(a, b) == rect.intersects_segment(b, a)
+
+    @given(coords, coords, coords, coords)
+    def test_endpoint_inside_implies_intersection(self, x1, y1, x2, y2):
+        rect = AxisRect(-10.0, -10.0, 10.0, 10.0)
+        a, b = Vec2(x1, y1), Vec2(x2, y2)
+        if rect.contains(a) or rect.contains(b):
+            assert rect.intersects_segment(a, b)
+
+    @given(coords, coords, coords, coords)
+    def test_both_beyond_same_slab_means_miss(self, x1, x2, y1, y2):
+        rect = AxisRect(-10.0, -10.0, 10.0, 10.0)
+        a = Vec2(x1, 50.0 + abs(y1))
+        b = Vec2(x2, 50.0 + abs(y2))
+        assert not rect.intersects_segment(a, b)

@@ -1,0 +1,107 @@
+"""Vec2 arithmetic and metric properties."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geom import Vec2
+
+finite = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+vectors = st.builds(Vec2, finite, finite)
+
+
+class TestArithmetic:
+    def test_add(self):
+        assert Vec2(1, 2) + Vec2(3, 4) == Vec2(4, 6)
+
+    def test_sub(self):
+        assert Vec2(5, 5) - Vec2(2, 3) == Vec2(3, 2)
+
+    def test_scalar_mul_both_sides(self):
+        assert Vec2(1, -2) * 3 == Vec2(3, -6)
+        assert 3 * Vec2(1, -2) == Vec2(3, -6)
+
+    def test_div(self):
+        assert Vec2(4, 8) / 2 == Vec2(2, 4)
+
+    def test_neg(self):
+        assert -Vec2(1, -2) == Vec2(-1, 2)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            Vec2(0, 0).x = 1.0  # type: ignore[misc]
+
+    def test_hashable(self):
+        assert len({Vec2(1, 2), Vec2(1, 2), Vec2(2, 1)}) == 2
+
+
+class TestMetrics:
+    def test_norm_345(self):
+        assert Vec2(3, 4).norm() == pytest.approx(5.0)
+
+    def test_norm_squared(self):
+        assert Vec2(3, 4).norm_squared() == pytest.approx(25.0)
+
+    def test_distance(self):
+        assert Vec2(0, 0).distance_to(Vec2(3, 4)) == pytest.approx(5.0)
+
+    def test_dot_perpendicular_is_zero(self):
+        assert Vec2(1, 0).dot(Vec2(0, 5)) == 0.0
+
+    def test_cross_sign(self):
+        assert Vec2(1, 0).cross(Vec2(0, 1)) == 1.0
+        assert Vec2(0, 1).cross(Vec2(1, 0)) == -1.0
+
+    def test_normalized(self):
+        n = Vec2(0, 7).normalized()
+        assert n == Vec2(0, 1)
+
+    def test_normalize_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            Vec2(0, 0).normalized()
+
+    def test_perpendicular_is_ccw(self):
+        assert Vec2(1, 0).perpendicular() == Vec2(0, 1)
+
+    def test_angle(self):
+        assert Vec2(0, 1).angle() == pytest.approx(math.pi / 2)
+
+    def test_rotated_quarter_turn(self):
+        r = Vec2(1, 0).rotated(math.pi / 2)
+        assert r.x == pytest.approx(0.0, abs=1e-12)
+        assert r.y == pytest.approx(1.0)
+
+    def test_lerp_endpoints_and_middle(self):
+        a, b = Vec2(0, 0), Vec2(10, 20)
+        assert a.lerp(b, 0.0) == a
+        assert a.lerp(b, 1.0) == b
+        assert a.lerp(b, 0.5) == Vec2(5, 10)
+
+    def test_zero(self):
+        assert Vec2.zero() == Vec2(0.0, 0.0)
+
+
+class TestProperties:
+    @given(vectors, vectors)
+    def test_addition_commutes(self, a, b):
+        assert a + b == b + a
+
+    @given(vectors)
+    def test_rotation_preserves_norm(self, v):
+        assert v.rotated(1.234).norm() == pytest.approx(v.norm(), rel=1e-9, abs=1e-9)
+
+    @given(vectors, vectors)
+    def test_triangle_inequality(self, a, b):
+        assert (a + b).norm() <= a.norm() + b.norm() + 1e-6
+
+    @given(vectors, vectors)
+    def test_dot_symmetric(self, a, b):
+        assert a.dot(b) == pytest.approx(b.dot(a))
+
+    @given(vectors, st.floats(min_value=0.0, max_value=1.0))
+    def test_lerp_stays_on_segment(self, a, t):
+        b = Vec2(a.x + 10.0, a.y - 5.0)
+        p = a.lerp(b, t)
+        # Collinearity: cross product of (p-a) and (b-a) is ~0.
+        assert (p - a).cross(b - a) == pytest.approx(0.0, abs=1e-3)

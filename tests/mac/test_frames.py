@@ -1,0 +1,83 @@
+"""Frame taxonomy: sizes and invariants."""
+
+import pytest
+
+from repro.mac.frames import (
+    BROADCAST,
+    CoopDataFrame,
+    DataFrame,
+    HelloFrame,
+    NackFrame,
+    NodeId,
+    RequestFrame,
+    SummaryFrame,
+    MAC_OVERHEAD_BYTES,
+)
+
+
+class TestBase:
+    def test_positive_size_required(self):
+        with pytest.raises(ValueError):
+            DataFrame(src=NodeId(1), dst=NodeId(2), size_bytes=0)
+
+    def test_frames_are_immutable(self):
+        frame = DataFrame(src=NodeId(1), dst=NodeId(2), size_bytes=100, seq=5)
+        with pytest.raises(Exception):
+            frame.seq = 6  # type: ignore[misc]
+
+    def test_broadcast_constant(self):
+        assert BROADCAST == -1
+
+
+class TestSizes:
+    def test_data_frame_size_includes_headers(self):
+        # 1000 B ICMP payload + 28 B IP/ICMP + 34 B MAC = 1062 B.
+        assert DataFrame.size_for_payload(1000) == 1062
+
+    def test_hello_size_scales_with_contents(self):
+        empty = HelloFrame.size_for(0, 0)
+        assert empty == MAC_OVERHEAD_BYTES + 8
+        assert HelloFrame.size_for(3, 0) == empty + 18
+        assert HelloFrame.size_for(0, 2) == empty + 20
+
+    def test_request_size_scales_with_seqs(self):
+        assert RequestFrame.size_for(1) == MAC_OVERHEAD_BYTES + 8 + 4
+        assert RequestFrame.size_for(10) == MAC_OVERHEAD_BYTES + 8 + 40
+
+    def test_nack_size(self):
+        assert NackFrame.size_for(5) == MAC_OVERHEAD_BYTES + 8 + 20
+
+    def test_summary_size(self):
+        assert SummaryFrame.size_for(100) == MAC_OVERHEAD_BYTES + 8 + 600
+
+
+class TestSemantics:
+    def test_data_flow_dst_independent_of_hop(self):
+        relayed = CoopDataFrame(
+            src=NodeId(3),
+            dst=NodeId(1),
+            size_bytes=1062,
+            flow_dst=NodeId(1),
+            seq=42,
+            relayer=NodeId(3),
+        )
+        assert relayed.flow_dst == NodeId(1)
+        assert relayed.relayer == NodeId(3)
+
+    def test_hello_carries_ordered_cooperators(self):
+        hello = HelloFrame(
+            src=NodeId(1),
+            dst=BROADCAST,
+            size_bytes=HelloFrame.size_for(2, 0),
+            cooperators=(NodeId(2), NodeId(3)),
+        )
+        assert hello.cooperators.index(NodeId(3)) == 1
+
+    def test_request_carries_seq_tuple(self):
+        request = RequestFrame(
+            src=NodeId(1),
+            dst=BROADCAST,
+            size_bytes=RequestFrame.size_for(3),
+            seqs=(4, 7, 9),
+        )
+        assert request.seqs == (4, 7, 9)

@@ -1,0 +1,216 @@
+"""Shared-medium behaviour: delivery, interference, half-duplex, sensing."""
+
+import numpy as np
+import pytest
+
+from repro.geom import Vec2
+from repro.mac.frames import DataFrame, NodeId
+from repro.mac.interface import NetworkInterface
+from repro.mac.medium import LossCause, Medium
+from repro.mac.timing import frame_airtime
+from repro.radio.channel import Channel
+from repro.radio.modulation import rate_by_name
+from repro.radio.pathloss import LogDistancePathLoss
+from repro.radio.phy import RadioConfig
+from repro.sim import Simulator
+from repro.trace.capture import TraceCollector
+
+RATE = rate_by_name("dsss-1")
+
+
+def make_net(positions, *, trace=None, seed=0):
+    """A sim + medium + one interface per given position."""
+    sim = Simulator(seed=seed)
+    channel = Channel(
+        pathloss=LogDistancePathLoss(exponent=3.0, reference_loss_db=40.0),
+        rng=sim.streams.get("channel"),
+    )
+    medium = Medium(sim, channel, trace=trace)
+    ifaces = []
+    for index, position in enumerate(positions):
+        ifaces.append(
+            NetworkInterface(
+                sim,
+                medium,
+                NodeId(index + 1),
+                (lambda p: (lambda: p))(position),
+                RadioConfig(),
+                sim.streams.get(f"mac-{index}"),
+                name=f"if{index + 1}",
+            )
+        )
+    return sim, medium, ifaces
+
+
+def data_frame(src, dst, seq=1, size=500):
+    return DataFrame(src=src, dst=dst, size_bytes=size, flow_dst=dst, seq=seq)
+
+
+class TestDelivery:
+    def test_nearby_frame_delivered(self):
+        sim, _, (a, b) = make_net([Vec2(0, 0), Vec2(20, 0)])
+        received = []
+        b.add_receive_callback(lambda frame, info: received.append((frame, info)))
+        a.send(data_frame(a.node_id, b.node_id))
+        sim.run()
+        assert len(received) == 1
+        frame, info = received[0]
+        assert frame.seq == 1
+        assert info.snr_db > 20.0
+
+    def test_promiscuous_reception(self):
+        """Frames addressed to others are still delivered (monitor mode)."""
+        sim, _, (a, b, c) = make_net([Vec2(0, 0), Vec2(20, 0), Vec2(40, 0)])
+        at_c = []
+        c.add_receive_callback(lambda frame, info: at_c.append(frame))
+        a.send(data_frame(a.node_id, b.node_id))
+        sim.run()
+        assert len(at_c) == 1
+
+    def test_far_node_hears_nothing(self):
+        sim, _, (a, b) = make_net([Vec2(0, 0), Vec2(50_000, 0)])
+        received = []
+        b.add_receive_callback(lambda frame, info: received.append(frame))
+        a.send(data_frame(a.node_id, b.node_id))
+        sim.run()
+        assert received == []
+
+    def test_delivery_happens_after_airtime(self):
+        sim, _, (a, b) = make_net([Vec2(0, 0), Vec2(20, 0)])
+        times = []
+        b.add_receive_callback(lambda frame, info: times.append(sim.now))
+        a.send(data_frame(a.node_id, b.node_id, size=1062))
+        sim.run()
+        assert len(times) == 1
+        assert times[0] >= frame_airtime(1062, RATE)
+
+    def test_counters(self):
+        sim, _, (a, b) = make_net([Vec2(0, 0), Vec2(20, 0)])
+        a.send(data_frame(a.node_id, b.node_id, size=500))
+        sim.run()
+        assert a.frames_sent == 1
+        assert a.bytes_sent == 500
+        assert b.frames_received == 1
+
+
+class TestInterference:
+    def test_simultaneous_transmissions_collide(self):
+        sim, medium, (a, b, c) = make_net([Vec2(0, 0), Vec2(20, 0), Vec2(40, 0)])
+        received = []
+        b.add_receive_callback(lambda frame, info: received.append(frame))
+        # Bypass CSMA: both frames hit the air at the same instant.
+        sim.schedule(0.0, medium.transmit, a, data_frame(a.node_id, b.node_id, 1), RATE)
+        sim.schedule(0.0, medium.transmit, c, data_frame(c.node_id, b.node_id, 2), RATE)
+        sim.run()
+        assert received == []
+
+    def test_collision_recorded_as_interference(self):
+        trace = TraceCollector()
+        sim, medium, (a, b, c) = make_net(
+            [Vec2(0, 0), Vec2(20, 0), Vec2(40, 0)], trace=trace
+        )
+        sim.schedule(0.0, medium.transmit, a, data_frame(a.node_id, b.node_id, 1), RATE)
+        sim.schedule(0.0, medium.transmit, c, data_frame(c.node_id, b.node_id, 2), RATE)
+        sim.run()
+        causes = {record.cause for record in trace.rx_records if record.node == b.node_id}
+        assert causes == {LossCause.INTERFERENCE}
+
+    def test_csma_avoids_the_collision(self):
+        """The same two senders using the MAC queue do NOT collide."""
+        sim, _, (a, b, c) = make_net([Vec2(0, 0), Vec2(20, 0), Vec2(40, 0)])
+        received = []
+        b.add_receive_callback(lambda frame, info: received.append(frame))
+        a.send(data_frame(a.node_id, b.node_id, 1))
+        c.send(data_frame(c.node_id, b.node_id, 2))
+        sim.run()
+        assert len(received) == 2
+
+
+class TestHalfDuplex:
+    def test_receiver_transmitting_loses_arrival(self):
+        trace = TraceCollector()
+        sim, medium, (a, b) = make_net([Vec2(0, 0), Vec2(20, 0)], trace=trace)
+        received = []
+        b.add_receive_callback(lambda frame, info: received.append(frame))
+        # B starts a long transmission; A's frame arrives mid-burst.
+        b.send(data_frame(b.node_id, a.node_id, 9, size=2000))
+        sim.schedule(
+            0.005, medium.transmit, a, data_frame(a.node_id, b.node_id, 1), RATE
+        )
+        sim.run()
+        assert received == []
+        b_losses = [
+            record.cause
+            for record in trace.rx_records
+            if record.node == b.node_id and record.frame.seq == 1
+        ]
+        assert b_losses == [LossCause.HALF_DUPLEX]
+
+
+class TestCarrierSense:
+    def test_medium_busy_during_transmission(self):
+        sim, medium, (a, b) = make_net([Vec2(0, 0), Vec2(20, 0)])
+        samples = []
+        a.send(data_frame(a.node_id, b.node_id, size=2000))
+        sim.schedule(0.008, lambda: samples.append(medium.busy(b)))
+        sim.run()
+        assert samples == [True]
+
+    def test_medium_idle_when_quiet(self):
+        _, medium, (a, b) = make_net([Vec2(0, 0), Vec2(20, 0)])
+        assert not medium.busy(a)
+        assert not medium.busy(b)
+
+    def test_own_transmission_is_busy(self):
+        sim, medium, (a, b) = make_net([Vec2(0, 0), Vec2(20, 0)])
+        samples = []
+        a.send(data_frame(a.node_id, b.node_id, size=2000))
+        sim.schedule(0.008, lambda: samples.append(medium.busy(a)))
+        sim.run()
+        assert samples == [True]
+
+
+class TestQueue:
+    def test_fifo_order(self):
+        sim, _, (a, b) = make_net([Vec2(0, 0), Vec2(20, 0)])
+        received = []
+        b.add_receive_callback(lambda frame, info: received.append(frame.seq))
+        for seq in range(1, 6):
+            a.send(data_frame(a.node_id, b.node_id, seq))
+        sim.run()
+        assert received == [1, 2, 3, 4, 5]
+
+    def test_flush_drops_pending(self):
+        sim, _, (a, b) = make_net([Vec2(0, 0), Vec2(20, 0)])
+        for seq in range(1, 6):
+            a.send(data_frame(a.node_id, b.node_id, seq))
+        dropped = a.flush()
+        assert dropped == 5 or dropped == 4  # first may already be contending
+        sim.run()
+        assert a.frames_sent <= 1
+
+    def test_src_mismatch_rejected(self):
+        from repro.errors import MacError
+
+        _, _, (a, b) = make_net([Vec2(0, 0), Vec2(20, 0)])
+        with pytest.raises(MacError):
+            a.send(data_frame(b.node_id, a.node_id))
+
+    def test_double_attach_rejected(self):
+        from repro.errors import MacError
+
+        sim, medium, (a, b) = make_net([Vec2(0, 0), Vec2(20, 0)])
+        with pytest.raises(MacError):
+            medium.attach(a)
+
+
+class TestTraceHooks:
+    def test_tx_and_rx_recorded(self):
+        trace = TraceCollector()
+        sim, _, (a, b) = make_net([Vec2(0, 0), Vec2(20, 0)], trace=trace)
+        a.send(data_frame(a.node_id, b.node_id, 7))
+        sim.run()
+        assert len(trace.tx_records) == 1
+        assert trace.tx_records[0].node == a.node_id
+        delivered = [r for r in trace.rx_records if r.delivered]
+        assert [r.frame.seq for r in delivered] == [7]

@@ -1,0 +1,45 @@
+"""802.11 timing constants and airtime."""
+
+import pytest
+
+from repro.errors import MacError
+from repro.mac.timing import (
+    DSSS_TIMING,
+    OFDM_TIMING,
+    frame_airtime,
+    timing_for,
+)
+from repro.radio.modulation import rate_by_name
+
+
+class TestTimingSets:
+    def test_dsss_difs(self):
+        # DIFS = SIFS + 2 slots = 10 + 40 = 50 µs.
+        assert DSSS_TIMING.difs_s == pytest.approx(50e-6)
+
+    def test_ofdm_difs(self):
+        assert OFDM_TIMING.difs_s == pytest.approx(34e-6)
+
+    def test_timing_for_selects_family(self):
+        assert timing_for(rate_by_name("dsss-1")) is DSSS_TIMING
+        assert timing_for(rate_by_name("ofdm-24")) is OFDM_TIMING
+
+
+class TestAirtime:
+    def test_thousand_byte_frame_at_1mbps(self):
+        # 192 µs preamble + 8.496 ms payload.
+        airtime = frame_airtime(1062, rate_by_name("dsss-1"))
+        assert airtime == pytest.approx(192e-6 + 1062 * 8 / 1e6)
+
+    def test_higher_rate_shorter_airtime(self):
+        slow = frame_airtime(1062, rate_by_name("dsss-1"))
+        fast = frame_airtime(1062, rate_by_name("dsss-11"))
+        assert fast < slow / 5
+
+    def test_preamble_dominates_tiny_frames(self):
+        airtime = frame_airtime(10, rate_by_name("dsss-1"))
+        assert airtime == pytest.approx(192e-6 + 80e-6)
+
+    def test_invalid_size(self):
+        with pytest.raises(MacError):
+            frame_airtime(0, rate_by_name("dsss-1"))

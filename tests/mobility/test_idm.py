@@ -1,0 +1,141 @@
+"""IDM platoon integration: safety and coherence invariants."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MobilityError
+from repro.geom import Polyline
+from repro.mobility.idm import DriverProfile, IdmParameters, simulate_platoon
+from repro.mobility.profile import CurvatureSpeedProfile
+from repro.mobility.urban import urban_loop
+
+
+def platoon(n=3, seed=0, duration=120.0, styles=None):
+    testbed = urban_loop()
+    profile = CurvatureSpeedProfile(
+        testbed.track, cruise_speed=5.6, corner_speed=3.2
+    )
+    base = DriverProfile()
+    drivers = [base]
+    from dataclasses import replace
+
+    for i in range(1, n):
+        style = (styles or ["timid", "aggressive"])[(i - 1) % 2]
+        driver = base.timid() if style == "timid" else base.aggressive()
+        drivers.append(replace(driver, speed_factor=1.2))
+    return simulate_platoon(
+        testbed.track,
+        profile,
+        drivers,
+        duration=duration,
+        rng=np.random.default_rng(seed),
+        lead_start_arc=testbed.start_arc_length,
+    )
+
+
+class TestSafety:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_no_collisions(self, seed):
+        """Front-bumper gaps minus vehicle length stay positive."""
+        traces = platoon(seed=seed)
+        length = IdmParameters().vehicle_length
+        for t in np.arange(0.0, 120.0, 0.5):
+            arcs = [trace.arc_length(t) for trace in traces]
+            for leader, follower in zip(arcs, arcs[1:]):
+                assert leader - follower > length * 0.5
+
+    def test_order_preserved(self):
+        traces = platoon(seed=7)
+        for t in np.arange(0.0, 120.0, 1.0):
+            arcs = [trace.arc_length(t) for trace in traces]
+            assert arcs == sorted(arcs, reverse=True)
+
+    def test_speeds_bounded(self):
+        traces = platoon(seed=3)
+        for trace in traces:
+            for t in np.arange(1.0, 119.0, 1.0):
+                assert 0.0 <= trace.speed(t) <= 5.6 * 1.2 * 1.5
+
+
+class TestCoherence:
+    def test_platoon_stays_together(self):
+        """Followers do not drift away (gap bounded)."""
+        traces = platoon(seed=5)
+        for t in np.arange(30.0, 120.0, 5.0):
+            arcs = [trace.arc_length(t) for trace in traces]
+            assert arcs[0] - arcs[-1] < 90.0
+
+    def test_progress_made(self):
+        traces = platoon(seed=6)
+        leader = traces[0]
+        assert leader.arc_length(120.0) - leader.arc_length(0.0) > 400.0
+
+    def test_deterministic_given_rng(self):
+        a = platoon(seed=9)[0].arc_length(60.0)
+        b = platoon(seed=9)[0].arc_length(60.0)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = platoon(seed=1)[0].arc_length(60.0)
+        b = platoon(seed=2)[0].arc_length(60.0)
+        assert a != b
+
+
+class TestValidation:
+    def test_needs_drivers(self):
+        testbed = urban_loop()
+        profile = CurvatureSpeedProfile(
+            testbed.track, cruise_speed=5.0, corner_speed=2.0
+        )
+        with pytest.raises(MobilityError):
+            simulate_platoon(
+                testbed.track, profile, [], duration=10.0,
+                rng=np.random.default_rng(0),
+            )
+
+    def test_positive_duration(self):
+        testbed = urban_loop()
+        profile = CurvatureSpeedProfile(
+            testbed.track, cruise_speed=5.0, corner_speed=2.0
+        )
+        with pytest.raises(MobilityError):
+            simulate_platoon(
+                testbed.track, profile, [DriverProfile()], duration=0.0,
+                rng=np.random.default_rng(0),
+            )
+
+    def test_idm_parameters_positive(self):
+        with pytest.raises(MobilityError):
+            IdmParameters(max_acceleration=0.0)
+
+    def test_driver_profile_validation(self):
+        with pytest.raises(MobilityError):
+            DriverProfile(speed_factor=0.0)
+        with pytest.raises(MobilityError):
+            DriverProfile(acceleration_noise_std=-0.1)
+
+
+class TestGeometryBundles:
+    def test_urban_loop_structure(self):
+        testbed = urban_loop(block_width=100.0, block_height=80.0)
+        assert testbed.track.closed
+        assert testbed.track.length == pytest.approx(360.0)
+        assert testbed.ap_position.y < 0  # set back behind the street
+        assert len(testbed.buildings) == 1
+        assert 0.0 < testbed.start_arc_length < testbed.track.length
+
+    def test_urban_loop_building_blocks_far_street(self):
+        testbed = urban_loop()
+        building = testbed.buildings[0]
+        far_street_point = testbed.track.point_at(
+            testbed.start_arc_length
+        )  # top edge
+        assert building.intersects_segment(testbed.ap_position, far_street_point)
+
+    def test_highway_scenario_structure(self):
+        from repro.mobility.highway import highway_scenario
+
+        scenario = highway_scenario(road_length=1000.0, ap_offset=20.0)
+        assert not scenario.track.closed
+        assert scenario.ap_position.x == pytest.approx(500.0)
+        assert scenario.ap_position.y == pytest.approx(20.0)

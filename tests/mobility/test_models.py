@@ -1,0 +1,92 @@
+"""Static, path and trace mobility models."""
+
+import pytest
+
+from repro.errors import MobilityError
+from repro.geom import Polyline, Vec2
+from repro.mobility.base import TraceMobility
+from repro.mobility.path import PathMobility
+from repro.mobility.static import StaticMobility
+
+
+class TestStatic:
+    def test_position_constant(self):
+        model = StaticMobility(Vec2(3, 4))
+        assert model.position(0.0) == Vec2(3, 4)
+        assert model.position(1e6) == Vec2(3, 4)
+
+    def test_speed_zero(self):
+        assert StaticMobility(Vec2(0, 0)).speed(5.0) == 0.0
+
+
+class TestPathMobility:
+    @pytest.fixture
+    def straight(self):
+        return Polyline.straight(100.0)
+
+    def test_constant_speed_motion(self, straight):
+        model = PathMobility(straight, 10.0)
+        assert model.position(0.0) == Vec2(0, 0)
+        assert model.position(5.0) == Vec2(50, 0)
+
+    def test_parks_at_end_of_open_track(self, straight):
+        model = PathMobility(straight, 10.0)
+        assert model.position(100.0) == Vec2(100, 0)
+        assert model.speed(100.0) == 0.0
+
+    def test_start_time_delays_motion(self, straight):
+        model = PathMobility(straight, 10.0, start_time=2.0)
+        assert model.position(1.0) == Vec2(0, 0)
+        assert model.speed(1.0) == 0.0
+        assert model.position(3.0) == Vec2(10, 0)
+
+    def test_loops_on_closed_track(self):
+        loop = Polyline.rectangle(40.0, 10.0)
+        model = PathMobility(loop, 10.0)
+        assert model.position(0.0) == model.position(loop.length / 10.0)
+
+    def test_speed_positive_required(self, straight):
+        with pytest.raises(MobilityError):
+            PathMobility(straight, 0.0)
+
+    def test_start_arc_offset(self, straight):
+        model = PathMobility(straight, 10.0, start_arc_length=30.0)
+        assert model.position(0.0) == Vec2(30, 0)
+
+
+class TestTraceMobility:
+    @pytest.fixture
+    def track(self):
+        return Polyline.straight(1000.0)
+
+    def test_linear_interpolation(self, track):
+        trace = TraceMobility(track, [0.0, 10.0], [0.0, 100.0])
+        assert trace.arc_length(5.0) == pytest.approx(50.0)
+        assert trace.position(5.0) == Vec2(50, 0)
+
+    def test_clamps_before_and_after(self, track):
+        trace = TraceMobility(track, [1.0, 2.0], [10.0, 20.0])
+        assert trace.arc_length(0.0) == 10.0
+        assert trace.arc_length(99.0) == 20.0
+
+    def test_speed_from_samples(self, track):
+        trace = TraceMobility(track, [0.0, 10.0], [0.0, 100.0])
+        assert trace.speed(5.0) == pytest.approx(10.0, rel=0.01)
+
+    def test_validation(self, track):
+        with pytest.raises(MobilityError):
+            TraceMobility(track, [0.0], [0.0])
+        with pytest.raises(MobilityError):
+            TraceMobility(track, [0.0, 0.0], [0.0, 1.0])
+        with pytest.raises(MobilityError):
+            TraceMobility(track, [0.0, 1.0], [0.0])
+
+    def test_duration(self, track):
+        trace = TraceMobility(track, [0.0, 7.5], [0.0, 10.0])
+        assert trace.duration == 7.5
+
+    def test_wraps_loop_arc_lengths(self):
+        loop = Polyline.rectangle(40.0, 10.0)
+        trace = TraceMobility(loop, [0.0, 10.0], [90.0, 110.0])
+        # Unwrapped arc 110 on a 100 m loop = position at arc 10.
+        assert trace.position(10.0) == loop.point_at(10.0)

@@ -1,0 +1,71 @@
+"""Curvature-aware target-speed profile."""
+
+import pytest
+
+from repro.errors import MobilityError
+from repro.geom import Polyline, Vec2
+from repro.mobility.profile import CurvatureSpeedProfile
+
+
+@pytest.fixture
+def rect_profile():
+    track = Polyline.rectangle(100.0, 60.0)
+    return CurvatureSpeedProfile(
+        track, cruise_speed=10.0, corner_speed=3.0, transition_distance=15.0
+    )
+
+
+class TestTargetSpeed:
+    def test_cruise_on_straight(self, rect_profile):
+        # Middle of the bottom edge: far from both corners.
+        assert rect_profile.target_speed(50.0) == pytest.approx(10.0)
+
+    def test_slow_at_corner(self, rect_profile):
+        # Vertex at arc length 100 is a 90° corner.
+        assert rect_profile.target_speed(100.0) == pytest.approx(3.0)
+
+    def test_ramp_between(self, rect_profile):
+        mid_ramp = rect_profile.target_speed(92.5)  # halfway into transition
+        assert 3.0 < mid_ramp < 10.0
+
+    def test_wraps_on_loop(self, rect_profile):
+        # The vertex at arc 0 (== perimeter) is also a corner.
+        assert rect_profile.target_speed(0.0) == pytest.approx(3.0)
+        assert rect_profile.target_speed(320.0) == pytest.approx(3.0)
+
+    def test_straight_track_has_no_corners(self):
+        profile = CurvatureSpeedProfile(
+            Polyline.straight(500.0), cruise_speed=20.0, corner_speed=5.0
+        )
+        for s in (0.0, 250.0, 500.0):
+            assert profile.target_speed(s) == pytest.approx(20.0)
+
+    def test_gentle_bend_barely_slows(self):
+        track = Polyline(
+            [Vec2(0, 0), Vec2(100, 0), Vec2(200, 10)]  # ~5.7° bend
+        )
+        profile = CurvatureSpeedProfile(track, cruise_speed=10.0, corner_speed=3.0)
+        assert profile.target_speed(100.0) == pytest.approx(10.0)
+
+
+class TestValidation:
+    def test_corner_speed_cannot_exceed_cruise(self):
+        with pytest.raises(MobilityError):
+            CurvatureSpeedProfile(
+                Polyline.rectangle(10, 10), cruise_speed=5.0, corner_speed=6.0
+            )
+
+    def test_positive_speeds(self):
+        with pytest.raises(MobilityError):
+            CurvatureSpeedProfile(
+                Polyline.rectangle(10, 10), cruise_speed=0.0, corner_speed=0.0
+            )
+
+    def test_positive_transition(self):
+        with pytest.raises(MobilityError):
+            CurvatureSpeedProfile(
+                Polyline.rectangle(10, 10),
+                cruise_speed=5.0,
+                corner_speed=2.0,
+                transition_distance=0.0,
+            )

@@ -1,0 +1,144 @@
+"""Access-point application: flows, rates, file mode, retransmission hook."""
+
+import numpy as np
+import pytest
+
+from repro.core.retransmission import FixedRetransmission
+from repro.errors import ConfigurationError
+from repro.geom import Vec2
+from repro.mac.frames import DataFrame, NodeId
+from repro.mac.medium import Medium
+from repro.mobility.static import StaticMobility
+from repro.net.ap import AccessPoint, FlowConfig
+from repro.radio.channel import Channel
+from repro.radio.pathloss import LogDistancePathLoss
+from repro.radio.phy import RadioConfig
+from repro.sim import Simulator
+from repro.trace.capture import TraceCollector
+
+AP = NodeId(100)
+CAR1, CAR2 = NodeId(1), NodeId(2)
+
+
+def make_ap(flows, *, jitter=0.0, retx=None, seed=0):
+    sim = Simulator(seed=seed)
+    trace = TraceCollector()
+    channel = Channel(
+        pathloss=LogDistancePathLoss(exponent=3.0, reference_loss_db=40.0),
+        rng=sim.streams.get("channel"),
+    )
+    medium = Medium(sim, channel, trace=trace)
+    ap = AccessPoint(
+        sim,
+        medium,
+        AP,
+        StaticMobility(Vec2(0, 0)),
+        RadioConfig(),
+        sim.streams.get("ap"),
+        flows,
+        jitter_fraction=jitter,
+        retransmission_policy=retx,
+    )
+    return sim, trace, ap
+
+
+class TestValidation:
+    def test_needs_flows(self):
+        with pytest.raises(ConfigurationError):
+            make_ap([])
+
+    def test_duplicate_destinations_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_ap([FlowConfig(destination=CAR1), FlowConfig(destination=CAR1)])
+
+    def test_flow_validation(self):
+        with pytest.raises(ConfigurationError):
+            FlowConfig(destination=CAR1, packet_rate_hz=0.0)
+        with pytest.raises(ConfigurationError):
+            FlowConfig(destination=CAR1, payload_bytes=0)
+        with pytest.raises(ConfigurationError):
+            FlowConfig(destination=CAR1, blocks=0)
+
+    def test_double_start_rejected(self):
+        _, _, ap = make_ap([FlowConfig(destination=CAR1)])
+        ap.start()
+        with pytest.raises(ConfigurationError):
+            ap.start()
+
+
+class TestStreaming:
+    def test_packet_rate(self):
+        sim, trace, ap = make_ap(
+            [FlowConfig(destination=CAR1, packet_rate_hz=5.0)]
+        )
+        ap.start()
+        sim.run(until=10.0)
+        sent = [t for t in trace.tx_records if isinstance(t.frame, DataFrame)]
+        assert len(sent) == pytest.approx(50, abs=2)
+
+    def test_sequences_increment_from_first_seq(self):
+        sim, trace, ap = make_ap(
+            [FlowConfig(destination=CAR1, packet_rate_hz=10.0, first_seq=100)]
+        )
+        ap.start()
+        sim.run(until=1.0)
+        seqs = [t.frame.seq for t in trace.tx_records if isinstance(t.frame, DataFrame)]
+        assert seqs == list(range(100, 100 + len(seqs)))
+
+    def test_two_flows_independent(self):
+        sim, trace, ap = make_ap(
+            [
+                FlowConfig(destination=CAR1, packet_rate_hz=5.0),
+                FlowConfig(destination=CAR2, packet_rate_hz=10.0),
+            ]
+        )
+        ap.start()
+        sim.run(until=4.0)
+        per_flow = {CAR1: 0, CAR2: 0}
+        for record in trace.tx_records:
+            if isinstance(record.frame, DataFrame):
+                per_flow[record.frame.flow_dst] += 1
+        assert per_flow[CAR2] == pytest.approx(2 * per_flow[CAR1], abs=3)
+
+    def test_jitter_keeps_intervals_near_nominal(self):
+        sim, trace, ap = make_ap(
+            [FlowConfig(destination=CAR1, packet_rate_hz=5.0)], jitter=0.1
+        )
+        ap.start()
+        sim.run(until=20.0)
+        times = [
+            t.time for t in trace.tx_records if isinstance(t.frame, DataFrame)
+        ]
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        assert all(0.15 <= gap <= 0.25 for gap in gaps)
+
+    def test_last_seq_sent_tracked(self):
+        sim, _, ap = make_ap([FlowConfig(destination=CAR1, packet_rate_hz=10.0)])
+        ap.start()
+        sim.run(until=2.05)
+        assert ap.last_seq_sent[CAR1] >= 20
+
+
+class TestFileMode:
+    def test_sequences_wrap_at_blocks(self):
+        sim, trace, ap = make_ap(
+            [FlowConfig(destination=CAR1, packet_rate_hz=10.0, blocks=5)]
+        )
+        ap.start()
+        sim.run(until=2.0)
+        seqs = [t.frame.seq for t in trace.tx_records if isinstance(t.frame, DataFrame)]
+        assert set(seqs) == {1, 2, 3, 4, 5}
+        assert seqs[:6] == [1, 2, 3, 4, 5, 1]
+
+
+class TestRetransmissionPolicy:
+    def test_fixed_policy_duplicates_frames(self):
+        sim, trace, ap = make_ap(
+            [FlowConfig(destination=CAR1, packet_rate_hz=2.0)],
+            retx=FixedRetransmission(3),
+        )
+        ap.start()
+        sim.run(until=2.4)
+        seqs = [t.frame.seq for t in trace.tx_records if isinstance(t.frame, DataFrame)]
+        for seq in set(seqs):
+            assert seqs.count(seq) == 3

@@ -1,0 +1,124 @@
+"""Packet buffer: storage, queries, capacity eviction."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.mac.frames import NodeId
+from repro.net.buffer import BufferEntry, PacketBuffer
+
+
+def entry(flow, seq, t=0.0):
+    return BufferEntry(NodeId(flow), seq, t, 1062)
+
+
+class TestBasics:
+    def test_add_and_has(self):
+        buffer = PacketBuffer()
+        assert buffer.add(entry(1, 5))
+        assert buffer.has(NodeId(1), 5)
+        assert not buffer.has(NodeId(1), 6)
+        assert not buffer.has(NodeId(2), 5)
+
+    def test_duplicate_add_returns_false(self):
+        buffer = PacketBuffer()
+        buffer.add(entry(1, 5))
+        assert not buffer.add(entry(1, 5, t=9.0))
+        assert len(buffer) == 1
+
+    def test_get(self):
+        buffer = PacketBuffer()
+        buffer.add(entry(1, 5, t=3.0))
+        stored = buffer.get(NodeId(1), 5)
+        assert stored is not None
+        assert stored.received_at == 3.0
+        assert buffer.get(NodeId(1), 6) is None
+
+    def test_contains_protocol(self):
+        buffer = PacketBuffer()
+        buffer.add(entry(1, 5))
+        assert (NodeId(1), 5) in buffer
+
+    def test_discard(self):
+        buffer = PacketBuffer()
+        buffer.add(entry(1, 5))
+        assert buffer.discard(NodeId(1), 5)
+        assert not buffer.discard(NodeId(1), 5)
+        assert len(buffer) == 0
+
+    def test_clear_preserves_eviction_count(self):
+        buffer = PacketBuffer(capacity=1)
+        buffer.add(entry(1, 1))
+        buffer.add(entry(1, 2))
+        assert buffer.evictions == 1
+        buffer.clear()
+        assert len(buffer) == 0
+        assert buffer.evictions == 1
+
+
+class TestFlowQueries:
+    def test_seqs_for_flow(self):
+        buffer = PacketBuffer()
+        for seq in (3, 7, 5):
+            buffer.add(entry(1, seq))
+        buffer.add(entry(2, 99))
+        assert buffer.seqs_for_flow(NodeId(1)) == {3, 5, 7}
+
+    def test_flow_range(self):
+        buffer = PacketBuffer()
+        for seq in (3, 7, 5):
+            buffer.add(entry(1, seq))
+        assert buffer.flow_range(NodeId(1)) == (3, 7)
+
+    def test_flow_range_empty(self):
+        assert PacketBuffer().flow_range(NodeId(1)) is None
+
+    def test_flows(self):
+        buffer = PacketBuffer()
+        buffer.add(entry(1, 1))
+        buffer.add(entry(2, 1))
+        assert buffer.flows() == {NodeId(1), NodeId(2)}
+
+    def test_entries_in_insertion_order(self):
+        buffer = PacketBuffer()
+        buffer.add(entry(1, 2))
+        buffer.add(entry(1, 1))
+        assert [e.seq for e in buffer.entries()] == [2, 1]
+
+
+class TestCapacity:
+    def test_invalid_capacity(self):
+        with pytest.raises(ConfigurationError):
+            PacketBuffer(capacity=0)
+
+    def test_fifo_eviction(self):
+        buffer = PacketBuffer(capacity=2)
+        buffer.add(entry(1, 1))
+        buffer.add(entry(1, 2))
+        buffer.add(entry(1, 3))
+        assert not buffer.has(NodeId(1), 1)
+        assert buffer.has(NodeId(1), 2)
+        assert buffer.has(NodeId(1), 3)
+        assert buffer.evictions == 1
+
+    def test_duplicates_do_not_refresh_age(self):
+        buffer = PacketBuffer(capacity=2)
+        buffer.add(entry(1, 1))
+        buffer.add(entry(1, 2))
+        buffer.add(entry(1, 1, t=5.0))  # duplicate — must not move to back
+        buffer.add(entry(1, 3))
+        assert not buffer.has(NodeId(1), 1)
+
+    @given(st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=200))
+    def test_never_exceeds_capacity(self, seqs):
+        buffer = PacketBuffer(capacity=10)
+        for seq in seqs:
+            buffer.add(entry(1, seq))
+        assert len(buffer) <= 10
+
+    @given(st.lists(st.integers(min_value=0, max_value=1000), min_size=1, max_size=100))
+    def test_unbounded_keeps_all_distinct(self, seqs):
+        buffer = PacketBuffer()
+        for seq in seqs:
+            buffer.add(entry(1, seq))
+        assert len(buffer) == len(set(seqs))

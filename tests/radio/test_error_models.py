@@ -1,0 +1,51 @@
+"""SNR → frame-error-rate computation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import RadioError
+from repro.radio.error_models import frame_error_rate, frame_success_probability
+from repro.radio.modulation import rate_by_name
+
+RATE = rate_by_name("dsss-1")
+
+
+class TestFrameErrorRate:
+    def test_high_snr_no_errors(self):
+        assert frame_error_rate(RATE, 20.0, 1000) == pytest.approx(0.0, abs=1e-9)
+
+    def test_low_snr_certain_loss(self):
+        assert frame_error_rate(RATE, -15.0, 1000) == pytest.approx(1.0, abs=1e-6)
+
+    def test_longer_frames_more_fragile(self):
+        snr = -1.0
+        assert frame_error_rate(RATE, snr, 1500) > frame_error_rate(RATE, snr, 100)
+
+    def test_monotone_in_snr(self):
+        fers = [frame_error_rate(RATE, snr, 1000) for snr in range(-15, 16)]
+        for lo, hi in zip(fers, fers[1:]):
+            assert hi <= lo + 1e-12
+
+    def test_success_is_complement(self):
+        snr = 0.0
+        assert frame_success_probability(RATE, snr, 500) == pytest.approx(
+            1.0 - frame_error_rate(RATE, snr, 500)
+        )
+
+    def test_invalid_size(self):
+        with pytest.raises(RadioError):
+            frame_error_rate(RATE, 0.0, 0)
+
+    def test_matches_independent_bit_model(self):
+        snr = -2.0
+        ber = RATE.bit_error_rate(snr)
+        expected = 1.0 - (1.0 - ber) ** (100 * 8)
+        assert frame_error_rate(RATE, snr, 100) == pytest.approx(expected, rel=1e-9)
+
+    @given(
+        st.floats(min_value=-30.0, max_value=30.0),
+        st.integers(min_value=1, max_value=4000),
+    )
+    def test_bounded(self, snr_db, size):
+        fer = frame_error_rate(RATE, snr_db, size)
+        assert 0.0 <= fer <= 1.0

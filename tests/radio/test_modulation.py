@@ -1,0 +1,81 @@
+"""802.11 rate ladder and BER curves."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import RadioError
+from repro.radio.modulation import (
+    DSSS_RATES,
+    OFDM_RATES,
+    PhyScheme,
+    rate_by_name,
+)
+
+ALL_RATES = DSSS_RATES + OFDM_RATES
+
+
+class TestRegistry:
+    def test_lookup_known(self):
+        rate = rate_by_name("dsss-1")
+        assert rate.bitrate_bps == 1_000_000.0
+        assert rate.scheme is PhyScheme.DSSS
+
+    def test_lookup_ofdm(self):
+        rate = rate_by_name("ofdm-54")
+        assert rate.bitrate_bps == 54_000_000.0
+        assert rate.scheme is PhyScheme.OFDM
+
+    def test_unknown_raises(self):
+        with pytest.raises(RadioError):
+            rate_by_name("dsss-99")
+
+    def test_ladder_complete(self):
+        assert len(DSSS_RATES) == 4
+        assert len(OFDM_RATES) == 8
+
+    def test_bitrates_strictly_increasing_within_families(self):
+        for family in (DSSS_RATES, OFDM_RATES):
+            rates = [r.bitrate_bps for r in family]
+            assert rates == sorted(rates)
+            assert len(set(rates)) == len(rates)
+
+
+class TestBerCurves:
+    @pytest.mark.parametrize("rate", ALL_RATES, ids=lambda r: r.name)
+    def test_ber_bounded(self, rate):
+        for snr_db in (-20.0, -5.0, 0.0, 5.0, 15.0, 30.0):
+            ber = rate.bit_error_rate(snr_db)
+            assert 0.0 <= ber <= 0.5 + 1e-12
+
+    @pytest.mark.parametrize("rate", ALL_RATES, ids=lambda r: r.name)
+    def test_ber_monotone_decreasing_in_snr(self, rate):
+        snrs = [-10.0, -5.0, 0.0, 5.0, 10.0, 15.0, 20.0, 25.0]
+        bers = [rate.bit_error_rate(snr) for snr in snrs]
+        for lo, hi in zip(bers, bers[1:]):
+            assert hi <= lo + 1e-12
+
+    def test_ber_high_snr_negligible(self):
+        assert rate_by_name("dsss-1").bit_error_rate(10.0) < 1e-9
+        assert rate_by_name("ofdm-54").bit_error_rate(35.0) < 1e-6
+
+    def test_faster_rates_need_more_snr(self):
+        """At a fixed mid-range SNR, higher rates have higher BER."""
+        snr = 6.0
+        assert rate_by_name("dsss-1").bit_error_rate(snr) < rate_by_name(
+            "dsss-11"
+        ).bit_error_rate(snr)
+        assert rate_by_name("ofdm-6").bit_error_rate(snr) < rate_by_name(
+            "ofdm-54"
+        ).bit_error_rate(snr)
+
+    def test_dsss1_spreading_gain(self):
+        """1 Mb/s works at SNRs where 11 Mb/s is dead."""
+        snr = -3.0
+        assert rate_by_name("dsss-1").bit_error_rate(snr) < 5e-3
+        assert rate_by_name("dsss-11").bit_error_rate(snr) > 1e-2
+
+    @given(st.floats(min_value=-30.0, max_value=40.0))
+    def test_ber_finite_everywhere(self, snr_db):
+        for rate in ALL_RATES:
+            ber = rate.bit_error_rate(snr_db)
+            assert 0.0 <= ber <= 0.5 + 1e-12

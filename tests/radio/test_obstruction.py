@@ -1,0 +1,50 @@
+"""Building obstruction model."""
+
+import pytest
+
+from repro.errors import RadioError
+from repro.geom import Vec2
+from repro.geom.shapes import AxisRect
+from repro.radio.obstruction import BuildingObstruction, NoObstruction
+
+
+class TestNoObstruction:
+    def test_zero(self):
+        assert NoObstruction().extra_loss_db(Vec2(0, 0), Vec2(100, 100)) == 0.0
+
+
+class TestBuildingObstruction:
+    @pytest.fixture
+    def model(self):
+        return BuildingObstruction(
+            [AxisRect(10, 10, 20, 20), AxisRect(30, 10, 40, 20)],
+            loss_per_building_db=25.0,
+            max_buildings=2,
+        )
+
+    def test_clear_path(self, model):
+        assert model.extra_loss_db(Vec2(0, 0), Vec2(50, 0)) == 0.0
+
+    def test_one_building(self, model):
+        assert model.extra_loss_db(Vec2(0, 15), Vec2(25, 15)) == 25.0
+
+    def test_two_buildings(self, model):
+        assert model.extra_loss_db(Vec2(0, 15), Vec2(50, 15)) == 50.0
+
+    def test_cap_at_max_buildings(self):
+        model = BuildingObstruction(
+            [AxisRect(10 * i, 0, 10 * i + 5, 10) for i in range(1, 6)],
+            loss_per_building_db=20.0,
+            max_buildings=2,
+        )
+        assert model.extra_loss_db(Vec2(0, 5), Vec2(100, 5)) == 40.0
+
+    def test_validation(self):
+        with pytest.raises(RadioError):
+            BuildingObstruction([], loss_per_building_db=-1.0)
+        with pytest.raises(RadioError):
+            BuildingObstruction([], max_buildings=0)
+
+    def test_empty_building_list_is_clear(self):
+        model = BuildingObstruction([])
+        assert model.extra_loss_db(Vec2(0, 0), Vec2(1, 1)) == 0.0

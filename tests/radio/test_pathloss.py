@@ -1,0 +1,101 @@
+"""Path-loss model properties."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import RadioError
+from repro.radio.pathloss import (
+    FreeSpacePathLoss,
+    LogDistancePathLoss,
+    TwoRayGroundPathLoss,
+)
+
+distances = st.floats(min_value=0.0, max_value=50_000.0)
+
+
+class TestFreeSpace:
+    def test_friis_at_known_point(self):
+        # 2.4 GHz at 1 m ≈ 40.05 dB.
+        model = FreeSpacePathLoss(frequency_hz=2.4e9)
+        assert model.loss_db(1.0) == pytest.approx(40.05, abs=0.1)
+
+    def test_20db_per_decade(self):
+        model = FreeSpacePathLoss()
+        assert model.loss_db(100.0) - model.loss_db(10.0) == pytest.approx(20.0)
+
+    def test_clamps_below_min_distance(self):
+        model = FreeSpacePathLoss(min_distance_m=1.0)
+        assert model.loss_db(0.0) == model.loss_db(1.0)
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(RadioError):
+            FreeSpacePathLoss().loss_db(-1.0)
+
+    @given(distances, distances)
+    def test_monotone(self, d1, d2):
+        model = FreeSpacePathLoss()
+        lo, hi = sorted((d1, d2))
+        assert model.loss_db(lo) <= model.loss_db(hi) + 1e-9
+
+
+class TestLogDistance:
+    def test_exponent_sets_slope(self):
+        model = LogDistancePathLoss(exponent=3.5)
+        assert model.loss_db(100.0) - model.loss_db(10.0) == pytest.approx(35.0)
+
+    def test_reference_loss_override(self):
+        model = LogDistancePathLoss(exponent=2.0, reference_loss_db=50.0)
+        assert model.loss_db(1.0) == pytest.approx(50.0)
+
+    def test_default_reference_matches_free_space(self):
+        model = LogDistancePathLoss(exponent=3.0, frequency_hz=2.412e9)
+        fs = FreeSpacePathLoss(frequency_hz=2.412e9)
+        assert model.loss_db(1.0) == pytest.approx(fs.loss_db(1.0))
+
+    def test_invalid_exponent(self):
+        with pytest.raises(RadioError):
+            LogDistancePathLoss(exponent=0.0)
+
+    def test_invalid_reference_distance(self):
+        with pytest.raises(RadioError):
+            LogDistancePathLoss(reference_distance_m=0.0)
+
+    @given(distances, distances)
+    def test_monotone(self, d1, d2):
+        model = LogDistancePathLoss(exponent=3.7, reference_loss_db=40.0)
+        lo, hi = sorted((d1, d2))
+        assert model.loss_db(lo) <= model.loss_db(hi) + 1e-9
+
+
+class TestTwoRay:
+    def test_free_space_regime_below_crossover(self):
+        model = TwoRayGroundPathLoss(tx_height_m=5.0, rx_height_m=1.5)
+        d = model.crossover_distance_m * 0.5
+        fs = FreeSpacePathLoss(model.frequency_hz, model.min_distance_m)
+        assert model.loss_db(d) == pytest.approx(fs.loss_db(d))
+
+    def test_40db_per_decade_beyond_crossover(self):
+        model = TwoRayGroundPathLoss()
+        d = model.crossover_distance_m * 2.0
+        assert model.loss_db(10.0 * d) - model.loss_db(d) == pytest.approx(40.0)
+
+    def test_crossover_formula(self):
+        model = TwoRayGroundPathLoss(
+            tx_height_m=5.0, rx_height_m=1.5, frequency_hz=2.412e9
+        )
+        wavelength = 299_792_458.0 / 2.412e9
+        expected = 4.0 * math.pi * 5.0 * 1.5 / wavelength
+        assert model.crossover_distance_m == pytest.approx(expected)
+
+    def test_invalid_heights(self):
+        with pytest.raises(RadioError):
+            TwoRayGroundPathLoss(tx_height_m=0.0)
+
+    @given(st.floats(min_value=1.0, max_value=50_000.0))
+    def test_loss_positive_and_finite(self, d):
+        model = TwoRayGroundPathLoss()
+        loss = model.loss_db(d)
+        assert math.isfinite(loss)
+        assert loss > 0.0

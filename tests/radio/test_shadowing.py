@@ -1,0 +1,144 @@
+"""Shadowing processes: correlation structure and composition."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RadioError
+from repro.geom import Vec2
+from repro.radio.shadowing import (
+    CompositeShadowing,
+    GudmundsonShadowing,
+    NoShadowing,
+    TemporalTxShadowing,
+)
+
+
+def rng():
+    return np.random.default_rng(123)
+
+
+class TestNoShadowing:
+    def test_always_zero(self):
+        model = NoShadowing()
+        assert model.sample_db(("a", "b"), Vec2(0, 0), Vec2(5, 5)) == 0.0
+
+    def test_reset_is_noop(self):
+        NoShadowing().reset()
+
+
+class TestGudmundson:
+    def test_stationary_link_keeps_value(self):
+        model = GudmundsonShadowing(rng(), sigma_db=6.0)
+        link = ("ap", "car")
+        first = model.sample_db(link, Vec2(0, 0), Vec2(10, 0))
+        second = model.sample_db(link, Vec2(0, 0), Vec2(10, 0))
+        assert second == pytest.approx(first)
+
+    def test_long_movement_decorrelates(self):
+        model = GudmundsonShadowing(
+            rng(), sigma_db=6.0, decorrelation_distance_m=10.0
+        )
+        link = ("ap", "car")
+        values = [model.sample_db(link, Vec2(0, 0), Vec2(1000.0 * i, 0)) for i in range(300)]
+        # Essentially i.i.d. N(0, 6²): sample std close to 6.
+        assert np.std(values) == pytest.approx(6.0, rel=0.25)
+
+    def test_small_steps_are_correlated(self):
+        model = GudmundsonShadowing(
+            rng(), sigma_db=6.0, decorrelation_distance_m=50.0
+        )
+        link = ("ap", "car")
+        previous = model.sample_db(link, Vec2(0, 0), Vec2(0, 0))
+        diffs = []
+        for i in range(1, 200):
+            value = model.sample_db(link, Vec2(0, 0), Vec2(0.5 * i, 0))
+            diffs.append(value - previous)
+            previous = value
+        # Step-to-step changes must be much smaller than the marginal std.
+        assert np.std(diffs) < 2.5
+
+    def test_different_links_independent(self):
+        model = GudmundsonShadowing(rng(), sigma_db=6.0)
+        a = [model.sample_db(("ap", f"c{i}"), Vec2(0, 0), Vec2(5, 0)) for i in range(200)]
+        assert np.std(a) == pytest.approx(6.0, rel=0.3)
+
+    def test_reset_forgets_state(self):
+        model = GudmundsonShadowing(rng(), sigma_db=6.0)
+        link = ("ap", "car")
+        first = model.sample_db(link, Vec2(0, 0), Vec2(0, 0))
+        model.reset()
+        second = model.sample_db(link, Vec2(0, 0), Vec2(0, 0))
+        assert first != second  # fresh draw, not the stored value
+
+    def test_validation(self):
+        with pytest.raises(RadioError):
+            GudmundsonShadowing(rng(), sigma_db=-1.0)
+        with pytest.raises(RadioError):
+            GudmundsonShadowing(rng(), decorrelation_distance_m=0.0)
+
+
+class TestTemporalTx:
+    def test_same_instant_same_value_for_all_hub_links(self):
+        model = TemporalTxShadowing(rng(), sigma_db=4.0, tau_s=2.0, hub="ap")
+        a = model.sample_db(("ap", "car1"), Vec2(0, 0), Vec2(5, 0), time=1.0)
+        b = model.sample_db(("car2", "ap"), Vec2(0, 0), Vec2(9, 0), time=1.0)
+        assert b == pytest.approx(a)
+
+    def test_non_hub_links_have_own_processes(self):
+        model = TemporalTxShadowing(rng(), sigma_db=4.0, tau_s=2.0, hub="ap")
+        a = model.sample_db(("car1", "car2"), Vec2(0, 0), Vec2(5, 0), time=1.0)
+        b = model.sample_db(("car1", "car3"), Vec2(0, 0), Vec2(5, 0), time=1.0)
+        assert a != b
+
+    def test_long_gap_decorrelates(self):
+        model = TemporalTxShadowing(rng(), sigma_db=4.0, tau_s=1.0, hub="ap")
+        values = [
+            model.sample_db(("ap", "c"), Vec2(0, 0), Vec2(0, 0), time=100.0 * i)
+            for i in range(300)
+        ]
+        assert np.std(values) == pytest.approx(4.0, rel=0.25)
+
+    def test_short_gap_correlated(self):
+        model = TemporalTxShadowing(rng(), sigma_db=4.0, tau_s=10.0, hub="ap")
+        v0 = model.sample_db(("ap", "c"), Vec2(0, 0), Vec2(0, 0), time=0.0)
+        v1 = model.sample_db(("ap", "c"), Vec2(0, 0), Vec2(0, 0), time=0.01)
+        assert abs(v1 - v0) < 1.0
+
+    def test_validation(self):
+        with pytest.raises(RadioError):
+            TemporalTxShadowing(rng(), sigma_db=-1.0)
+        with pytest.raises(RadioError):
+            TemporalTxShadowing(rng(), tau_s=0.0)
+
+    def test_reset(self):
+        model = TemporalTxShadowing(rng(), sigma_db=4.0, hub="ap")
+        first = model.sample_db(("ap", "c"), Vec2(0, 0), Vec2(0, 0), time=0.0)
+        model.reset()
+        second = model.sample_db(("ap", "c"), Vec2(0, 0), Vec2(0, 0), time=0.0)
+        assert first != second
+
+
+class TestComposite:
+    def test_sums_components(self):
+        class Constant(NoShadowing):
+            def __init__(self, value):
+                self.value = value
+
+            def sample_db(self, link, tx_pos, rx_pos, time=0.0):
+                return self.value
+
+        model = CompositeShadowing([Constant(2.0), Constant(-0.5)])
+        assert model.sample_db(("a", "b"), Vec2(0, 0), Vec2(0, 0)) == pytest.approx(1.5)
+
+    def test_requires_components(self):
+        with pytest.raises(RadioError):
+            CompositeShadowing([])
+
+    def test_reset_propagates(self):
+        inner = GudmundsonShadowing(rng(), sigma_db=6.0)
+        model = CompositeShadowing([inner])
+        link = ("a", "b")
+        first = model.sample_db(link, Vec2(0, 0), Vec2(0, 0))
+        model.reset()
+        second = model.sample_db(link, Vec2(0, 0), Vec2(0, 0))
+        assert first != second

@@ -1,0 +1,120 @@
+"""Event ordering and the lazy-deletion queue."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.event import Event, Priority
+from repro.sim.scheduler import EventQueue
+
+
+def make_event(time, priority=Priority.NORMAL, seq=0):
+    return Event(time, priority, seq, lambda: None, ())
+
+
+class TestOrdering:
+    def test_time_order(self):
+        q = EventQueue()
+        q.push(make_event(2.0, seq=0))
+        q.push(make_event(1.0, seq=1))
+        assert q.pop().time == 1.0
+        assert q.pop().time == 2.0
+
+    def test_priority_breaks_time_ties(self):
+        q = EventQueue()
+        q.push(make_event(1.0, Priority.LATE, seq=0))
+        q.push(make_event(1.0, Priority.URGENT, seq=1))
+        q.push(make_event(1.0, Priority.NORMAL, seq=2))
+        assert q.pop().priority is Priority.URGENT
+        assert q.pop().priority is Priority.NORMAL
+        assert q.pop().priority is Priority.LATE
+
+    def test_seq_breaks_full_ties_fifo(self):
+        q = EventQueue()
+        events = [make_event(1.0, seq=i) for i in range(5)]
+        for e in reversed(events):
+            q.push(e)
+        assert [q.pop().seq for _ in range(5)] == [0, 1, 2, 3, 4]
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self):
+        q = EventQueue()
+        victim = make_event(1.0, seq=0)
+        survivor = make_event(2.0, seq=1)
+        q.push(victim)
+        q.push(survivor)
+        victim.cancel()
+        q.note_cancelled()
+        assert q.pop() is survivor
+
+    def test_len_counts_live_only(self):
+        q = EventQueue()
+        e = make_event(1.0)
+        q.push(e)
+        assert len(q) == 1
+        e.cancel()
+        q.note_cancelled()
+        assert len(q) == 0
+        assert not q
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop()
+
+    def test_peek_skips_cancelled(self):
+        q = EventQueue()
+        dead = make_event(1.0, seq=0)
+        q.push(dead)
+        q.push(make_event(5.0, seq=1))
+        dead.cancel()
+        q.note_cancelled()
+        assert q.peek_time() == 5.0
+
+    def test_peek_empty_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue().peek_time()
+
+    def test_compact_preserves_live(self):
+        q = EventQueue()
+        keep = make_event(3.0, seq=0)
+        drop = make_event(1.0, seq=1)
+        q.push(keep)
+        q.push(drop)
+        drop.cancel()
+        q.note_cancelled()
+        q.compact()
+        assert len(q) == 1
+        assert q.pop() is keep
+
+    def test_clear(self):
+        q = EventQueue()
+        q.push(make_event(1.0))
+        q.clear()
+        assert len(q) == 0
+
+    def test_cancel_idempotent(self):
+        e = make_event(1.0)
+        e.cancel()
+        e.cancel()
+        assert e.cancelled
+
+
+class TestHeapProperty:
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=1e6),
+                st.sampled_from(list(Priority)),
+            ),
+            min_size=1,
+            max_size=200,
+        )
+    )
+    def test_pops_in_sorted_key_order(self, items):
+        q = EventQueue()
+        for seq, (time, priority) in enumerate(items):
+            q.push(make_event(time, priority, seq))
+        keys = []
+        while q:
+            keys.append(q.pop().sort_key())
+        assert keys == sorted(keys)

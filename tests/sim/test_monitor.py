@@ -1,0 +1,89 @@
+"""Monitor time-series statistics."""
+
+import pytest
+
+from repro.sim import Monitor
+
+
+class TestRecording:
+    def test_iteration_and_len(self):
+        m = Monitor("m")
+        m.record(0.0, 1.0)
+        m.record(1.0, 2.0)
+        assert len(m) == 2
+        assert list(m) == [(0.0, 1.0), (1.0, 2.0)]
+
+    def test_times_and_values_are_copies(self):
+        m = Monitor()
+        m.record(0.0, 1.0)
+        m.times.append(99.0)
+        assert m.times == [0.0]
+
+    def test_time_must_not_decrease(self):
+        m = Monitor()
+        m.record(1.0, 0.0)
+        with pytest.raises(ValueError):
+            m.record(0.5, 0.0)
+
+    def test_equal_times_allowed(self):
+        m = Monitor()
+        m.record(1.0, 0.0)
+        m.record(1.0, 1.0)
+        assert len(m) == 2
+
+    def test_clear(self):
+        m = Monitor()
+        m.record(0.0, 1.0)
+        m.clear()
+        assert len(m) == 0
+
+
+class TestStatistics:
+    def test_mean(self):
+        m = Monitor()
+        for t, v in enumerate([1.0, 2.0, 3.0]):
+            m.record(float(t), v)
+        assert m.mean() == pytest.approx(2.0)
+
+    def test_std_of_constant_is_zero(self):
+        m = Monitor()
+        for t in range(4):
+            m.record(float(t), 5.0)
+        assert m.std() == 0.0
+
+    def test_std_known_value(self):
+        m = Monitor()
+        for t, v in enumerate([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]):
+            m.record(float(t), v)
+        assert m.std() == pytest.approx(2.138, abs=1e-3)
+
+    def test_std_single_sample_zero(self):
+        m = Monitor()
+        m.record(0.0, 3.0)
+        assert m.std() == 0.0
+
+    def test_min_max(self):
+        m = Monitor()
+        for t, v in enumerate([3.0, -1.0, 2.0]):
+            m.record(float(t), v)
+        assert m.minimum() == -1.0
+        assert m.maximum() == 3.0
+
+    def test_empty_stats_raise(self):
+        m = Monitor("empty")
+        for method in (m.mean, m.std, m.minimum, m.maximum):
+            with pytest.raises(ValueError):
+                method()
+
+    def test_time_average_zero_order_hold(self):
+        m = Monitor()
+        m.record(0.0, 0.0)
+        m.record(1.0, 10.0)  # value 0 held for 1 s
+        m.record(3.0, 0.0)   # value 10 held for 2 s
+        assert m.time_average() == pytest.approx(20.0 / 3.0)
+
+    def test_time_average_needs_two_samples(self):
+        m = Monitor()
+        m.record(0.0, 1.0)
+        with pytest.raises(ValueError):
+            m.time_average()

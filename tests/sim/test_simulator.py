@@ -1,0 +1,161 @@
+"""Simulator clock and event-loop semantics."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Priority, Simulator
+
+
+class TestScheduling:
+    def test_callbacks_run_in_time_order(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(2.0, log.append, "b")
+        sim.schedule(1.0, log.append, "a")
+        sim.run()
+        assert log == ["a", "b"]
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [1.5]
+
+    def test_same_time_fifo(self):
+        sim = Simulator()
+        log = []
+        for i in range(5):
+            sim.schedule(1.0, log.append, i)
+        sim.run()
+        assert log == [0, 1, 2, 3, 4]
+
+    def test_priority_at_same_instant(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, log.append, "normal")
+        sim.schedule(1.0, log.append, "urgent", priority=Priority.URGENT)
+        sim.run()
+        assert log == ["urgent", "normal"]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        assert sim.now == 5.0
+        with pytest.raises(SimulationError):
+            sim.schedule_at(4.0, lambda: None)
+
+    def test_nested_scheduling_from_callback(self):
+        sim = Simulator()
+        log = []
+
+        def outer():
+            log.append(("outer", sim.now))
+            sim.schedule(1.0, inner)
+
+        def inner():
+            log.append(("inner", sim.now))
+
+        sim.schedule(1.0, outer)
+        sim.run()
+        assert log == [("outer", 1.0), ("inner", 2.0)]
+
+
+class TestRunUntil:
+    def test_until_stops_before_later_events(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, log.append, "early")
+        sim.schedule(10.0, log.append, "late")
+        sim.run(until=5.0)
+        assert log == ["early"]
+        assert sim.now == 5.0
+        assert sim.pending_events == 1
+
+    def test_until_advances_clock_even_without_events(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run(until=100.0)
+        assert sim.now == 100.0
+
+    def test_tiled_runs_continue(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, log.append, 1)
+        sim.schedule(7.0, log.append, 7)
+        sim.run(until=5.0)
+        sim.run(until=10.0)
+        assert log == [1, 7]
+
+    def test_event_exactly_at_until_runs(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(5.0, log.append, "edge")
+        sim.run(until=5.0)
+        assert log == ["edge"]
+
+
+class TestStopAndStep:
+    def test_stop_halts_loop(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, lambda: (log.append(1), sim.stop()))
+        sim.schedule(2.0, log.append, 2)
+        sim.run()
+        assert log == [1]
+        assert sim.pending_events == 1
+
+    def test_step_runs_single_event(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, log.append, "x")
+        sim.schedule(2.0, log.append, "y")
+        assert sim.step()
+        assert log == ["x"]
+
+    def test_step_on_empty_returns_false(self):
+        assert not Simulator().step()
+
+    def test_run_not_reentrant(self):
+        sim = Simulator()
+        errors = []
+
+        def reenter():
+            try:
+                sim.run()
+            except SimulationError as exc:
+                errors.append(exc)
+
+        sim.schedule(1.0, reenter)
+        sim.run()
+        assert len(errors) == 1
+
+
+class TestCancel:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        log = []
+        event = sim.schedule(1.0, log.append, "no")
+        sim.cancel(event)
+        sim.run()
+        assert log == []
+
+    def test_cancel_idempotent_and_counts_once(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        sim.cancel(event)
+        sim.cancel(event)
+        assert sim.pending_events == 0
+
+
+class TestStreams:
+    def test_seeded_streams_reproducible(self):
+        a = Simulator(seed=42).streams.get("x").random(5).tolist()
+        b = Simulator(seed=42).streams.get("x").random(5).tolist()
+        assert a == b

@@ -1,0 +1,47 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_table1_defaults(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.rounds == 15
+        assert args.seed == 2008
+
+    def test_highway_speed_list(self):
+        args = build_parser().parse_args(["highway", "--speeds", "30,60"])
+        assert args.speeds == "30,60"
+
+    def test_figures_flow(self):
+        args = build_parser().parse_args(["figures", "--flow", "2"])
+        assert args.flow == 2
+
+
+class TestCommands:
+    def test_table1_runs(self, capsys):
+        assert main(["table1", "--rounds", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Lost before coop" in out
+        assert "Paper before" in out
+
+    def test_figures_runs(self, capsys):
+        assert main(["figures", "--rounds", "2", "--flow", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 3" in out
+        assert "Figure 6" in out
+        assert "Region I" in out
+
+    def test_figures_rejects_unknown_flow(self, capsys):
+        assert main(["figures", "--rounds", "2", "--flow", "9"]) == 2
+
+    def test_highway_runs(self, capsys):
+        assert main(["highway", "--speeds", "80", "--rounds", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "km/h" in out

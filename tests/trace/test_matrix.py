@@ -1,0 +1,135 @@
+"""Reception matrix: the paper's core post-processing structure."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import AnalysisError
+from repro.mac.frames import NodeId
+from repro.trace.matrix import ReceptionMatrix
+
+CAR1, CAR2, CAR3 = NodeId(1), NodeId(2), NodeId(3)
+
+
+def build(direct1, direct2, direct3, recovered):
+    return ReceptionMatrix.build(
+        CAR1,
+        {CAR1: set(direct1), CAR2: set(direct2), CAR3: set(direct3)},
+        set(recovered),
+    )
+
+
+class TestBuild:
+    def test_window_spans_all_receptions(self):
+        matrix = build({5, 6}, {3}, {9}, set())
+        assert matrix.window == (3, 9)
+        assert matrix.tx_by_ap == 7
+
+    def test_empty_round_returns_none(self):
+        assert build(set(), set(), set(), set()) is None
+
+    def test_recovered_outside_window_clipped(self):
+        matrix = build({5}, {6}, set(), {100})
+        assert 100 not in matrix.after_coop
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(AnalysisError):
+            ReceptionMatrix(
+                flow=CAR1, window=(5, 3), direct={}, after_coop=frozenset()
+            )
+
+
+class TestTable1Columns:
+    def test_lost_before(self):
+        matrix = build({1, 3}, {2}, set(), set())
+        # Window [1,3]; destination has 1 and 3 → lost 1 (seq 2).
+        assert matrix.lost_before_coop == 1
+
+    def test_lost_after(self):
+        matrix = build({1, 3}, {2}, set(), {2})
+        assert matrix.lost_after_coop == 0
+
+    def test_joint(self):
+        matrix = build({1}, {3}, {5}, set())
+        assert matrix.joint == {1, 3, 5}
+        assert matrix.lost_joint == 2  # seqs 2 and 4
+
+    def test_after_coop_counts_direct_plus_recovered(self):
+        matrix = build({1, 5}, {2, 3}, set(), {3})
+        assert matrix.after_coop == {1, 3, 5}
+        assert matrix.lost_after_coop == 2  # 2 and 4
+
+
+class TestIndicators:
+    def test_direct_indicator(self):
+        matrix = build({1, 3}, {2}, set(), set())
+        assert matrix.direct_indicator(CAR1) == [True, False, True]
+        assert matrix.direct_indicator(CAR2) == [False, True, False]
+
+    def test_after_coop_indicator(self):
+        matrix = build({1, 3}, {2}, set(), {2})
+        assert matrix.after_coop_indicator() == [True, True, True]
+
+    def test_joint_indicator(self):
+        matrix = build({1}, {3}, set(), set())
+        assert matrix.joint_indicator() == [True, False, True]
+
+    def test_packet_number(self):
+        matrix = build({10, 20}, set(), set(), set())
+        assert matrix.packet_number(10) == 1
+        assert matrix.packet_number(20) == 11
+        with pytest.raises(AnalysisError):
+            matrix.packet_number(9)
+
+    def test_unknown_observer_all_false(self):
+        matrix = build({1, 2}, set(), set(), set())
+        assert matrix.direct_indicator(NodeId(42)) == [False, False]
+
+
+class TestOptimality:
+    def test_no_violations_when_recovered_from_platoon(self):
+        matrix = build({1}, {2, 3}, set(), {2, 3})
+        assert matrix.optimality_violations() == frozenset()
+
+    def test_violation_detected(self):
+        matrix = build({1, 4}, set(), set(), {2})
+        # Seq 2 was received by nobody yet appears recovered.
+        assert matrix.optimality_violations() == {2}
+
+
+seq_sets = st.sets(st.integers(min_value=1, max_value=60), max_size=30)
+
+
+class TestInvariants:
+    @given(seq_sets, seq_sets, seq_sets)
+    def test_joint_superset_of_each_car(self, d1, d2, d3):
+        matrix = build(d1, d2, d3, set())
+        if matrix is None:
+            return
+        for car in (CAR1, CAR2, CAR3):
+            direct = matrix.direct.get(car, frozenset())
+            assert direct <= matrix.joint
+
+    @given(seq_sets, seq_sets, seq_sets)
+    def test_loss_accounting_consistent(self, d1, d2, d3):
+        matrix = build(d1, d2, d3, set())
+        if matrix is None:
+            return
+        assert 0 <= matrix.lost_joint <= matrix.lost_after_coop
+        assert matrix.lost_after_coop <= matrix.lost_before_coop <= matrix.tx_by_ap
+
+    @given(seq_sets, seq_sets)
+    def test_recovering_joint_closes_gap_exactly(self, d1, d2):
+        """Recovering everything cooperators hold makes after == joint."""
+        matrix = build(d1, d2, set(), set(d2) - set(d1))
+        if matrix is None:
+            return
+        assert matrix.after_coop == matrix.joint
+        assert matrix.lost_after_coop == matrix.lost_joint
+
+    @given(seq_sets, seq_sets, seq_sets)
+    def test_indicator_lengths_match_window(self, d1, d2, d3):
+        matrix = build(d1, d2, d3, set())
+        if matrix is None:
+            return
+        assert len(matrix.direct_indicator(CAR1)) == matrix.tx_by_ap
+        assert len(matrix.joint_indicator()) == matrix.tx_by_ap
