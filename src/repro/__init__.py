@@ -28,6 +28,10 @@ Package map
 ``repro.experiments``
     Scenario builders, the paper-testbed configuration, sweeps and the
     multi-AP file-download study.
+``repro.campaign``
+    Campaign engine: declarative specs expanded into content-addressed
+    tasks, executed in parallel against a resumable JSONL result store
+    (the ``repro campaign`` CLI and every sweep run through it).
 """
 
 from repro.core import CarqConfig, CarqProtocol, VehicleNode

@@ -1,0 +1,68 @@
+"""Campaign engine: declarative, parallel, resumable experiment execution.
+
+The paper's every result is a pile of independent simulation rounds; this
+package turns "run one experiment" into "execute a campaign of many":
+
+* :mod:`repro.campaign.spec` — JSON-serialisable :class:`CampaignSpec`
+  (scenario kind + base config + parameter grid + rounds) expanded into
+  content-addressed :class:`TaskSpec` units;
+* :mod:`repro.campaign.seeding` — deterministic seed derivation, so
+  serial, parallel, and resumed runs are bit-identical;
+* :mod:`repro.campaign.executor` — multiprocessing fan-out with a serial
+  fallback and store-backed caching;
+* :mod:`repro.campaign.store` — append-only JSONL result store keyed by
+  task content hash (resume-after-interrupt) plus an in-memory variant;
+* :mod:`repro.campaign.report` — folds stored rows back into the
+  existing :class:`SweepPoint` / Table-1 shapes;
+* :mod:`repro.campaign.progress` — tick/rate/ETA reporting.
+
+The legacy sweeps in :mod:`repro.experiments.sweeps` and the ``repro
+campaign`` CLI are both fronts over this engine.
+"""
+
+from repro.campaign.executor import CampaignRunStats, execute_task, run_campaign
+from repro.campaign.progress import ProgressReporter
+from repro.campaign.report import (
+    DownloadSummary,
+    SweepPoint,
+    aggregate_matrices,
+    download_summaries,
+    matrices_by_round,
+    sweep_points,
+)
+from repro.campaign.seeding import derive_seed, point_seed
+from repro.campaign.spec import (
+    CampaignSpec,
+    GridAxis,
+    GridPoint,
+    TaskSpec,
+    axis,
+    config_from_dict,
+    config_to_dict,
+)
+from repro.campaign.store import JsonlStore, MemoryStore, ResultStore
+
+__all__ = [
+    "CampaignRunStats",
+    "CampaignSpec",
+    "DownloadSummary",
+    "GridAxis",
+    "GridPoint",
+    "JsonlStore",
+    "MemoryStore",
+    "ProgressReporter",
+    "ResultStore",
+    "SweepPoint",
+    "TaskSpec",
+    "aggregate_matrices",
+    "axis",
+    "config_from_dict",
+    "config_to_dict",
+    "derive_seed",
+    "download_summaries",
+    "execute_task",
+    "matrices_by_round",
+    "point_seed",
+    "run_campaign",
+    "sweep_points",
+]

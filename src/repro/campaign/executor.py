@@ -1,0 +1,179 @@
+"""Campaign execution: task dispatch, process fan-out, caching.
+
+``run_campaign`` expands a spec, skips every task already present in the
+store (the cache/resume path), and executes the remainder — serially or
+across a ``multiprocessing`` pool.  Rounds are i.i.d. repetitions and the
+simulation seed of each task is fixed by its spec (see
+:mod:`repro.campaign.seeding`), so scheduling order and worker count
+never change a row: parallel speed is free of reproducibility cost.
+
+The worker function is a module-level single-task runner so it pickles
+into pool processes; each task builds one round, runs it, and reduces it
+to the JSON row stored for reporting.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import time
+from dataclasses import dataclass
+
+from repro.campaign.progress import ProgressReporter
+from repro.campaign.spec import CampaignSpec, TaskSpec
+from repro.campaign.store import ResultStore, encode_matrix
+from repro.errors import CampaignError
+
+
+def _urban_row(task: TaskSpec) -> dict:
+    from repro.experiments.runner import collect_round
+    from repro.experiments.scenario import build_urban_round
+
+    ctx = build_urban_round(task.config(), task.round_index)
+    ctx.run()
+    outcome = collect_round(ctx, task.round_index)
+    return {
+        "matrices": [encode_matrix(m) for m in outcome.matrices.values()],
+        "frames_sent": {
+            str(int(node)): count for node, count in outcome.frames_sent.items()
+        },
+    }
+
+
+def _highway_row(task: TaskSpec) -> dict:
+    from repro.experiments.highway import build_highway_round, collect_highway_matrices
+
+    ctx = build_highway_round(task.config(), task.round_index)
+    ctx.run()
+    matrices = collect_highway_matrices(ctx)
+    return {"matrices": [encode_matrix(m) for m in matrices.values()]}
+
+
+def _multi_ap_row(task: TaskSpec) -> dict:
+    from repro.experiments.multi_ap import run_multi_ap_round
+
+    outcomes = run_multi_ap_round(task.config(), task.round_index)
+    encoded = []
+    for outcome in outcomes:
+        encoded.append(
+            {
+                "car": int(outcome.car),
+                "aps_visited_coop": (
+                    None
+                    if math.isinf(outcome.aps_visited_coop)
+                    else outcome.aps_visited_coop
+                ),
+                "aps_visited_direct": (
+                    None
+                    if math.isinf(outcome.aps_visited_direct)
+                    else outcome.aps_visited_direct
+                ),
+                "completion_time_coop": outcome.completion_time_coop,
+                "completion_time_direct": outcome.completion_time_direct,
+            }
+        )
+    return {"outcomes": encoded}
+
+
+_SCENARIO_RUNNERS = {
+    "urban": _urban_row,
+    "highway": _highway_row,
+    "multi_ap": _multi_ap_row,
+}
+
+
+def execute_task(task: TaskSpec) -> dict:
+    """Run one task to completion and return its result row."""
+    runner = _SCENARIO_RUNNERS.get(task.scenario)
+    if runner is None:
+        raise CampaignError(f"unknown scenario kind {task.scenario!r}")
+    return runner(task)
+
+
+def _execute_keyed(task: TaskSpec) -> tuple[str, str, dict]:
+    """Pool worker: identify the result so completion order can be free."""
+    return task.task_id(), task.key(), execute_task(task)
+
+
+@dataclass(frozen=True)
+class CampaignRunStats:
+    """What one ``run_campaign`` call did."""
+
+    total: int
+    executed: int
+    cached: int
+    workers: int
+    elapsed_s: float
+
+
+def _pool_context():
+    """Fork where available (cheap, inherits imports), else spawn."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context("spawn")
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    store: ResultStore,
+    *,
+    workers: int = 1,
+    progress: ProgressReporter | None = None,
+) -> CampaignRunStats:
+    """Execute every task of *spec* not already present in *store*.
+
+    Parameters
+    ----------
+    spec:
+        The campaign to run.
+    store:
+        Result store consulted for cached rows and extended with new
+        ones; pass a fresh :class:`~repro.campaign.store.MemoryStore`
+        for one-shot in-process sweeps or a
+        :class:`~repro.campaign.store.JsonlStore` for resumable runs.
+    workers:
+        Process count; ``1`` executes inline (no pool), which is also
+        the fallback when only one task is pending.
+    progress:
+        Optional reporter ticked once per task (cached ones included).
+    """
+    if workers < 1:
+        raise CampaignError("need at least one worker")
+    start = time.perf_counter()
+    tasks = spec.expand()
+    pending: list[TaskSpec] = []
+    cached = 0
+    for task in tasks:
+        if store.has(task.task_id()):
+            cached += 1
+            if progress is not None:
+                progress.tick(cached=True)
+        else:
+            pending.append(task)
+
+    if workers == 1 or len(pending) <= 1:
+        for task in pending:
+            store.put(task.task_id(), task.key(), execute_task(task))
+            if progress is not None:
+                progress.tick()
+    else:
+        ctx = _pool_context()
+        with ctx.Pool(processes=min(workers, len(pending))) as pool:
+            # Unordered: each row is persisted the moment its task
+            # finishes, so an interrupt behind a straggler never discards
+            # completed work the resumable store exists to preserve.
+            for task_id, key, row in pool.imap_unordered(
+                _execute_keyed, pending, chunksize=1
+            ):
+                store.put(task_id, key, row)
+                if progress is not None:
+                    progress.tick()
+
+    return CampaignRunStats(
+        total=len(tasks),
+        executed=len(pending),
+        cached=cached,
+        workers=workers,
+        elapsed_s=time.perf_counter() - start,
+    )

@@ -1,0 +1,197 @@
+"""Aggregation of stored campaign rows into the paper's result shapes.
+
+This is the read side of the engine: it never simulates, only folds the
+JSON rows a campaign stored back into the objects the existing analysis
+stack consumes — :class:`SweepPoint` lists for the sweep tables and
+``matrices_by_round`` lists for ``compute_table1`` / the figure curves.
+
+:class:`SweepPoint` lives here (re-exported by
+:mod:`repro.experiments.sweeps` for compatibility) because aggregation is
+now a store concern: the serial sweeps are thin wrappers over a campaign
+run followed by these folds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.campaign.spec import CampaignSpec, TaskSpec
+from repro.campaign.store import ResultStore, decode_matrix
+from repro.errors import CampaignError
+from repro.mac.frames import NodeId
+from repro.trace.matrix import ReceptionMatrix
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One sweep sample: loss fractions aggregated over cars and rounds."""
+
+    parameter: float | str
+    tx_by_ap_mean: float
+    lost_before_fraction: float
+    lost_after_fraction: float
+
+    @property
+    def reduction_fraction(self) -> float:
+        """Relative loss reduction achieved by cooperation."""
+        if self.lost_before_fraction == 0.0:
+            return 0.0
+        return 1.0 - self.lost_after_fraction / self.lost_before_fraction
+
+
+def aggregate_matrices(
+    matrices_by_round: list[dict[NodeId, ReceptionMatrix]], parameter
+) -> SweepPoint:
+    """Fold per-round reception matrices into one :class:`SweepPoint`."""
+    tx = before = after = 0
+    n = 0
+    for round_matrices in matrices_by_round:
+        for matrix in round_matrices.values():
+            tx += matrix.tx_by_ap
+            before += matrix.lost_before_coop
+            after += matrix.lost_after_coop
+            n += 1
+    if n == 0 or tx == 0:
+        raise CampaignError(
+            f"sweep point {parameter!r} produced no reception data"
+        )
+    return SweepPoint(
+        parameter=parameter,
+        tx_by_ap_mean=tx / n,
+        lost_before_fraction=before / tx,
+        lost_after_fraction=after / tx,
+    )
+
+
+def _point_tasks(spec: CampaignSpec) -> list[tuple[tuple, list[TaskSpec]]]:
+    """Tasks grouped by grid point, grid order, rounds ascending."""
+    groups: dict[tuple, list[TaskSpec]] = {
+        labels: [] for labels, _ in spec.points()
+    }
+    for task in spec.expand():
+        groups[task.labels].append(task)
+    return list(groups.items())
+
+
+def _fetch_row(store: ResultStore, task: TaskSpec) -> dict:
+    task_id = task.task_id()
+    if not store.has(task_id):
+        raise CampaignError(
+            f"campaign {task.campaign!r} is incomplete: no stored row for "
+            f"point {task.labels!r} round {task.round_index} — "
+            "resume the run to fill the store"
+        )
+    return store.get(task_id)
+
+
+def _parameter(labels: tuple):
+    return labels[0] if len(labels) == 1 else labels
+
+
+def matrices_by_round(
+    store: ResultStore, spec: CampaignSpec, labels: tuple | None = None
+) -> list[dict[NodeId, ReceptionMatrix]]:
+    """Stored matrices of one grid point, in round order.
+
+    The return shape is exactly what
+    :func:`repro.analysis.stats.compute_table1` and the figure curves
+    consume, so a campaign store can regenerate every paper artifact.
+    ``labels`` may be omitted for a gridless (single-point) campaign.
+    """
+    points = spec.points()
+    if labels is None:
+        if len(points) != 1:
+            raise CampaignError(
+                "campaign has several grid points; pass the labels of one"
+            )
+        labels = points[0][0]
+    for point_labels, tasks in _point_tasks(spec):
+        if point_labels != tuple(labels):
+            continue
+        rounds = []
+        for task in tasks:
+            row = _fetch_row(store, task)
+            matrices = [decode_matrix(m) for m in row.get("matrices", [])]
+            rounds.append({matrix.flow: matrix for matrix in matrices})
+        return rounds
+    raise CampaignError(f"grid point {labels!r} is not part of the campaign")
+
+
+def sweep_points(store: ResultStore, spec: CampaignSpec) -> list[SweepPoint]:
+    """One :class:`SweepPoint` per grid point, grid order.
+
+    Bit-identical to the legacy serial sweeps: the fold sums the same
+    integer counters over the same rounds, only sourced from the store.
+    """
+    if spec.scenario == "multi_ap":
+        raise CampaignError(
+            "multi_ap campaigns aggregate downloads, not sweep points; "
+            "use download_summary"
+        )
+    points = []
+    for labels, tasks in _point_tasks(spec):
+        rounds = []
+        for task in tasks:
+            row = _fetch_row(store, task)
+            matrices = [decode_matrix(m) for m in row.get("matrices", [])]
+            rounds.append({matrix.flow: matrix for matrix in matrices})
+        points.append(aggregate_matrices(rounds, _parameter(labels)))
+    return points
+
+
+@dataclass(frozen=True)
+class DownloadSummary:
+    """Aggregated multi-AP file-download outcome for one grid point."""
+
+    parameter: float | str
+    aps_visited_coop_mean: float
+    aps_visited_direct_mean: float
+    completed_pairs: int
+
+    @property
+    def visit_reduction_fraction(self) -> float:
+        """Relative reduction in AP visits achieved by cooperation."""
+        if self.aps_visited_direct_mean == 0.0:
+            return 0.0
+        return 1.0 - self.aps_visited_coop_mean / self.aps_visited_direct_mean
+
+
+def download_summaries(
+    store: ResultStore, spec: CampaignSpec
+) -> list[DownloadSummary]:
+    """Per-grid-point download summaries of a ``multi_ap`` campaign.
+
+    Cars that never completed the file under *direct* reception are
+    excluded (both columns), keeping the comparison paired — the same
+    rule the serial multi-AP CLI applies.
+    """
+    if spec.scenario != "multi_ap":
+        raise CampaignError("download_summaries requires a multi_ap campaign")
+    summaries = []
+    for labels, tasks in _point_tasks(spec):
+        coop = direct = 0.0
+        pairs = 0
+        for task in tasks:
+            row = _fetch_row(store, task)
+            for outcome in row.get("outcomes", []):
+                if outcome["aps_visited_direct"] is None:
+                    continue
+                coop_visits = outcome["aps_visited_coop"]
+                if coop_visits is None:
+                    continue
+                coop += coop_visits
+                direct += outcome["aps_visited_direct"]
+                pairs += 1
+        if pairs == 0:
+            raise CampaignError(
+                f"download point {labels!r}: no car completed the file"
+            )
+        summaries.append(
+            DownloadSummary(
+                parameter=_parameter(labels),
+                aps_visited_coop_mean=coop / pairs,
+                aps_visited_direct_mean=direct / pairs,
+                completed_pairs=pairs,
+            )
+        )
+    return summaries

@@ -1,0 +1,177 @@
+"""On-disk and in-memory result stores, keyed by task content hash.
+
+The JSONL store is the campaign engine's durability layer: every finished
+task appends one line ``{"task_id": …, "key": …, "row": …}`` and flushes,
+so an interrupted campaign loses at most the task that was mid-write.  On
+reopen the loader tolerates a truncated final line (the interrupt case)
+and simply re-executes that task; corruption anywhere else is an error —
+silent data loss in the middle of a store would skew reported results.
+
+Rows are plain JSON dicts.  Reception matrices — the common payload of
+urban/highway tasks — get an explicit codec here so the report layer can
+rebuild real :class:`~repro.trace.matrix.ReceptionMatrix` objects and
+feed the existing Table-1/figure pipelines unchanged.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Iterator
+
+from repro.errors import CampaignError
+from repro.mac.frames import NodeId
+from repro.trace.matrix import ReceptionMatrix
+
+
+def encode_matrix(matrix: ReceptionMatrix) -> dict:
+    """JSON shape of a reception matrix."""
+    return {
+        "flow": int(matrix.flow),
+        "window": list(matrix.window),
+        "direct": {
+            str(int(car)): sorted(seqs) for car, seqs in matrix.direct.items()
+        },
+        "after_coop": sorted(matrix.after_coop),
+    }
+
+
+def decode_matrix(data: dict) -> ReceptionMatrix:
+    """Rebuild a reception matrix from its JSON shape."""
+    return ReceptionMatrix(
+        flow=NodeId(data["flow"]),
+        window=(data["window"][0], data["window"][1]),
+        direct={
+            NodeId(int(car)): frozenset(seqs)
+            for car, seqs in data["direct"].items()
+        },
+        after_coop=frozenset(data["after_coop"]),
+    )
+
+
+class ResultStore:
+    """Common interface of campaign result stores."""
+
+    def has(self, task_id: str) -> bool:
+        raise NotImplementedError
+
+    def get(self, task_id: str) -> dict:
+        raise NotImplementedError
+
+    def put(self, task_id: str, key: str, row: dict) -> None:
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def __contains__(self, task_id: str) -> bool:
+        return self.has(task_id)
+
+
+class MemoryStore(ResultStore):
+    """Ephemeral store: backs in-process sweeps and tests."""
+
+    def __init__(self) -> None:
+        self._rows: dict[str, dict] = {}
+
+    def has(self, task_id: str) -> bool:
+        return task_id in self._rows
+
+    def get(self, task_id: str) -> dict:
+        try:
+            return self._rows[task_id]
+        except KeyError:
+            raise CampaignError(f"no stored row for task {task_id}") from None
+
+    def put(self, task_id: str, key: str, row: dict) -> None:
+        self._rows[task_id] = row
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+
+class JsonlStore(ResultStore):
+    """Append-only JSONL store: caching and resume-after-interrupt.
+
+    Duplicate task ids are allowed on disk (a task re-run under a fresh
+    store handle); the last line wins, matching append order.
+    """
+
+    def __init__(self, path) -> None:
+        self.path = os.fspath(path)
+        self._rows: dict[str, dict] = {}
+        self._handle = None
+        self._needs_newline = False
+        parent = os.path.dirname(self.path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        if os.path.exists(self.path):
+            self._load()
+
+    def _load(self) -> None:
+        with open(self.path, "r", encoding="utf-8", newline="") as handle:
+            lines = handle.readlines()
+        consumed_bytes = 0
+        for index, line in enumerate(lines):
+            is_last = index == len(lines) - 1
+            if line.strip():
+                try:
+                    record = json.loads(line)
+                    task_id, row = record["task_id"], record["row"]
+                except (json.JSONDecodeError, KeyError, TypeError) as exc:
+                    if is_last:
+                        # Torn final write from an interrupted run: cut it
+                        # off so later appends start on a clean line; the
+                        # task simply re-executes on resume.
+                        os.truncate(self.path, consumed_bytes)
+                        return
+                    raise CampaignError(
+                        f"corrupt result store {self.path!r} at line "
+                        f"{index + 1}: {exc}"
+                    ) from None
+                self._rows[task_id] = row
+            consumed_bytes += len(line.encode("utf-8"))
+            if is_last and not line.endswith("\n"):
+                # Valid final record whose newline never made it to disk:
+                # keep the row, but terminate the line before appending.
+                self._needs_newline = True
+
+    def has(self, task_id: str) -> bool:
+        return task_id in self._rows
+
+    def get(self, task_id: str) -> dict:
+        try:
+            return self._rows[task_id]
+        except KeyError:
+            raise CampaignError(
+                f"no stored row for task {task_id} in {self.path!r}"
+            ) from None
+
+    def put(self, task_id: str, key: str, row: dict) -> None:
+        if self._handle is None:
+            self._handle = open(self.path, "a", encoding="utf-8")
+            if self._needs_newline:
+                self._handle.write("\n")
+                self._needs_newline = False
+        record = {"task_id": task_id, "key": key, "row": row}
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+        self._rows[task_id] = row
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "JsonlStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def rows(self) -> Iterator[tuple[str, dict]]:
+        """(task_id, row) pairs currently held."""
+        return iter(self._rows.items())

@@ -46,3 +46,11 @@ class ProtocolError(ReproError):
 
 class AnalysisError(ReproError):
     """Post-processing was asked to analyse inconsistent trace data."""
+
+
+class CampaignError(ReproError):
+    """A campaign spec, store, or execution request is invalid.
+
+    Examples: a spec that cannot be serialised to JSON, a corrupt result
+    store, or a report over a store that is missing task rows.
+    """

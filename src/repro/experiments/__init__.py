@@ -7,7 +7,8 @@
 * :mod:`repro.experiments.runner` — multi-round execution and result
   aggregation;
 * :mod:`repro.experiments.sweeps` — parameter sweeps (speed, platoon
-  size, bit-rate, hello period);
+  size, bit-rate, hello period), executed through the campaign engine
+  (:mod:`repro.campaign`);
 * :mod:`repro.experiments.multi_ap` — the §6 file-download-across-APs
   study.
 """

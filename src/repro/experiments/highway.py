@@ -186,23 +186,30 @@ def build_highway_round(cfg: HighwayConfig, round_index: int) -> HighwayRoundCon
     )
 
 
+def collect_highway_matrices(
+    ctx: HighwayRoundContext,
+) -> dict[NodeId, ReceptionMatrix]:
+    """Per-car reception matrices of one finished highway round."""
+    car_ids = list(ctx.cars)
+    matrices: dict[NodeId, ReceptionMatrix] = {}
+    for car_id, car in ctx.cars.items():
+        direct_by_car = {
+            observer: ctx.capture.delivered_seqs(observer, car_id)
+            for observer in car_ids
+        }
+        matrix = ReceptionMatrix.build(
+            car_id, direct_by_car, set(car.protocol.state.recovered)
+        )
+        if matrix is not None:
+            matrices[car_id] = matrix
+    return matrices
+
+
 def run_highway_experiment(cfg: HighwayConfig) -> list[dict[NodeId, ReceptionMatrix]]:
     """Run all rounds; returns per-round matrices per car."""
     results = []
     for index in range(cfg.rounds):
         ctx = build_highway_round(cfg, index)
         ctx.run()
-        car_ids = list(ctx.cars)
-        matrices: dict[NodeId, ReceptionMatrix] = {}
-        for car_id, car in ctx.cars.items():
-            direct_by_car = {
-                observer: ctx.capture.delivered_seqs(observer, car_id)
-                for observer in car_ids
-            }
-            matrix = ReceptionMatrix.build(
-                car_id, direct_by_car, set(car.protocol.state.recovered)
-            )
-            if matrix is not None:
-                matrices[car_id] = matrix
-        results.append(matrices)
+        results.append(collect_highway_matrices(ctx))
     return results

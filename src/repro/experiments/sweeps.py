@@ -4,54 +4,70 @@ Each sweep returns plain result rows so benchmarks and examples can print
 them directly.  Sweeps address the paper's open questions (§6): how the
 gain scales with platoon size, what the bit-rate head-room is, and how
 speed (the highway motivation, [1]) changes the picture.
+
+Since the campaign engine landed, every sweep here is a thin front over
+it: a ``*_spec`` builder turns the sweep into a declarative
+:class:`~repro.campaign.spec.CampaignSpec`, and the legacy entry points
+execute that spec through :func:`~repro.campaign.executor.run_campaign`
+into an in-memory store.  The ``repro campaign`` CLI runs the very same
+specs against an on-disk store, with worker fan-out and resume — and
+produces bit-identical :class:`SweepPoint` values, because task seeds
+depend only on the spec, never on scheduling (see
+:mod:`repro.campaign.seeding`).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-
-from repro.core.config import CarqConfig
-from repro.errors import ConfigurationError
-from repro.experiments.highway import HighwayConfig, run_highway_experiment
-from repro.experiments.runner import run_urban_experiment
+from repro.campaign.executor import run_campaign
+from repro.campaign.report import SweepPoint, sweep_points
+from repro.campaign.spec import CampaignSpec, GridAxis, GridPoint, axis, config_to_dict
+from repro.campaign.store import MemoryStore
+from repro.experiments.highway import HighwayConfig
 from repro.experiments.scenario import UrbanScenarioConfig
 
-
-@dataclass(frozen=True)
-class SweepPoint:
-    """One sweep sample: loss fractions aggregated over cars and rounds."""
-
-    parameter: float | str
-    tx_by_ap_mean: float
-    lost_before_fraction: float
-    lost_after_fraction: float
-
-    @property
-    def reduction_fraction(self) -> float:
-        """Relative loss reduction achieved by cooperation."""
-        if self.lost_before_fraction == 0.0:
-            return 0.0
-        return 1.0 - self.lost_after_fraction / self.lost_before_fraction
+__all__ = [
+    "SweepPoint",
+    "bitrate_spec",
+    "bitrate_sweep",
+    "hello_period_spec",
+    "hello_period_sweep",
+    "platoon_size_spec",
+    "platoon_size_sweep",
+    "speed_spec",
+    "speed_sweep",
+]
 
 
-def _aggregate(matrices_by_round, parameter) -> SweepPoint:
-    tx = before = after = 0
-    n = 0
-    for round_matrices in matrices_by_round:
-        for matrix in round_matrices.values():
-            tx += matrix.tx_by_ap
-            before += matrix.lost_before_coop
-            after += matrix.lost_after_coop
-            n += 1
-    if n == 0 or tx == 0:
-        raise ConfigurationError(
-            f"sweep point {parameter!r} produced no reception data"
+def _run(spec: CampaignSpec) -> list[SweepPoint]:
+    """Execute a spec in-process and fold it into sweep points."""
+    store = MemoryStore()
+    run_campaign(spec, store, workers=1)
+    return sweep_points(store, spec)
+
+
+def platoon_size_spec(
+    base: UrbanScenarioConfig, sizes: list[int], *, rounds: int = 8
+) -> CampaignSpec:
+    """Campaign spec of :func:`platoon_size_sweep`."""
+    points = []
+    for size in sizes:
+        styles = [("normal", "timid", "aggressive")[i % 3] for i in range(size)]
+        points.append(
+            GridPoint(
+                label=size,
+                overrides={
+                    "platoon.n_cars": size,
+                    "platoon.driver_styles": styles,
+                },
+            )
         )
-    return SweepPoint(
-        parameter=parameter,
-        tx_by_ap_mean=tx / n,
-        lost_before_fraction=before / tx,
-        lost_after_fraction=after / tx,
+    return CampaignSpec(
+        name="platoon-size",
+        scenario="urban",
+        seed=base.seed,
+        rounds=rounds,
+        base=config_to_dict(base),
+        axes=(GridAxis(name="platoon.n_cars", points=tuple(points)),),
     )
 
 
@@ -63,19 +79,21 @@ def platoon_size_sweep(
     More cars = more diversity = lower joint loss; the marginal gain
     shrinks, which is the cooperator-selection motivation (§6).
     """
-    points = []
-    for size in sizes:
-        styles = tuple(
-            ("normal", "timid", "aggressive")[i % 3] for i in range(size)
-        )
-        cfg = replace(
-            base,
-            rounds=rounds,
-            platoon=replace(base.platoon, n_cars=size, driver_styles=styles),
-        )
-        result = run_urban_experiment(cfg)
-        points.append(_aggregate(result.matrices_by_round(), size))
-    return points
+    return _run(platoon_size_spec(base, sizes, rounds=rounds))
+
+
+def bitrate_spec(
+    base: UrbanScenarioConfig, rate_names: list[str], *, rounds: int = 8
+) -> CampaignSpec:
+    """Campaign spec of :func:`bitrate_sweep`."""
+    return CampaignSpec(
+        name="bitrate",
+        scenario="urban",
+        seed=base.seed,
+        rounds=rounds,
+        base=config_to_dict(base),
+        axes=(axis("radio.rate_name", rate_names),),
+    )
 
 
 def bitrate_sweep(
@@ -87,14 +105,21 @@ def bitrate_sweep(
     the paper's closing question of whether C-ARQ "can allow to increment
     the bit rate used by the APs".
     """
-    points = []
-    for rate_name in rate_names:
-        cfg = replace(
-            base, rounds=rounds, radio=replace(base.radio, rate_name=rate_name)
-        )
-        result = run_urban_experiment(cfg)
-        points.append(_aggregate(result.matrices_by_round(), rate_name))
-    return points
+    return _run(bitrate_spec(base, rate_names, rounds=rounds))
+
+
+def hello_period_spec(
+    base: UrbanScenarioConfig, periods_s: list[float], *, rounds: int = 8
+) -> CampaignSpec:
+    """Campaign spec of :func:`hello_period_sweep`."""
+    return CampaignSpec(
+        name="hello-period",
+        scenario="urban",
+        seed=base.seed,
+        rounds=rounds,
+        base=config_to_dict(base),
+        axes=(axis("carq.hello_period_s", periods_s),),
+    )
 
 
 def hello_period_sweep(
@@ -105,25 +130,23 @@ def hello_period_sweep(
     Slower beacons delay cooperator discovery and stale the responder
     ordering; the sweep shows how much slack the 1 s default has.
     """
-    points = []
-    for period in periods_s:
-        cfg = replace(
-            base,
-            rounds=rounds,
-            carq=replace(base.carq, hello_period_s=period),
-        )
-        result = run_urban_experiment(cfg)
-        points.append(_aggregate(result.matrices_by_round(), period))
-    return points
+    return _run(hello_period_spec(base, periods_s, rounds=rounds))
+
+
+def speed_spec(base: HighwayConfig, speeds_ms: list[float]) -> CampaignSpec:
+    """Campaign spec of :func:`speed_sweep`."""
+    return CampaignSpec(
+        name="speed",
+        scenario="highway",
+        seed=base.seed,
+        rounds=base.rounds,
+        base=config_to_dict(base),
+        axes=(axis("speed_ms", speeds_ms),),
+    )
 
 
 def speed_sweep(
     base: HighwayConfig, speeds_ms: list[float]
 ) -> list[SweepPoint]:
     """Highway losses vs pass speed (the drive-thru motivation, [1])."""
-    points = []
-    for speed in speeds_ms:
-        cfg = replace(base, speed_ms=speed)
-        matrices_by_round = run_highway_experiment(cfg)
-        points.append(_aggregate(matrices_by_round, speed))
-    return points
+    return _run(speed_spec(base, speeds_ms))

@@ -1,0 +1,71 @@
+"""Progress reporting: ticks, throttling, ETA, summary."""
+
+import io
+
+from repro.campaign.progress import ProgressReporter, _format_duration
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestFormatDuration:
+    def test_minutes_seconds(self):
+        assert _format_duration(83.2) == "1:23"
+
+    def test_hours(self):
+        assert _format_duration(3723) == "1:02:03"
+
+
+class TestProgressReporter:
+    def make(self, total=4, interval=10.0):
+        clock = FakeClock()
+        stream = io.StringIO()
+        reporter = ProgressReporter(
+            total, name="camp", stream=stream, min_interval_s=interval, clock=clock
+        )
+        return reporter, clock, stream
+
+    def test_counts_cached_and_executed(self):
+        reporter, clock, _ = self.make()
+        reporter.tick(cached=True)
+        clock.now = 1.0
+        reporter.tick()
+        assert reporter.done == 2
+        assert reporter.cached == 1
+        assert reporter.executed == 1
+
+    def test_throttles_between_emits(self):
+        reporter, clock, stream = self.make(total=10, interval=10.0)
+        reporter.tick()          # first tick emits (last_emit = -inf)
+        clock.now = 1.0
+        reporter.tick()          # throttled
+        clock.now = 2.0
+        reporter.tick()          # throttled
+        assert len(stream.getvalue().splitlines()) == 1
+
+    def test_final_tick_always_emits(self):
+        reporter, clock, stream = self.make(total=2, interval=100.0)
+        reporter.tick()
+        clock.now = 0.5
+        reporter.tick()
+        lines = stream.getvalue().splitlines()
+        assert lines[-1].startswith("camp: 2/2 tasks")
+
+    def test_eta_appears_once_rate_known(self):
+        reporter, clock, stream = self.make(total=4, interval=0.0)
+        clock.now = 1.0
+        reporter.tick()
+        assert "ETA" in stream.getvalue()
+
+    def test_summary_line(self):
+        reporter, clock, _ = self.make(total=3)
+        reporter.tick(cached=True)
+        reporter.tick()
+        reporter.tick()
+        clock.now = 65.0
+        assert reporter.summary() == "camp: 2 executed, 1 cached of 3 tasks in 1:05"

@@ -1,0 +1,154 @@
+"""Report folds: sweep parity with the legacy serial path, Table-1 shapes."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.analysis import compute_table1
+from repro.campaign.executor import run_campaign
+from repro.campaign.report import (
+    DownloadSummary,
+    aggregate_matrices,
+    download_summaries,
+    matrices_by_round,
+    sweep_points,
+)
+from repro.campaign.spec import CampaignSpec, config_to_dict
+from repro.campaign.store import MemoryStore
+from repro.errors import CampaignError
+from repro.experiments.multi_ap import MultiApConfig
+from repro.experiments.runner import run_urban_experiment
+from repro.experiments.scenario import UrbanScenarioConfig
+from repro.experiments.sweeps import platoon_size_spec, platoon_size_sweep
+
+
+BASE = UrbanScenarioConfig(seed=55, round_duration_s=40.0)
+
+
+class TestSweepParity:
+    """The acceptance bar: campaign == legacy serial sweep, bit for bit."""
+
+    def test_platoon_sweep_matches_legacy_serial_loop(self):
+        legacy = []
+        for size in [1, 2]:
+            styles = tuple(
+                ("normal", "timid", "aggressive")[i % 3] for i in range(size)
+            )
+            cfg = replace(
+                BASE,
+                rounds=2,
+                platoon=replace(BASE.platoon, n_cars=size, driver_styles=styles),
+            )
+            result = run_urban_experiment(cfg)
+            legacy.append(aggregate_matrices(result.matrices_by_round(), size))
+
+        assert platoon_size_sweep(BASE, [1, 2], rounds=2) == legacy
+
+    def test_parallel_store_reports_identical_points(self, tmp_path):
+        from repro.campaign.store import JsonlStore
+
+        spec = platoon_size_spec(BASE, [1, 2], rounds=2)
+        with JsonlStore(tmp_path / "s.jsonl") as store:
+            run_campaign(spec, store, workers=2)
+            parallel_points = sweep_points(store, spec)
+        assert parallel_points == platoon_size_sweep(BASE, [1, 2], rounds=2)
+
+
+class TestMatricesByRound:
+    @pytest.fixture(scope="class")
+    def executed(self):
+        spec = CampaignSpec(
+            name="single",
+            scenario="urban",
+            seed=55,
+            rounds=2,
+            base=config_to_dict(BASE),
+        )
+        store = MemoryStore()
+        run_campaign(spec, store, workers=1)
+        return spec, store
+
+    def test_feeds_compute_table1(self, executed):
+        spec, store = executed
+        rounds = matrices_by_round(store, spec)
+        assert len(rounds) == 2
+        rows = compute_table1(rounds)
+        assert rows  # one row per car that associated
+
+    def test_matches_direct_runner_output(self, executed):
+        spec, store = executed
+        stored = matrices_by_round(store, spec)
+        direct = run_urban_experiment(replace(BASE, rounds=2)).matrices_by_round()
+        assert stored == direct
+
+    def test_requires_labels_when_gridded(self, tmp_path):
+        spec = platoon_size_spec(BASE, [1, 2], rounds=1)
+        with pytest.raises(CampaignError, match="grid point"):
+            matrices_by_round(MemoryStore(), spec)
+
+    def test_unknown_labels_rejected(self, executed):
+        spec, store = executed
+        with pytest.raises(CampaignError, match="not part"):
+            matrices_by_round(store, spec, labels=(99,))
+
+
+class TestIncompleteStore:
+    def test_missing_row_names_point_and_round(self):
+        spec = platoon_size_spec(BASE, [1], rounds=1)
+        with pytest.raises(CampaignError, match="resume"):
+            sweep_points(MemoryStore(), spec)
+
+
+class TestDownloadSummaries:
+    def spec(self) -> CampaignSpec:
+        return CampaignSpec(
+            name="dl",
+            scenario="multi_ap",
+            seed=77,
+            rounds=1,
+            base=config_to_dict(MultiApConfig()),
+        )
+
+    def put_row(self, store, spec, outcomes):
+        task = spec.expand()[0]
+        store.put(task.task_id(), task.key(), {"outcomes": outcomes})
+
+    def test_aggregates_paired_outcomes(self):
+        spec = self.spec()
+        store = MemoryStore()
+        self.put_row(
+            store,
+            spec,
+            [
+                {"aps_visited_coop": 2, "aps_visited_direct": 4},
+                {"aps_visited_coop": 3, "aps_visited_direct": 5},
+                {"aps_visited_coop": 1, "aps_visited_direct": None},  # unpaired
+            ],
+        )
+        (summary,) = download_summaries(store, spec)
+        assert summary.completed_pairs == 2
+        assert summary.aps_visited_coop_mean == pytest.approx(2.5)
+        assert summary.aps_visited_direct_mean == pytest.approx(4.5)
+        assert summary.visit_reduction_fraction == pytest.approx(1 - 2.5 / 4.5)
+
+    def test_no_completions_raises(self):
+        spec = self.spec()
+        store = MemoryStore()
+        self.put_row(store, spec, [{"aps_visited_coop": None, "aps_visited_direct": None}])
+        with pytest.raises(CampaignError, match="no car completed"):
+            download_summaries(store, spec)
+
+    def test_wrong_scenario_rejected(self):
+        spec = platoon_size_spec(BASE, [1], rounds=1)
+        with pytest.raises(CampaignError, match="multi_ap"):
+            download_summaries(MemoryStore(), spec)
+
+    def test_sweep_points_reject_multi_ap(self):
+        with pytest.raises(CampaignError, match="download_summary"):
+            sweep_points(MemoryStore(), self.spec())
+
+
+class TestDownloadSummaryShape:
+    def test_zero_direct_mean_reduction(self):
+        summary = DownloadSummary("x", 0.0, 0.0, 1)
+        assert summary.visit_reduction_fraction == 0.0

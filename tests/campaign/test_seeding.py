@@ -1,0 +1,28 @@
+"""Deterministic seed derivation."""
+
+from repro.campaign.seeding import derive_seed, point_seed
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, "a") == derive_seed(42, "a")
+
+    def test_distinct_keys_distinct_seeds(self):
+        seeds = {derive_seed(42, f"key-{i}") for i in range(200)}
+        assert len(seeds) == 200
+
+    def test_distinct_masters_distinct_seeds(self):
+        assert derive_seed(1, "k") != derive_seed(2, "k")
+
+    def test_fits_in_63_bits(self):
+        for i in range(50):
+            assert 0 <= derive_seed(7, f"{i}") < 2**63
+
+
+class TestPointSeed:
+    def test_depends_on_labels(self):
+        assert point_seed(5, (1,)) != point_seed(5, (2,))
+        assert point_seed(5, (1, "dsss-1")) != point_seed(5, (1, "dsss-11"))
+
+    def test_stable_across_calls(self):
+        assert point_seed(5, (3, 0.5)) == point_seed(5, (3, 0.5))

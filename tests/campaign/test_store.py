@@ -1,0 +1,130 @@
+"""Result stores: persistence, resume tolerance, matrix codec."""
+
+import json
+
+import pytest
+
+from repro.campaign.store import (
+    JsonlStore,
+    MemoryStore,
+    decode_matrix,
+    encode_matrix,
+)
+from repro.errors import CampaignError
+from repro.mac.frames import NodeId
+from repro.trace.matrix import ReceptionMatrix
+
+
+class TestMemoryStore:
+    def test_put_get_has(self):
+        store = MemoryStore()
+        assert not store.has("t1")
+        store.put("t1", "key", {"x": 1})
+        assert store.has("t1")
+        assert "t1" in store
+        assert store.get("t1") == {"x": 1}
+        assert len(store) == 1
+
+    def test_get_missing_raises(self):
+        with pytest.raises(CampaignError, match="no stored row"):
+            MemoryStore().get("absent")
+
+
+class TestJsonlStore:
+    def test_rows_survive_reopen(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        with JsonlStore(path) as store:
+            store.put("a", "ka", {"v": 1})
+            store.put("b", "kb", {"v": 2})
+        reopened = JsonlStore(path)
+        assert len(reopened) == 2
+        assert reopened.get("a") == {"v": 1}
+        assert reopened.get("b") == {"v": 2}
+
+    def test_creates_parent_directory(self, tmp_path):
+        path = tmp_path / "deep" / "nest" / "store.jsonl"
+        with JsonlStore(path) as store:
+            store.put("a", "ka", {})
+        assert path.exists()
+
+    def test_truncated_final_line_is_dropped(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        with JsonlStore(path) as store:
+            store.put("a", "ka", {"v": 1})
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"task_id": "b", "row": {"v"')  # torn write
+        reopened = JsonlStore(path)
+        assert reopened.has("a")
+        assert not reopened.has("b")
+
+    def test_append_after_torn_line_stays_clean(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        with JsonlStore(path) as store:
+            store.put("a", "ka", {"v": 1})
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"task_id": "b", "row": {"v"')  # torn write
+        with JsonlStore(path) as store:  # resume: drops the torn tail...
+            store.put("c", "kc", {"v": 3})  # ...and appends cleanly
+        final = JsonlStore(path)  # a later open must see both rows
+        assert final.get("a") == {"v": 1}
+        assert final.get("c") == {"v": 3}
+        assert not final.has("b")
+
+    def test_valid_final_line_without_newline_is_kept_and_terminated(
+        self, tmp_path
+    ):
+        path = tmp_path / "store.jsonl"
+        path.write_text('{"task_id": "a", "key": "ka", "row": {"v": 1}}')
+        with JsonlStore(path) as store:
+            assert store.get("a") == {"v": 1}
+            store.put("b", "kb", {"v": 2})
+        final = JsonlStore(path)
+        assert final.get("a") == {"v": 1}
+        assert final.get("b") == {"v": 2}
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        good = json.dumps({"task_id": "a", "key": "ka", "row": {}})
+        path.write_text("garbage\n" + good + "\n")
+        with pytest.raises(CampaignError, match="corrupt"):
+            JsonlStore(path)
+
+    def test_duplicate_task_last_line_wins(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        with JsonlStore(path) as store:
+            store.put("a", "ka", {"v": 1})
+        with JsonlStore(path) as store:
+            store.put("a", "ka", {"v": 2})
+        assert JsonlStore(path).get("a") == {"v": 2}
+
+    def test_rows_iterates_pairs(self, tmp_path):
+        with JsonlStore(tmp_path / "s.jsonl") as store:
+            store.put("a", "ka", {"v": 1})
+            assert dict(store.rows()) == {"a": {"v": 1}}
+
+
+class TestMatrixCodec:
+    def matrix(self) -> ReceptionMatrix:
+        return ReceptionMatrix(
+            flow=NodeId(2),
+            window=(10, 15),
+            direct={
+                NodeId(1): frozenset({10, 11, 14}),
+                NodeId(2): frozenset({12}),
+            },
+            after_coop=frozenset({11, 12, 14}),
+        )
+
+    def test_round_trip(self):
+        matrix = self.matrix()
+        assert decode_matrix(encode_matrix(matrix)) == matrix
+
+    def test_json_shape_is_serialisable(self):
+        encoded = encode_matrix(self.matrix())
+        assert decode_matrix(json.loads(json.dumps(encoded))) == self.matrix()
+
+    def test_summaries_survive(self):
+        decoded = decode_matrix(encode_matrix(self.matrix()))
+        assert decoded.tx_by_ap == 6
+        assert decoded.lost_before_coop == 5
+        assert decoded.lost_after_coop == 3
