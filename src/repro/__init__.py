@@ -25,13 +25,19 @@ Package map
 ``repro.trace`` / ``repro.analysis``
     Capture and the post-processing that regenerates Table 1 and
     Figures 3–8.
+``repro.scenarios``
+    The scenario plugin registry: every runnable scenario (urban,
+    highway, multi-AP, bidirectional, …) as one registration bundling
+    config, wiring, row collection and aggregation, with the protocol
+    (C-ARQ or any baseline) a sweepable ``mode`` field.
 ``repro.experiments``
-    Scenario builders, the paper-testbed configuration, sweeps and the
-    multi-AP file-download study.
+    Compatibility fronts over the scenario plugins, the paper-testbed
+    configuration, the sweeps, and the multi-round runner.
 ``repro.campaign``
     Campaign engine: declarative specs expanded into content-addressed
     tasks, executed in parallel against a resumable JSONL result store
-    (the ``repro campaign`` CLI and every sweep run through it).
+    (the ``repro campaign`` CLI and every sweep run through it); all
+    scenario dispatch goes through ``repro.scenarios``.
 """
 
 from repro.core import CarqConfig, CarqProtocol, VehicleNode

@@ -28,6 +28,7 @@ from repro.campaign.report import (
     aggregate_matrices,
     download_summaries,
     matrices_by_round,
+    point_summaries,
     sweep_points,
 )
 from repro.campaign.seeding import derive_seed, point_seed
@@ -63,6 +64,7 @@ __all__ = [
     "execute_task",
     "matrices_by_round",
     "point_seed",
+    "point_summaries",
     "run_campaign",
     "sweep_points",
 ]

@@ -8,86 +8,28 @@ simulation seed of each task is fixed by its spec (see
 never change a row: parallel speed is free of reproducibility cost.
 
 The worker function is a module-level single-task runner so it pickles
-into pool processes; each task builds one round, runs it, and reduces it
-to the JSON row stored for reporting.
+into pool processes; each task resolves its scenario plugin from the
+registry, builds one round, runs it, and reduces it to the JSON row
+stored for reporting — no per-scenario code lives here.
 """
 
 from __future__ import annotations
 
-import math
 import multiprocessing
 import time
 from dataclasses import dataclass
 
 from repro.campaign.progress import ProgressReporter
 from repro.campaign.spec import CampaignSpec, TaskSpec
-from repro.campaign.store import ResultStore, encode_matrix
+from repro.campaign.store import ResultStore
 from repro.errors import CampaignError
-
-
-def _urban_row(task: TaskSpec) -> dict:
-    from repro.experiments.runner import collect_round
-    from repro.experiments.scenario import build_urban_round
-
-    ctx = build_urban_round(task.config(), task.round_index)
-    ctx.run()
-    outcome = collect_round(ctx, task.round_index)
-    return {
-        "matrices": [encode_matrix(m) for m in outcome.matrices.values()],
-        "frames_sent": {
-            str(int(node)): count for node, count in outcome.frames_sent.items()
-        },
-    }
-
-
-def _highway_row(task: TaskSpec) -> dict:
-    from repro.experiments.highway import build_highway_round, collect_highway_matrices
-
-    ctx = build_highway_round(task.config(), task.round_index)
-    ctx.run()
-    matrices = collect_highway_matrices(ctx)
-    return {"matrices": [encode_matrix(m) for m in matrices.values()]}
-
-
-def _multi_ap_row(task: TaskSpec) -> dict:
-    from repro.experiments.multi_ap import run_multi_ap_round
-
-    outcomes = run_multi_ap_round(task.config(), task.round_index)
-    encoded = []
-    for outcome in outcomes:
-        encoded.append(
-            {
-                "car": int(outcome.car),
-                "aps_visited_coop": (
-                    None
-                    if math.isinf(outcome.aps_visited_coop)
-                    else outcome.aps_visited_coop
-                ),
-                "aps_visited_direct": (
-                    None
-                    if math.isinf(outcome.aps_visited_direct)
-                    else outcome.aps_visited_direct
-                ),
-                "completion_time_coop": outcome.completion_time_coop,
-                "completion_time_direct": outcome.completion_time_direct,
-            }
-        )
-    return {"outcomes": encoded}
-
-
-_SCENARIO_RUNNERS = {
-    "urban": _urban_row,
-    "highway": _highway_row,
-    "multi_ap": _multi_ap_row,
-}
+from repro.scenarios import get_scenario
 
 
 def execute_task(task: TaskSpec) -> dict:
     """Run one task to completion and return its result row."""
-    runner = _SCENARIO_RUNNERS.get(task.scenario)
-    if runner is None:
-        raise CampaignError(f"unknown scenario kind {task.scenario!r}")
-    return runner(task)
+    plugin = get_scenario(task.scenario)
+    return plugin.run_round(task.config(), task.round_index)
 
 
 def _execute_keyed(task: TaskSpec) -> tuple[str, str, dict]:

@@ -2,65 +2,30 @@
 
 This is the read side of the engine: it never simulates, only folds the
 JSON rows a campaign stored back into the objects the existing analysis
-stack consumes — :class:`SweepPoint` lists for the sweep tables and
-``matrices_by_round`` lists for ``compute_table1`` / the figure curves.
+stack consumes.  *How* a grid point's rows fold is the scenario plugin's
+``summarize`` callable — this module only walks the grid, fetches rows,
+and dispatches, so it contains no per-scenario knowledge at all.
 
-:class:`SweepPoint` lives here (re-exported by
-:mod:`repro.experiments.sweeps` for compatibility) because aggregation is
-now a store concern: the serial sweeps are thin wrappers over a campaign
-run followed by these folds.
+:class:`SweepPoint` and :class:`DownloadSummary` live in
+:mod:`repro.scenarios.summaries` (plugins declare their folds there,
+below the campaign layer); they are re-exported here, and by
+:mod:`repro.experiments.sweeps`, for compatibility.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 from repro.campaign.spec import CampaignSpec, TaskSpec
-from repro.campaign.store import ResultStore, decode_matrix
+from repro.campaign.store import ResultStore
 from repro.errors import CampaignError
 from repro.mac.frames import NodeId
+from repro.scenarios import get_scenario, scenario_names
+from repro.scenarios.summaries import (  # noqa: F401  (re-exported API)
+    DownloadSummary,
+    SweepPoint,
+    aggregate_matrices,
+    decode_matrix,
+)
 from repro.trace.matrix import ReceptionMatrix
-
-
-@dataclass(frozen=True)
-class SweepPoint:
-    """One sweep sample: loss fractions aggregated over cars and rounds."""
-
-    parameter: float | str
-    tx_by_ap_mean: float
-    lost_before_fraction: float
-    lost_after_fraction: float
-
-    @property
-    def reduction_fraction(self) -> float:
-        """Relative loss reduction achieved by cooperation."""
-        if self.lost_before_fraction == 0.0:
-            return 0.0
-        return 1.0 - self.lost_after_fraction / self.lost_before_fraction
-
-
-def aggregate_matrices(
-    matrices_by_round: list[dict[NodeId, ReceptionMatrix]], parameter
-) -> SweepPoint:
-    """Fold per-round reception matrices into one :class:`SweepPoint`."""
-    tx = before = after = 0
-    n = 0
-    for round_matrices in matrices_by_round:
-        for matrix in round_matrices.values():
-            tx += matrix.tx_by_ap
-            before += matrix.lost_before_coop
-            after += matrix.lost_after_coop
-            n += 1
-    if n == 0 or tx == 0:
-        raise CampaignError(
-            f"sweep point {parameter!r} produced no reception data"
-        )
-    return SweepPoint(
-        parameter=parameter,
-        tx_by_ap_mean=tx / n,
-        lost_before_fraction=before / tx,
-        lost_after_fraction=after / tx,
-    )
 
 
 def _point_tasks(spec: CampaignSpec) -> list[tuple[tuple, list[TaskSpec]]]:
@@ -117,81 +82,62 @@ def matrices_by_round(
     raise CampaignError(f"grid point {labels!r} is not part of the campaign")
 
 
+def point_summaries(store: ResultStore, spec: CampaignSpec) -> list:
+    """One plugin summary per grid point, grid order.
+
+    The summary type is the scenario plugin's ``summary_cls``
+    (:class:`SweepPoint` for coverage sweeps, :class:`DownloadSummary`
+    for the download study, anything a third-party plugin declares).
+    """
+    plugin = get_scenario(spec.scenario)
+    summaries = []
+    for labels, tasks in _point_tasks(spec):
+        rows = [_fetch_row(store, task) for task in tasks]
+        summaries.append(plugin.summarize(rows, _parameter(labels)))
+    return summaries
+
+
+def _scenarios_summarizing(summary_cls: type) -> str:
+    """Registered scenario names whose plugins fold into *summary_cls*."""
+    names = [
+        name
+        for name in scenario_names()
+        if get_scenario(name).summary_cls is summary_cls
+    ]
+    return ", ".join(names) or "none registered"
+
+
 def sweep_points(store: ResultStore, spec: CampaignSpec) -> list[SweepPoint]:
     """One :class:`SweepPoint` per grid point, grid order.
 
     Bit-identical to the legacy serial sweeps: the fold sums the same
     integer counters over the same rounds, only sourced from the store.
+    Campaigns whose scenario folds into something else are refused.
     """
-    if spec.scenario == "multi_ap":
+    plugin = get_scenario(spec.scenario)
+    if plugin.summary_cls is not SweepPoint:
         raise CampaignError(
-            "multi_ap campaigns aggregate downloads, not sweep points; "
-            "use download_summary"
+            f"{spec.scenario!r} campaigns aggregate into "
+            f"{plugin.summary_cls.__name__}, not sweep points; "
+            "use download_summaries / point_summaries"
         )
-    points = []
-    for labels, tasks in _point_tasks(spec):
-        rounds = []
-        for task in tasks:
-            row = _fetch_row(store, task)
-            matrices = [decode_matrix(m) for m in row.get("matrices", [])]
-            rounds.append({matrix.flow: matrix for matrix in matrices})
-        points.append(aggregate_matrices(rounds, _parameter(labels)))
-    return points
-
-
-@dataclass(frozen=True)
-class DownloadSummary:
-    """Aggregated multi-AP file-download outcome for one grid point."""
-
-    parameter: float | str
-    aps_visited_coop_mean: float
-    aps_visited_direct_mean: float
-    completed_pairs: int
-
-    @property
-    def visit_reduction_fraction(self) -> float:
-        """Relative reduction in AP visits achieved by cooperation."""
-        if self.aps_visited_direct_mean == 0.0:
-            return 0.0
-        return 1.0 - self.aps_visited_coop_mean / self.aps_visited_direct_mean
+    return point_summaries(store, spec)
 
 
 def download_summaries(
     store: ResultStore, spec: CampaignSpec
 ) -> list[DownloadSummary]:
-    """Per-grid-point download summaries of a ``multi_ap`` campaign.
+    """Per-grid-point download summaries of a download-style campaign.
 
     Cars that never completed the file under *direct* reception are
     excluded (both columns), keeping the comparison paired — the same
     rule the serial multi-AP CLI applies.
     """
-    if spec.scenario != "multi_ap":
-        raise CampaignError("download_summaries requires a multi_ap campaign")
-    summaries = []
-    for labels, tasks in _point_tasks(spec):
-        coop = direct = 0.0
-        pairs = 0
-        for task in tasks:
-            row = _fetch_row(store, task)
-            for outcome in row.get("outcomes", []):
-                if outcome["aps_visited_direct"] is None:
-                    continue
-                coop_visits = outcome["aps_visited_coop"]
-                if coop_visits is None:
-                    continue
-                coop += coop_visits
-                direct += outcome["aps_visited_direct"]
-                pairs += 1
-        if pairs == 0:
-            raise CampaignError(
-                f"download point {labels!r}: no car completed the file"
-            )
-        summaries.append(
-            DownloadSummary(
-                parameter=_parameter(labels),
-                aps_visited_coop_mean=coop / pairs,
-                aps_visited_direct_mean=direct / pairs,
-                completed_pairs=pairs,
-            )
+    plugin = get_scenario(spec.scenario)
+    if plugin.summary_cls is not DownloadSummary:
+        raise CampaignError(
+            f"download_summaries requires a download-style campaign "
+            f"({_scenarios_summarizing(DownloadSummary)}), "
+            f"got scenario {spec.scenario!r}"
         )
-    return summaries
+    return point_summaries(store, spec)

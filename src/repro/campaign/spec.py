@@ -17,118 +17,15 @@ from __future__ import annotations
 
 import hashlib
 import json
-from dataclasses import dataclass, field, fields, is_dataclass, replace
+from dataclasses import dataclass, field, replace
 
 from repro.errors import CampaignError
-from repro.experiments.highway import HighwayConfig
-from repro.experiments.multi_ap import MultiApConfig
-from repro.experiments.scenario import (
-    PlatoonConfig,
-    RadioEnvironment,
-    UrbanScenarioConfig,
+from repro.scenarios import get_scenario
+from repro.scenarios.configs import (  # noqa: F401  (re-exported API)
+    apply_override,
+    config_from_dict,
+    config_to_dict,
 )
-
-#: Scenario kind → its configuration dataclass.
-SCENARIO_CONFIGS = {
-    "urban": UrbanScenarioConfig,
-    "highway": HighwayConfig,
-    "multi_ap": MultiApConfig,
-}
-
-#: Dataclass fields that hold nested configuration dataclasses, by class.
-#: Kept as an explicit registry (rather than typing introspection) because
-#: ``CarqConfig.selection`` is a TYPE_CHECKING-only forward reference that
-#: ``typing.get_type_hints`` cannot resolve at runtime.
-_NESTED_FIELDS: dict[type, dict[str, type]] = {}
-
-
-def _nested_fields(cls: type) -> dict[str, type]:
-    """Field name → nested dataclass type, discovered from defaults."""
-    cached = _NESTED_FIELDS.get(cls)
-    if cached is not None:
-        return cached
-    nested = {}
-    probe = cls()  # every scenario config is constructible from defaults
-    for f in fields(cls):
-        value = getattr(probe, f.name)
-        if is_dataclass(value):
-            nested[f.name] = type(value)
-    _NESTED_FIELDS[cls] = nested
-    return nested
-
-
-def config_to_dict(cfg) -> dict:
-    """JSON shape of a scenario configuration dataclass.
-
-    Raises :class:`CampaignError` when a field cannot be represented in
-    JSON (e.g. a custom ``CarqConfig.selection`` strategy object): such
-    configs cannot ride a declarative campaign.
-    """
-    out: dict = {}
-    for f in fields(type(cfg)):
-        value = getattr(cfg, f.name)
-        if is_dataclass(value):
-            out[f.name] = config_to_dict(value)
-        elif isinstance(value, tuple):
-            out[f.name] = list(value)
-        elif value is None or isinstance(value, (bool, int, float, str)):
-            out[f.name] = value
-        else:
-            raise CampaignError(
-                f"config field {type(cfg).__name__}.{f.name} holds "
-                f"{value!r}, which is not JSON-serialisable"
-            )
-    return out
-
-
-def config_from_dict(cls: type, data: dict):
-    """Rebuild a configuration dataclass from its JSON shape.
-
-    Missing fields take the dataclass defaults (spec base dicts may be
-    partial); unknown keys are rejected so a typo in a hand-written spec
-    file fails loudly instead of silently running the default value.
-    """
-    unknown = set(data) - {f.name for f in fields(cls)}
-    if unknown:
-        raise CampaignError(
-            f"unknown config field(s) for {cls.__name__}: "
-            f"{', '.join(sorted(unknown))}"
-        )
-    nested = _nested_fields(cls)
-    defaults = cls()
-    kwargs = {}
-    for f in fields(cls):
-        if f.name not in data:
-            continue
-        value = data[f.name]
-        if f.name in nested:
-            value = config_from_dict(nested[f.name], value)
-        elif isinstance(getattr(defaults, f.name), tuple):
-            value = tuple(value)
-        kwargs[f.name] = value
-    return cls(**kwargs)
-
-
-def apply_override(cfg, path: str, value):
-    """Return *cfg* with the dotted-``path`` field replaced by *value*.
-
-    ``"platoon.n_cars"`` rebuilds the nested frozen dataclass chain;
-    list values targeting tuple-typed fields are converted.
-    """
-    head, _, rest = path.partition(".")
-    try:
-        current = getattr(cfg, head)
-    except AttributeError:
-        raise CampaignError(
-            f"override path {path!r} does not exist on {type(cfg).__name__}"
-        ) from None
-    if rest:
-        if not is_dataclass(current):
-            raise CampaignError(f"override path {path!r} descends into a leaf field")
-        return replace(cfg, **{head: apply_override(current, rest, value)})
-    if isinstance(current, tuple) and isinstance(value, list):
-        value = tuple(value)
-    return replace(cfg, **{head: value})
 
 
 @dataclass(frozen=True)
@@ -218,9 +115,7 @@ class TaskSpec:
 
     def config(self):
         """Materialise the scenario configuration this task runs."""
-        cls = SCENARIO_CONFIGS.get(self.scenario)
-        if cls is None:
-            raise CampaignError(f"unknown scenario kind {self.scenario!r}")
+        cls = get_scenario(self.scenario).config_cls
         cfg = config_from_dict(cls, self.base)
         cfg = replace(cfg, seed=self.seed)
         for path, value in sorted(self.overrides.items()):
@@ -237,7 +132,8 @@ class CampaignSpec:
     name:
         Campaign identifier (store rows record it; reports print it).
     scenario:
-        ``"urban"``, ``"highway"`` or ``"multi_ap"``.
+        A registered scenario kind (see
+        :func:`repro.scenarios.scenario_names`).
     seed:
         Campaign master seed.  With ``independent_seeds`` off (the
         default, matching the legacy sweeps) every grid point runs its
@@ -261,8 +157,7 @@ class CampaignSpec:
     independent_seeds: bool = False
 
     def __post_init__(self) -> None:
-        if self.scenario not in SCENARIO_CONFIGS:
-            raise CampaignError(f"unknown scenario kind {self.scenario!r}")
+        get_scenario(self.scenario)  # raises CampaignError when unknown
         if self.rounds < 1:
             raise CampaignError("a campaign needs at least one round")
 

@@ -7,10 +7,10 @@ reopen the loader tolerates a truncated final line (the interrupt case)
 and simply re-executes that task; corruption anywhere else is an error —
 silent data loss in the middle of a store would skew reported results.
 
-Rows are plain JSON dicts.  Reception matrices — the common payload of
-urban/highway tasks — get an explicit codec here so the report layer can
-rebuild real :class:`~repro.trace.matrix.ReceptionMatrix` objects and
-feed the existing Table-1/figure pipelines unchanged.
+Rows are plain JSON dicts.  The reception-matrix codec — the common
+payload of coverage-style scenarios — lives with the other row shapes in
+:mod:`repro.scenarios.summaries` and is re-exported here for
+compatibility.
 """
 
 from __future__ import annotations
@@ -20,33 +20,10 @@ import os
 from typing import Iterator
 
 from repro.errors import CampaignError
-from repro.mac.frames import NodeId
-from repro.trace.matrix import ReceptionMatrix
-
-
-def encode_matrix(matrix: ReceptionMatrix) -> dict:
-    """JSON shape of a reception matrix."""
-    return {
-        "flow": int(matrix.flow),
-        "window": list(matrix.window),
-        "direct": {
-            str(int(car)): sorted(seqs) for car, seqs in matrix.direct.items()
-        },
-        "after_coop": sorted(matrix.after_coop),
-    }
-
-
-def decode_matrix(data: dict) -> ReceptionMatrix:
-    """Rebuild a reception matrix from its JSON shape."""
-    return ReceptionMatrix(
-        flow=NodeId(data["flow"]),
-        window=(data["window"][0], data["window"][1]),
-        direct={
-            NodeId(int(car)): frozenset(seqs)
-            for car, seqs in data["direct"].items()
-        },
-        after_coop=frozenset(data["after_coop"]),
-    )
+from repro.scenarios.summaries import (  # noqa: F401  (re-exported API)
+    decode_matrix,
+    encode_matrix,
+)
 
 
 class ResultStore:

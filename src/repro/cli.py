@@ -8,8 +8,14 @@ any Python:
 * ``figures [--rounds N] [--flow CAR]`` — ASCII Figures 3–8 for one flow;
 * ``highway [--speeds KMH,KMH,…]`` — the drive-thru speed sweep;
 * ``multi-ap [--rounds N]`` — the §6 file-download study;
+* ``scenarios [--markdown]`` — the registered scenario plugins;
 * ``campaign run|report`` — declarative, parallel, resumable campaigns
-  over the sweep presets or a spec file (see :mod:`repro.campaign`).
+  over any registered scenario, its presets, or a spec file (see
+  :mod:`repro.campaign` and :mod:`repro.scenarios`).
+
+Every scenario-shaped choice here — preset names, ``--scenario`` values,
+report table layouts — is enumerated from the scenario plugin registry,
+never hard-coded: registering a plugin is all it takes to appear.
 """
 
 from __future__ import annotations
@@ -34,16 +40,10 @@ from repro.campaign import (
     ProgressReporter,
     config_from_dict,
     config_to_dict,
-    download_summaries,
+    point_summaries,
     run_campaign,
-    sweep_points,
 )
-from repro.campaign.spec import (
-    SCENARIO_CONFIGS,
-    GridAxis,
-    GridPoint,
-    apply_override,
-)
+from repro.campaign.spec import GridAxis, apply_override
 from repro.errors import CampaignError, ReproError
 from repro.experiments import (
     PAPER_TABLE1,
@@ -52,13 +52,14 @@ from repro.experiments import (
 )
 from repro.experiments.highway import HighwayConfig
 from repro.experiments.multi_ap import MultiApConfig, run_multi_ap_experiment
-from repro.experiments.sweeps import (
-    bitrate_spec,
-    hello_period_spec,
-    platoon_size_spec,
-    speed_sweep,
-)
+from repro.experiments.sweeps import speed_sweep
 from repro.mac.frames import NodeId
+from repro.scenarios import (
+    all_scenarios,
+    get_scenario,
+    scenario_names,
+    scenario_table_markdown,
+)
 from repro.units import kmh_to_ms, ms_to_kmh
 
 
@@ -135,40 +136,35 @@ def _cmd_multi_ap(args: argparse.Namespace) -> int:
     return 0
 
 
-#: ``--preset`` name → zero-argument spec builder.
-CAMPAIGN_PRESETS = {
-    "platoon-size": lambda: platoon_size_spec(
-        paper_testbed_config(), [1, 2, 3, 4, 5], rounds=8
-    ),
-    "bitrate": lambda: bitrate_spec(
-        paper_testbed_config(), ["dsss-1", "dsss-2", "dsss-5.5", "dsss-11"], rounds=8
-    ),
-    "hello-period": lambda: hello_period_spec(
-        paper_testbed_config(), [0.5, 1.0, 2.0, 3.0], rounds=8
-    ),
-    "speed": lambda: _speed_preset(),
-}
+def _campaign_presets() -> dict:
+    """``--preset`` name → its plugin preset, enumerated live from the
+    registry (so plugins registered after import still appear).
 
-
-def _speed_preset() -> CampaignSpec:
-    """The drive-thru sweep, with grid labels in km/h.
-
-    :func:`speed_spec` labels points by m/s for parity with the legacy
-    ``speed_sweep``; the CLI labels by the km/h the user thinks in, so
-    ``--points 80`` selects the 80 km/h pass.
+    Preset names share one CLI namespace across plugins; a collision is
+    a registration bug and fails loudly instead of silently shadowing.
     """
-    base = HighwayConfig(rounds=3)
-    points = tuple(
-        GridPoint(label=v, overrides={"speed_ms": kmh_to_ms(v)})
-        for v in (40.0, 80.0, 120.0)
-    )
+    presets = {}
+    for plugin in all_scenarios():
+        for preset in plugin.presets:
+            if preset.name in presets:
+                raise CampaignError(
+                    f"campaign preset {preset.name!r} is defined by two "
+                    f"scenario plugins (seen again on {plugin.name!r})"
+                )
+            presets[preset.name] = preset
+    return presets
+
+
+def _default_scenario_spec(scenario: str) -> CampaignSpec:
+    """A gridless campaign over a scenario's default configuration."""
+    plugin = get_scenario(scenario)
+    base = plugin.default_config()
     return CampaignSpec(
-        name="speed",
-        scenario="highway",
+        name=scenario,
+        scenario=scenario,
         seed=base.seed,
         rounds=base.rounds,
         base=config_to_dict(base),
-        axes=(GridAxis(name="speed_kmh", points=points),),
     )
 
 
@@ -191,15 +187,18 @@ def _label_matches(label, wanted: str) -> bool:
 
 
 def _campaign_spec(args: argparse.Namespace) -> CampaignSpec:
-    """Resolve and customise the spec named by ``--preset``/``--spec``."""
+    """Resolve and customise the spec named by
+    ``--spec``/``--preset``/``--scenario``."""
     import dataclasses
 
     if args.spec:
         spec = CampaignSpec.load(args.spec)
     elif args.preset:
-        spec = CAMPAIGN_PRESETS[args.preset]()
+        spec = CampaignSpec.from_dict(_campaign_presets()[args.preset].build())
+    elif getattr(args, "scenario", None):
+        spec = _default_scenario_spec(args.scenario)
     else:
-        raise CampaignError("pass --preset NAME or --spec FILE")
+        raise CampaignError("pass --preset NAME, --scenario KIND, or --spec FILE")
     if getattr(args, "rounds", None) is not None:
         spec = dataclasses.replace(spec, rounds=args.rounds)
     if getattr(args, "seed", None) is not None:
@@ -231,7 +230,7 @@ def _campaign_spec(args: argparse.Namespace) -> CampaignSpec:
                 f"--set {path}=… has no effect (the campaign {path} wins); "
                 f"use --{path} instead"
             )
-        cfg = config_from_dict(SCENARIO_CONFIGS[spec.scenario], spec.base)
+        cfg = config_from_dict(get_scenario(spec.scenario).config_cls, spec.base)
         cfg = apply_override(cfg, path, _parse_set_value(raw))
         spec = dataclasses.replace(spec, base=config_to_dict(cfg))
     return spec
@@ -242,23 +241,27 @@ def _default_store_path(spec: CampaignSpec) -> str:
 
 
 def _print_campaign_report(spec: CampaignSpec, store: JsonlStore) -> None:
-    if spec.scenario == "multi_ap":
-        print(f"{'parameter':>12} {'APs coop':>9} {'APs direct':>11} {'saved':>6}")
-        for s in download_summaries(store, spec):
-            print(
-                f"{s.parameter!s:>12} {s.aps_visited_coop_mean:>9.1f} "
-                f"{s.aps_visited_direct_mean:>11.1f} "
-                f"{100 * s.visit_reduction_fraction:>5.0f}%"
-            )
-        return
-    print(f"{'parameter':>12} {'pkts':>7} {'before':>8} {'after':>7} {'gain':>6}")
-    for point in sweep_points(store, spec):
-        print(
-            f"{point.parameter!s:>12} {point.tx_by_ap_mean:>7.0f} "
-            f"{100 * point.lost_before_fraction:>7.1f}% "
-            f"{100 * point.lost_after_fraction:>6.1f}% "
-            f"{100 * point.reduction_fraction:>5.0f}%"
-        )
+    plugin = get_scenario(spec.scenario)
+    print(plugin.report_header)
+    for summary in point_summaries(store, spec):
+        print(plugin.report_line(summary))
+
+
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    """List the registered scenario plugins (the extension surface)."""
+    if args.markdown:
+        print(scenario_table_markdown())
+        return 0
+    for plugin in all_scenarios():
+        print(f"{plugin.name}")
+        print(f"  {plugin.description}")
+        print(f"  modes:   {', '.join(plugin.modes)}")
+        if plugin.presets:
+            for preset in plugin.presets:
+                print(f"  preset:  {preset.name} — {preset.description}")
+        else:
+            print("  preset:  (none)")
+    return 0
 
 
 def _cmd_campaign_run(args: argparse.Namespace) -> int:
@@ -330,6 +333,16 @@ def build_parser() -> argparse.ArgumentParser:
     multi_ap.add_argument("--seed", type=int, default=77)
     multi_ap.set_defaults(func=_cmd_multi_ap)
 
+    scenarios = sub.add_parser(
+        "scenarios", help="list the registered scenario plugins"
+    )
+    scenarios.add_argument(
+        "--markdown",
+        action="store_true",
+        help="emit the README scenario table (same metadata)",
+    )
+    scenarios.set_defaults(func=_cmd_scenarios)
+
     campaign = sub.add_parser(
         "campaign", help="declarative, parallel, resumable campaigns"
     )
@@ -338,8 +351,13 @@ def build_parser() -> argparse.ArgumentParser:
     def _spec_arguments(p: argparse.ArgumentParser) -> None:
         p.add_argument(
             "--preset",
-            choices=sorted(CAMPAIGN_PRESETS),
-            help="built-in sweep campaign",
+            choices=sorted(_campaign_presets()),
+            help="a scenario plugin's campaign preset",
+        )
+        p.add_argument(
+            "--scenario",
+            choices=scenario_names(),
+            help="gridless campaign over a scenario's default config",
         )
         p.add_argument("--spec", help="CampaignSpec JSON file (overrides --preset)")
         p.add_argument("--store", help="JSONL result store (default campaigns/<name>.jsonl)")

@@ -54,3 +54,15 @@ class CampaignError(ReproError):
     Examples: a spec that cannot be serialised to JSON, a corrupt result
     store, or a report over a store that is missing task rows.
     """
+
+
+class ScenarioError(CampaignError):
+    """The scenario plugin registry was used incorrectly.
+
+    Examples: looking up a scenario name nobody registered, or
+    registering two plugins under the same name.  Subclasses
+    :class:`CampaignError` because campaigns dispatch through the
+    registry: an unknown scenario in a spec is both a registry miss and
+    an invalid campaign, and callers catching campaign failures must see
+    it either way.
+    """

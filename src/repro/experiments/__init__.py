@@ -1,16 +1,21 @@
-"""Experiment harness: scenario wiring, the paper testbed, sweeps.
+"""Experiment harness: the paper testbed, sweeps, compatibility fronts.
 
-* :mod:`repro.experiments.scenario` — configuration dataclasses and the
-  per-round builder that wires kernel + mobility + radio + MAC + nodes;
+Scenario wiring lives in the plugin registry (:mod:`repro.scenarios`);
+the modules here re-export it under the historical names and add the
+paper-specific layers:
+
+* :mod:`repro.experiments.scenario` / :mod:`~repro.experiments.highway`
+  / :mod:`~repro.experiments.multi_ap` /
+  :mod:`~repro.experiments.baseline_runner` — compatibility fronts over
+  the urban, highway and multi-AP plugins (baselines are the ``mode``
+  config field now);
 * :mod:`repro.experiments.testbed` — the paper's urban experiment
   (3 cars, 30 rounds) and its published reference numbers;
 * :mod:`repro.experiments.runner` — multi-round execution and result
   aggregation;
 * :mod:`repro.experiments.sweeps` — parameter sweeps (speed, platoon
   size, bit-rate, hello period), executed through the campaign engine
-  (:mod:`repro.campaign`);
-* :mod:`repro.experiments.multi_ap` — the §6 file-download-across-APs
-  study.
+  (:mod:`repro.campaign`).
 """
 
 from repro.experiments.scenario import (

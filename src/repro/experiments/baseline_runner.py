@@ -1,54 +1,34 @@
-"""Urban-testbed rounds with baseline protocols instead of C-ARQ.
+"""Urban-testbed rounds with baseline protocols (compatibility front).
 
-Reuses the exact mobility, channel and AP wiring of
-:func:`repro.experiments.scenario.build_urban_round`, substituting the
-vehicle (and for the ARQ baseline, the AP) implementation, so that every
-comparison is apples-to-apples: same seeds → same trajectories and same
-channel realisation structure.
+Baselines are no longer a separate wiring: the protocol is the ``mode``
+field of :class:`~repro.scenarios.urban.UrbanScenarioConfig`, dispatched
+through :mod:`repro.scenarios.modes`, so every comparison is
+apples-to-apples by construction — same seeds → same trajectories and
+same channel realisation structure.  The helpers here keep the historical
+``build_baseline_round(cfg, index, mode)`` call shape working.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import replace
 
-from repro.baselines.arq import ArqAccessPoint, ArqVehicleNode
-from repro.baselines.epidemic import EpidemicVehicleNode
-from repro.baselines.nocoop import PassiveVehicleNode
-from repro.errors import ConfigurationError
 from repro.mac.frames import NodeId
-from repro.mac.medium import Medium
-from repro.mobility.static import StaticMobility
-from repro.mobility.urban import UrbanTestbed, urban_loop
-from repro.net.ap import AccessPoint, FlowConfig
-from repro.experiments.scenario import (
-    AP_NODE_ID,
-    UrbanScenarioConfig,
-    build_channel,
-    build_platoon_mobility,
-)
-from repro.sim import Simulator
-from repro.trace.capture import TraceCollector
+from repro.mobility.urban import UrbanTestbed
+from repro.scenarios.common import collect_matrices
+from repro.scenarios.modes import BASELINE_MODES, validate_mode
+from repro.scenarios.urban import RoundContext, UrbanScenarioConfig, build_urban_round
 from repro.trace.matrix import ReceptionMatrix
 
-#: Vehicle classes by baseline mode.
-BASELINE_MODES = ("nocoop", "arq", "epidemic")
+#: Baseline rounds are plain :class:`RoundContext` objects (the ``mode``
+#: field says which protocol ran); the old name remains as an alias.
+BaselineRoundContext = RoundContext
 
-
-@dataclass
-class BaselineRoundContext:
-    """One baseline round, ready to run (mirrors ``RoundContext``)."""
-
-    sim: Simulator
-    medium: Medium
-    capture: TraceCollector
-    ap: AccessPoint
-    cars: dict[NodeId, object]
-    config: UrbanScenarioConfig
-    mode: str
-
-    def run(self) -> None:
-        """Execute the round to its configured duration."""
-        self.sim.run(until=self.config.round_duration_s)
+__all__ = [
+    "BASELINE_MODES",
+    "BaselineRoundContext",
+    "build_baseline_round",
+    "collect_baseline_matrices",
+]
 
 
 def build_baseline_round(
@@ -57,7 +37,7 @@ def build_baseline_round(
     mode: str,
     *,
     testbed: UrbanTestbed | None = None,
-) -> BaselineRoundContext:
+) -> RoundContext:
     """Build one urban round running a baseline protocol.
 
     Parameters
@@ -68,76 +48,14 @@ def build_baseline_round(
     Raises
     ------
     ConfigurationError
-        For an unknown mode.
+        For a mode outside :data:`BASELINE_MODES` — including ``carq``,
+        which this baseline-only entry point has always refused (use
+        :func:`~repro.scenarios.urban.build_urban_round` directly).
     """
-    if mode not in BASELINE_MODES:
-        raise ConfigurationError(
-            f"unknown baseline mode {mode!r}; choose from {BASELINE_MODES}"
-        )
-    from repro.experiments.scenario import _round_seed  # same seeding as C-ARQ
-
-    sim = Simulator(seed=_round_seed(cfg.seed, round_index))
-    tb = testbed if testbed is not None else urban_loop()
-    capture = TraceCollector()
-    medium = Medium(sim, build_channel(cfg, sim, tb), trace=capture)
-    mobilities = build_platoon_mobility(cfg, sim, tb)
-    car_ids = cfg.car_ids()
-    flows = [
-        FlowConfig(
-            destination=car_id,
-            packet_rate_hz=cfg.packet_rate_hz,
-            payload_bytes=cfg.payload_bytes,
-        )
-        for car_id in car_ids
-    ]
-    ap_class = ArqAccessPoint if mode == "arq" else AccessPoint
-    ap = ap_class(
-        sim,
-        medium,
-        AP_NODE_ID,
-        StaticMobility(tb.ap_position),
-        cfg.radio.ap_radio(),
-        sim.streams.get("ap"),
-        flows,
-    )
-    cars: dict[NodeId, object] = {}
-    for car_id, mobility in zip(car_ids, mobilities):
-        rng = sim.streams.get(f"car-{car_id}")
-        common_args = (sim, medium, car_id, mobility, cfg.radio.car_radio(), rng)
-        if mode == "nocoop":
-            car = PassiveVehicleNode(*common_args, AP_NODE_ID, name=f"car-{car_id}")
-        elif mode == "arq":
-            car = ArqVehicleNode(*common_args, AP_NODE_ID, name=f"car-{car_id}")
-        else:
-            car = EpidemicVehicleNode(
-                *common_args,
-                AP_NODE_ID,
-                coverage_timeout_s=cfg.carq.coverage_timeout_s,
-                name=f"car-{car_id}",
-            )
-        cars[car_id] = car
-    ap.start()
-    for car in cars.values():
-        car.start()
-    return BaselineRoundContext(
-        sim=sim, medium=medium, capture=capture, ap=ap, cars=cars, config=cfg,
-        mode=mode,
-    )
+    validate_mode(mode, BASELINE_MODES)
+    return build_urban_round(replace(cfg, mode=mode), round_index, testbed=testbed)
 
 
-def collect_baseline_matrices(
-    ctx: BaselineRoundContext,
-) -> dict[NodeId, ReceptionMatrix]:
+def collect_baseline_matrices(ctx: RoundContext) -> dict[NodeId, ReceptionMatrix]:
     """Per-flow reception matrices of a finished baseline round."""
-    car_ids = list(ctx.cars)
-    matrices: dict[NodeId, ReceptionMatrix] = {}
-    for car_id, car in ctx.cars.items():
-        direct_by_car = {
-            observer: ctx.capture.delivered_seqs(observer, car_id)
-            for observer in car_ids
-        }
-        recovered = set(car.state.recovered)  # type: ignore[attr-defined]
-        matrix = ReceptionMatrix.build(car_id, direct_by_car, recovered)
-        if matrix is not None:
-            matrices[car_id] = matrix
-    return matrices
+    return collect_matrices(ctx.capture, ctx.cars)

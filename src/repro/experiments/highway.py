@@ -1,215 +1,26 @@
-"""Highway drive-thru rounds (after Ott & Kutscher [1]).
+"""Highway drive-thru rounds (compatibility front).
 
-The paper motivates C-ARQ with highway measurements: 50–60 % losses for a
-car passing an AP at speed.  This scenario reproduces that geometry — a
-straight road, an AP off the roadside, a platoon passing once at a chosen
-speed — and is swept over speed by ``benchmarks/bench_highway_speed.py``.
+The implementation lives in :mod:`repro.scenarios.highway`, the highway
+plugin of the scenario registry.  This module re-exports the historical
+names so existing imports keep working.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
-from repro.core.config import CarqConfig
-from repro.core.vehicle import VehicleNode
-from repro.errors import ConfigurationError
-from repro.mac.frames import NodeId
-from repro.mac.medium import Medium
-from repro.mobility.highway import HighwayScenario, highway_scenario
-from repro.mobility.path import PathMobility
-from repro.mobility.static import StaticMobility
-from repro.net.ap import AccessPoint, FlowConfig
-from repro.radio.channel import Channel
-from repro.radio.fading import RicianFading
-from repro.radio.pathloss import TwoRayGroundPathLoss
-from repro.radio.shadowing import (
-    CompositeShadowing,
-    GudmundsonShadowing,
-    TemporalTxShadowing,
-)
-from repro.experiments.scenario import AP_NODE_ID, RadioEnvironment
-from repro.sim import Simulator
-from repro.trace.capture import TraceCollector
-from repro.trace.matrix import ReceptionMatrix
-
-
-#: Highway radio defaults: the 11 Mb/s CCK rate — the setting where Ott &
-#: Kutscher [1] measured 50–60 % drive-thru losses — with heavier scatter
-#: (passing trucks, no street canyon to guide the signal).
-_HIGHWAY_RADIO = RadioEnvironment(
-    rate_name="dsss-11",
-    shadowing_sigma_db=5.0,
-    common_shadowing_sigma_db=5.0,
-    rician_k=1.5,
+from repro.scenarios.common import AP_NODE_ID
+from repro.scenarios.highway import (
+    HighwayConfig,
+    HighwayRoundContext,
+    build_highway_round,
+    collect_highway_matrices,
+    run_highway_experiment,
 )
 
-
-@dataclass(frozen=True)
-class HighwayConfig:
-    """One highway drive-thru experiment.
-
-    Attributes
-    ----------
-    speed_ms:
-        Platoon speed (constant on a highway).
-    n_cars / gap_m:
-        Platoon composition; highway gaps scale with speed in reality but
-        a fixed headway keeps the comparison across speeds clean.
-    road_length_m / ap_offset_m:
-        Geometry (see :func:`repro.mobility.highway.highway_scenario`).
-    packet_rate_hz / payload_bytes:
-        Per-car flow workload.
-    seed / rounds:
-        Experiment repetition control.
-    """
-
-    speed_ms: float = 30.0
-    n_cars: int = 3
-    gap_m: float = 35.0
-    road_length_m: float = 4000.0
-    ap_offset_m: float = 20.0
-    packet_rate_hz: float = 10.0
-    payload_bytes: int = 1000
-    seed: int = 404
-    rounds: int = 10
-    radio: RadioEnvironment = field(default_factory=lambda: _HIGHWAY_RADIO)
-    # Highway windows leave hundreds of packets missing: the per-packet
-    # REQUEST of the urban prototype is too slow, so the highway scenario
-    # uses the paper's §3.3 batched-REQUEST optimisation by default.
-    carq: CarqConfig = field(
-        default_factory=lambda: CarqConfig(batch_requests=True, max_batch=64)
-    )
-
-    def __post_init__(self) -> None:
-        if self.speed_ms <= 0.0:
-            raise ConfigurationError("speed must be positive")
-        if self.n_cars < 1:
-            raise ConfigurationError("need at least one car")
-        if self.gap_m <= 0.0:
-            raise ConfigurationError("gap must be positive")
-
-    @property
-    def round_duration_s(self) -> float:
-        """Time for the whole platoon to traverse the road, plus slack for
-        the dark-area recovery after leaving coverage."""
-        travel = (self.road_length_m + self.n_cars * self.gap_m) / self.speed_ms
-        return travel + 60.0
-
-
-@dataclass
-class HighwayRoundContext:
-    """One built highway round."""
-
-    sim: Simulator
-    capture: TraceCollector
-    scenario: HighwayScenario
-    ap: AccessPoint
-    cars: dict[NodeId, VehicleNode]
-    config: HighwayConfig
-
-    def run(self) -> None:
-        """Execute the drive-thru."""
-        self.sim.run(until=self.config.round_duration_s)
-
-
-def build_highway_round(cfg: HighwayConfig, round_index: int) -> HighwayRoundContext:
-    """Wire one highway pass with C-ARQ vehicles."""
-    sim = Simulator(seed=cfg.seed + 6007 * (round_index + 1))
-    scenario = highway_scenario(
-        road_length=cfg.road_length_m, ap_offset=cfg.ap_offset_m
-    )
-    capture = TraceCollector()
-    # Highway propagation: two-ray ground (flat open road), no buildings.
-    channel = Channel(
-        pathloss=TwoRayGroundPathLoss(tx_height_m=6.0, rx_height_m=1.5),
-        shadowing=CompositeShadowing(
-            [
-                GudmundsonShadowing(
-                    sim.streams.get("shadowing"),
-                    sigma_db=cfg.radio.shadowing_sigma_db,
-                    decorrelation_distance_m=25.0,
-                ),
-                TemporalTxShadowing(
-                    sim.streams.get("shadowing-common"),
-                    sigma_db=cfg.radio.common_shadowing_sigma_db,
-                    tau_s=cfg.radio.common_shadowing_tau_s,
-                    hub=AP_NODE_ID,
-                ),
-            ]
-        ),
-        fading=RicianFading(sim.streams.get("fading"), k_factor=cfg.radio.rician_k),
-        rng=sim.streams.get("channel"),
-    )
-    medium = Medium(sim, channel, trace=capture)
-    car_ids = [NodeId(i + 1) for i in range(cfg.n_cars)]
-    flows = [
-        FlowConfig(
-            destination=car_id,
-            packet_rate_hz=cfg.packet_rate_hz,
-            payload_bytes=cfg.payload_bytes,
-        )
-        for car_id in car_ids
-    ]
-    ap = AccessPoint(
-        sim,
-        medium,
-        AP_NODE_ID,
-        StaticMobility(scenario.ap_position),
-        cfg.radio.ap_radio(),
-        sim.streams.get("ap"),
-        flows,
-    )
-    cars: dict[NodeId, VehicleNode] = {}
-    for index, car_id in enumerate(car_ids):
-        mobility = PathMobility(
-            scenario.track,
-            cfg.speed_ms,
-            start_arc_length=0.0,
-            start_time=index * cfg.gap_m / cfg.speed_ms,
-        )
-        cars[car_id] = VehicleNode(
-            sim,
-            medium,
-            car_id,
-            mobility,
-            cfg.radio.car_radio(),
-            sim.streams.get(f"car-{car_id}"),
-            AP_NODE_ID,
-            cfg.carq,
-            name=f"car-{car_id}",
-        )
-    ap.start()
-    for car in cars.values():
-        car.start()
-    return HighwayRoundContext(
-        sim=sim, capture=capture, scenario=scenario, ap=ap, cars=cars, config=cfg
-    )
-
-
-def collect_highway_matrices(
-    ctx: HighwayRoundContext,
-) -> dict[NodeId, ReceptionMatrix]:
-    """Per-car reception matrices of one finished highway round."""
-    car_ids = list(ctx.cars)
-    matrices: dict[NodeId, ReceptionMatrix] = {}
-    for car_id, car in ctx.cars.items():
-        direct_by_car = {
-            observer: ctx.capture.delivered_seqs(observer, car_id)
-            for observer in car_ids
-        }
-        matrix = ReceptionMatrix.build(
-            car_id, direct_by_car, set(car.protocol.state.recovered)
-        )
-        if matrix is not None:
-            matrices[car_id] = matrix
-    return matrices
-
-
-def run_highway_experiment(cfg: HighwayConfig) -> list[dict[NodeId, ReceptionMatrix]]:
-    """Run all rounds; returns per-round matrices per car."""
-    results = []
-    for index in range(cfg.rounds):
-        ctx = build_highway_round(cfg, index)
-        ctx.run()
-        results.append(collect_highway_matrices(ctx))
-    return results
+__all__ = [
+    "AP_NODE_ID",
+    "HighwayConfig",
+    "HighwayRoundContext",
+    "build_highway_round",
+    "collect_highway_matrices",
+    "run_highway_experiment",
+]

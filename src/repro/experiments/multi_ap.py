@@ -1,210 +1,28 @@
-"""The §6 future-work study: file download across multiple APs.
+"""The §6 multi-AP file-download study (compatibility front).
 
-"Even more important is to study how the presented loss reduction can
-reduce the number of APs that a vehicular node needs to visit to download
-a file."  This experiment answers that: a platoon drives a long road with
-infostations every ``ap_spacing_m`` metres, each cyclically broadcasting
-the *B* blocks of a file per car; we measure how many APs each car must
-pass before holding the complete file — with cooperative recovery in the
-gaps, versus direct reception only.
-
-The no-cooperation reference is computed *post-hoc from the same run*
-(the direct-reception times recorded in the trace), so both numbers share
-one channel realisation and the comparison is paired.
+The implementation lives in :mod:`repro.scenarios.multi_ap`, the
+``multi_ap`` plugin of the scenario registry.  This module re-exports the
+historical names so existing imports keep working.
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
+from repro.scenarios.multi_ap import (
+    DownloadOutcome,
+    MultiApConfig,
+    MultiApRoundContext,
+    build_multi_ap_round,
+    collect_download_outcomes,
+    run_multi_ap_experiment,
+    run_multi_ap_round,
+)
 
-from repro.core.config import CarqConfig
-from repro.core.vehicle import VehicleNode
-from repro.errors import ConfigurationError
-from repro.geom import Vec2
-from repro.mac.frames import NodeId
-from repro.mac.medium import Medium
-from repro.mobility.path import PathMobility
-from repro.mobility.static import StaticMobility
-from repro.geom import Polyline
-from repro.net.ap import AccessPoint, FlowConfig
-from repro.radio.channel import Channel
-from repro.radio.fading import RicianFading
-from repro.radio.pathloss import LogDistancePathLoss
-from repro.radio.shadowing import GudmundsonShadowing
-from repro.experiments.scenario import RadioEnvironment
-from repro.sim import Simulator
-from repro.trace.capture import TraceCollector
-
-
-@dataclass(frozen=True)
-class MultiApConfig:
-    """The multi-AP file-download road."""
-
-    road_length_m: float = 8000.0
-    ap_spacing_m: float = 800.0
-    ap_offset_m: float = 15.0
-    file_blocks: int = 250
-    speed_ms: float = 15.0
-    n_cars: int = 3
-    gap_m: float = 25.0
-    packet_rate_hz: float = 10.0
-    payload_bytes: int = 1000
-    seed: int = 77
-    rounds: int = 5
-    radio: RadioEnvironment = field(default_factory=RadioEnvironment)
-    carq: CarqConfig = field(default_factory=CarqConfig)
-
-    def __post_init__(self) -> None:
-        if self.ap_spacing_m <= 0.0 or self.road_length_m <= self.ap_spacing_m:
-            raise ConfigurationError("road must be longer than the AP spacing")
-        if self.file_blocks <= 0:
-            raise ConfigurationError("file needs at least one block")
-
-    def ap_positions(self) -> list[Vec2]:
-        """Infostation positions along the road."""
-        count = int(self.road_length_m // self.ap_spacing_m)
-        return [
-            Vec2(self.ap_spacing_m * (i + 0.5), self.ap_offset_m)
-            for i in range(count)
-        ]
-
-    @property
-    def round_duration_s(self) -> float:
-        """Full traversal of the road by the last car."""
-        return (self.road_length_m + self.n_cars * self.gap_m) / self.speed_ms
-
-
-@dataclass(frozen=True)
-class DownloadOutcome:
-    """Completion result for one car in one round.
-
-    ``aps_visited`` is the number of infostations passed when the file
-    became complete (``math.inf`` if it never completed on this road).
-    """
-
-    car: NodeId
-    aps_visited_coop: float
-    aps_visited_direct: float
-    completion_time_coop: float | None
-    completion_time_direct: float | None
-
-
-def _aps_passed(cfg: MultiApConfig, car_index: int, time: float | None) -> float:
-    """How many APs the car has passed by *time* (∞ when never done)."""
-    if time is None:
-        return math.inf
-    start_delay = car_index * cfg.gap_m / cfg.speed_ms
-    position = max(0.0, (time - start_delay) * cfg.speed_ms)
-    return sum(1 for ap in cfg.ap_positions() if ap.x <= position)
-
-
-def run_multi_ap_round(cfg: MultiApConfig, round_index: int) -> list[DownloadOutcome]:
-    """Simulate one traversal; returns one outcome per car."""
-    sim = Simulator(seed=cfg.seed + 4099 * (round_index + 1))
-    track = Polyline.straight(cfg.road_length_m)
-    capture = TraceCollector()
-    channel = Channel(
-        pathloss=LogDistancePathLoss(
-            exponent=cfg.radio.pathloss_exponent,
-            reference_loss_db=cfg.radio.reference_loss_db,
-        ),
-        shadowing=GudmundsonShadowing(
-            sim.streams.get("shadowing"),
-            sigma_db=cfg.radio.shadowing_sigma_db + 2.0,
-            decorrelation_distance_m=cfg.radio.shadowing_decorrelation_m,
-        ),
-        fading=RicianFading(sim.streams.get("fading"), k_factor=cfg.radio.rician_k),
-        rng=sim.streams.get("channel"),
-    )
-    medium = Medium(sim, channel, trace=capture)
-    car_ids = [NodeId(i + 1) for i in range(cfg.n_cars)]
-    ap_ids = [NodeId(200 + i) for i in range(len(cfg.ap_positions()))]
-    flows = [
-        FlowConfig(
-            destination=car_id,
-            packet_rate_hz=cfg.packet_rate_hz,
-            payload_bytes=cfg.payload_bytes,
-            blocks=cfg.file_blocks,
-        )
-        for car_id in car_ids
-    ]
-    for ap_id, position in zip(ap_ids, cfg.ap_positions()):
-        ap = AccessPoint(
-            sim,
-            medium,
-            ap_id,
-            StaticMobility(position),
-            cfg.radio.ap_radio(),
-            sim.streams.get(f"ap-{ap_id}"),
-            flows,
-            name=f"ap-{ap_id}",
-        )
-        ap.start()
-    cars: dict[NodeId, VehicleNode] = {}
-    for index, car_id in enumerate(car_ids):
-        mobility = PathMobility(
-            track,
-            cfg.speed_ms,
-            start_time=index * cfg.gap_m / cfg.speed_ms,
-        )
-        car = VehicleNode(
-            sim,
-            medium,
-            car_id,
-            mobility,
-            cfg.radio.car_radio(),
-            sim.streams.get(f"car-{car_id}"),
-            ap_ids,
-            cfg.carq,
-            name=f"car-{car_id}",
-        )
-        cars[car_id] = car
-        car.start()
-    sim.run(until=cfg.round_duration_s)
-
-    outcomes = []
-    for index, car_id in enumerate(car_ids):
-        car = cars[car_id]
-        direct_times = sorted(
-            capture.delivery_time(car_id, car_id, seq)
-            for seq in capture.delivered_seqs(car_id, car_id)
-            if 1 <= seq <= cfg.file_blocks
-        )
-        coop_events = [
-            (time, seq)
-            for seq, time in car.protocol.state.recovered.items()
-            if 1 <= seq <= cfg.file_blocks
-        ]
-        direct_events = [
-            (capture.delivery_time(car_id, car_id, seq), seq)
-            for seq in capture.delivered_seqs(car_id, car_id)
-            if 1 <= seq <= cfg.file_blocks
-        ]
-        completion_direct = _completion_time(direct_events, cfg.file_blocks)
-        completion_coop = _completion_time(direct_events + coop_events, cfg.file_blocks)
-        outcomes.append(
-            DownloadOutcome(
-                car=car_id,
-                aps_visited_coop=_aps_passed(cfg, index, completion_coop),
-                aps_visited_direct=_aps_passed(cfg, index, completion_direct),
-                completion_time_coop=completion_coop,
-                completion_time_direct=completion_direct,
-            )
-        )
-    return outcomes
-
-
-def _completion_time(events: list[tuple[float, int]], blocks: int) -> float | None:
-    """Instant at which the set of distinct blocks first reaches *blocks*."""
-    held: set[int] = set()
-    for time, seq in sorted(events):
-        held.add(seq)
-        if len(held) >= blocks:
-            return time
-    return None
-
-
-def run_multi_ap_experiment(cfg: MultiApConfig) -> list[list[DownloadOutcome]]:
-    """All rounds of the multi-AP study."""
-    return [run_multi_ap_round(cfg, index) for index in range(cfg.rounds)]
+__all__ = [
+    "DownloadOutcome",
+    "MultiApConfig",
+    "MultiApRoundContext",
+    "build_multi_ap_round",
+    "collect_download_outcomes",
+    "run_multi_ap_experiment",
+    "run_multi_ap_round",
+]

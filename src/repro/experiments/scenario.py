@@ -1,294 +1,37 @@
-"""Scenario configuration and per-round wiring.
+"""Urban scenario configuration and per-round wiring (compatibility front).
 
-A *round* is one platoon lap past the AP, simulated end-to-end with fresh
-random streams — the unit the paper repeats 30 times.  The builder here
-assembles everything: simulator, channel, medium, trace capture, the AP
-and the vehicles (C-ARQ by default; baselines plug in through ``mode``).
+The implementation lives in :mod:`repro.scenarios.urban` — the urban
+plugin of the scenario registry — composed from the shared pieces in
+:mod:`repro.scenarios.common` / :mod:`repro.scenarios.channels` /
+:mod:`repro.scenarios.modes`.  This module re-exports the historical
+names so existing imports keep working.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-
-from repro.core.config import CarqConfig
-from repro.core.vehicle import VehicleNode
-from repro.errors import ConfigurationError
-from repro.mac.frames import NodeId
-from repro.mac.medium import Medium
-from repro.mobility.base import MobilityModel
-from repro.mobility.idm import DriverProfile, simulate_platoon
-from repro.mobility.profile import CurvatureSpeedProfile
-from repro.mobility.static import StaticMobility
-from repro.mobility.urban import UrbanTestbed, urban_loop
-from repro.net.ap import AccessPoint, FlowConfig
-from repro.radio.channel import Channel
-from repro.radio.fading import RicianFading
-from repro.radio.modulation import rate_by_name
-from repro.radio.obstruction import BuildingObstruction
-from repro.radio.pathloss import LogDistancePathLoss
-from repro.radio.phy import RadioConfig
-from repro.radio.shadowing import (
-    CompositeShadowing,
-    GudmundsonShadowing,
-    TemporalTxShadowing,
+from repro.scenarios.common import AP_NODE_ID, round_seed
+from repro.scenarios.urban import (
+    PlatoonConfig,
+    RadioEnvironment,
+    RoundContext,
+    UrbanScenarioConfig,
+    build_channel,
+    build_platoon_mobility,
+    build_urban_round,
 )
-from repro.sim import Simulator
-from repro.trace.capture import TraceCollector
 
-#: Node id of the (single) urban-testbed access point.
-AP_NODE_ID: NodeId = NodeId(100)
+#: Deprecated alias of :func:`repro.scenarios.common.round_seed` (kept for
+#: callers of the once-private helper).
+_round_seed = round_seed
 
-
-@dataclass(frozen=True)
-class RadioEnvironment:
-    """Propagation and radio parameters of a scenario.
-
-    The defaults are calibrated so the urban testbed reproduces the
-    paper's loss levels (~23–29 % per car before cooperation) with a
-    coverage window of roughly 120–145 packets per flow — see
-    EXPERIMENTS.md for the calibration record.
-    """
-
-    pathloss_exponent: float = 3.7
-    reference_loss_db: float = 40.0
-    shadowing_sigma_db: float = 3.25
-    shadowing_decorrelation_m: float = 18.0
-    common_shadowing_sigma_db: float = 6.25
-    common_shadowing_tau_s: float = 2.5
-    rician_k: float = 4.0
-    ap_tx_power_dbm: float = 19.0
-    car_tx_power_dbm: float = 15.0
-    rate_name: str = "dsss-1"
-    building_loss_db: float = 31.0
-
-    def ap_radio(self) -> RadioConfig:
-        """PHY parameters of the access point."""
-        return RadioConfig(
-            tx_power_dbm=self.ap_tx_power_dbm, rate=rate_by_name(self.rate_name)
-        )
-
-    def car_radio(self) -> RadioConfig:
-        """PHY parameters of a vehicle."""
-        return RadioConfig(
-            tx_power_dbm=self.car_tx_power_dbm, rate=rate_by_name(self.rate_name)
-        )
-
-
-@dataclass(frozen=True)
-class PlatoonConfig:
-    """Platoon composition and driving style.
-
-    ``driver_styles`` entries are ``"normal"``, ``"timid"`` or
-    ``"aggressive"``; the testbed default recreates the paper's platoon
-    (experienced leader, inexperienced driver 2, tailgating driver 3).
-    """
-
-    n_cars: int = 3
-    cruise_speed_ms: float = 5.6       # ≈ 20 km/h
-    corner_speed_ms: float = 3.2
-    initial_gap_m: float = 14.0
-    driver_styles: tuple[str, ...] = ("normal", "timid", "aggressive")
-    follower_speed_factor: float = 1.2
-    acceleration_noise_std: float = 0.15
-
-    def __post_init__(self) -> None:
-        if self.n_cars < 1:
-            raise ConfigurationError("need at least one car")
-        valid = {"normal", "timid", "aggressive"}
-        for style in self.driver_styles:
-            if style not in valid:
-                raise ConfigurationError(f"unknown driver style {style!r}")
-
-    def driver_profiles(self) -> list[DriverProfile]:
-        """One profile per car (styles repeat if fewer than ``n_cars``)."""
-        profiles = []
-        base = DriverProfile(acceleration_noise_std=self.acceleration_noise_std)
-        for index in range(self.n_cars):
-            style = self.driver_styles[index % len(self.driver_styles)]
-            profile = {
-                "normal": base,
-                "timid": base.timid(),
-                "aggressive": base.aggressive(),
-            }[style]
-            if index > 0:
-                # Followers chase the leader; see repro.mobility.idm notes.
-                profile = replace(profile, speed_factor=self.follower_speed_factor)
-            profiles.append(profile)
-        return profiles
-
-
-@dataclass(frozen=True)
-class UrbanScenarioConfig:
-    """Everything defining the urban testbed experiment."""
-
-    seed: int = 2008
-    rounds: int = 30
-    round_duration_s: float = 85.0
-    packet_rate_hz: float = 5.0
-    payload_bytes: int = 1000
-    radio: RadioEnvironment = field(default_factory=RadioEnvironment)
-    platoon: PlatoonConfig = field(default_factory=PlatoonConfig)
-    carq: CarqConfig = field(default_factory=CarqConfig)
-
-    def __post_init__(self) -> None:
-        if self.rounds < 1:
-            raise ConfigurationError("need at least one round")
-        if self.round_duration_s <= 0.0:
-            raise ConfigurationError("round duration must be positive")
-
-    def car_ids(self) -> list[NodeId]:
-        """Vehicle node ids, platoon order (car 1 leads)."""
-        return [NodeId(i + 1) for i in range(self.platoon.n_cars)]
-
-
-@dataclass
-class RoundContext:
-    """Everything built for one round, ready to run."""
-
-    sim: Simulator
-    medium: Medium
-    capture: TraceCollector
-    testbed: UrbanTestbed
-    ap: AccessPoint
-    cars: dict[NodeId, VehicleNode]
-    config: UrbanScenarioConfig
-
-    def run(self) -> None:
-        """Execute the round to its configured duration."""
-        self.sim.run(until=self.config.round_duration_s)
-
-
-def _round_seed(base_seed: int, round_index: int) -> int:
-    """Independent per-round seed (rounds are i.i.d. repetitions)."""
-    return base_seed + 7919 * (round_index + 1)
-
-
-def build_platoon_mobility(
-    cfg: UrbanScenarioConfig, sim: Simulator, testbed: UrbanTestbed
-) -> list[MobilityModel]:
-    """IDM trajectories for the round, with per-round driver variability."""
-    rng = sim.streams.get("mobility")
-    profiles = cfg.platoon.driver_profiles()
-    # Humans are not metronomes: jitter speeds and gaps a little per round.
-    jittered = []
-    for profile in profiles:
-        factor = float(rng.normal(1.0, 0.02))
-        jittered.append(replace(profile, speed_factor=profile.speed_factor * factor))
-    speed_profile = CurvatureSpeedProfile(
-        testbed.track,
-        cruise_speed=cfg.platoon.cruise_speed_ms,
-        corner_speed=cfg.platoon.corner_speed_ms,
-    )
-    initial_gap = cfg.platoon.initial_gap_m * float(rng.uniform(0.85, 1.15))
-    return list(
-        simulate_platoon(
-            testbed.track,
-            speed_profile,
-            jittered,
-            duration=cfg.round_duration_s,
-            rng=rng,
-            initial_gap=initial_gap,
-            lead_start_arc=testbed.start_arc_length,
-        )
-    )
-
-
-def build_channel(
-    cfg: UrbanScenarioConfig, sim: Simulator, testbed: UrbanTestbed | None = None
-) -> Channel:
-    """The propagation stack for one round."""
-    radio = cfg.radio
-    obstruction = None
-    if testbed is not None and testbed.buildings:
-        obstruction = BuildingObstruction(
-            testbed.buildings, loss_per_building_db=radio.building_loss_db
-        )
-    per_link = GudmundsonShadowing(
-        sim.streams.get("shadowing"),
-        sigma_db=radio.shadowing_sigma_db,
-        decorrelation_distance_m=radio.shadowing_decorrelation_m,
-    )
-    shadowing = per_link
-    if radio.common_shadowing_sigma_db > 0.0:
-        # AP-side common variation (passers-by at the window antenna):
-        # hits every AP link at once — the source of joint losses.
-        common = TemporalTxShadowing(
-            sim.streams.get("shadowing-common"),
-            sigma_db=radio.common_shadowing_sigma_db,
-            tau_s=radio.common_shadowing_tau_s,
-            hub=AP_NODE_ID,
-        )
-        shadowing = CompositeShadowing([per_link, common])
-    return Channel(
-        pathloss=LogDistancePathLoss(
-            exponent=radio.pathloss_exponent,
-            reference_loss_db=radio.reference_loss_db,
-        ),
-        shadowing=shadowing,
-        fading=RicianFading(sim.streams.get("fading"), k_factor=radio.rician_k),
-        obstruction=obstruction,
-        rng=sim.streams.get("channel"),
-    )
-
-
-def build_urban_round(
-    cfg: UrbanScenarioConfig,
-    round_index: int,
-    *,
-    testbed: UrbanTestbed | None = None,
-) -> RoundContext:
-    """Wire one complete round of the urban testbed (C-ARQ protocol).
-
-    Baseline variants reuse :func:`build_platoon_mobility` /
-    :func:`build_channel` and substitute their own vehicle classes (see
-    :mod:`repro.baselines`).
-    """
-    sim = Simulator(seed=_round_seed(cfg.seed, round_index))
-    tb = testbed if testbed is not None else urban_loop()
-    capture = TraceCollector()
-    medium = Medium(sim, build_channel(cfg, sim, tb), trace=capture)
-
-    mobilities = build_platoon_mobility(cfg, sim, tb)
-    car_ids = cfg.car_ids()
-    flows = [
-        FlowConfig(
-            destination=car_id,
-            packet_rate_hz=cfg.packet_rate_hz,
-            payload_bytes=cfg.payload_bytes,
-        )
-        for car_id in car_ids
-    ]
-    ap = AccessPoint(
-        sim,
-        medium,
-        AP_NODE_ID,
-        StaticMobility(tb.ap_position),
-        cfg.radio.ap_radio(),
-        sim.streams.get("ap"),
-        flows,
-    )
-    cars: dict[NodeId, VehicleNode] = {}
-    for car_id, mobility in zip(car_ids, mobilities):
-        cars[car_id] = VehicleNode(
-            sim,
-            medium,
-            car_id,
-            mobility,
-            cfg.radio.car_radio(),
-            sim.streams.get(f"car-{car_id}"),
-            AP_NODE_ID,
-            cfg.carq,
-            name=f"car-{car_id}",
-        )
-    ap.start()
-    for car in cars.values():
-        car.start()
-    return RoundContext(
-        sim=sim,
-        medium=medium,
-        capture=capture,
-        testbed=tb,
-        ap=ap,
-        cars=cars,
-        config=cfg,
-    )
+__all__ = [
+    "AP_NODE_ID",
+    "PlatoonConfig",
+    "RadioEnvironment",
+    "RoundContext",
+    "UrbanScenarioConfig",
+    "build_channel",
+    "build_platoon_mobility",
+    "build_urban_round",
+    "round_seed",
+]

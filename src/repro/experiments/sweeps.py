@@ -24,6 +24,7 @@ from repro.campaign.spec import CampaignSpec, GridAxis, GridPoint, axis, config_
 from repro.campaign.store import MemoryStore
 from repro.experiments.highway import HighwayConfig
 from repro.experiments.scenario import UrbanScenarioConfig
+from repro.scenarios.urban import platoon_size_points
 
 __all__ = [
     "SweepPoint",
@@ -49,25 +50,16 @@ def platoon_size_spec(
     base: UrbanScenarioConfig, sizes: list[int], *, rounds: int = 8
 ) -> CampaignSpec:
     """Campaign spec of :func:`platoon_size_sweep`."""
-    points = []
-    for size in sizes:
-        styles = [("normal", "timid", "aggressive")[i % 3] for i in range(size)]
-        points.append(
-            GridPoint(
-                label=size,
-                overrides={
-                    "platoon.n_cars": size,
-                    "platoon.driver_styles": styles,
-                },
-            )
-        )
+    points = tuple(
+        GridPoint.from_dict(p) for p in platoon_size_points(sizes)
+    )
     return CampaignSpec(
         name="platoon-size",
         scenario="urban",
         seed=base.seed,
         rounds=rounds,
         base=config_to_dict(base),
-        axes=(GridAxis(name="platoon.n_cars", points=tuple(points)),),
+        axes=(GridAxis(name="platoon.n_cars", points=points),),
     )
 
 

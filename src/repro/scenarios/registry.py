@@ -1,0 +1,173 @@
+"""The scenario plugin registry: one wiring path for every scenario.
+
+A :class:`ScenarioPlugin` bundles everything the rest of the system needs
+to run and report a scenario kind — its configuration dataclass, the
+per-round builder, the row collector that reduces a finished round to a
+JSON-storable dict, and the aggregator that folds stored rows back into
+summary objects.  The campaign layer (spec validation, task execution,
+report folds) and the CLI dispatch exclusively through this registry, so
+adding a scenario is one :func:`register` call: no executor tables, no
+report special cases, no CLI edits.
+
+Plugins register themselves at import time from their defining modules;
+importing :mod:`repro.scenarios` loads the built-in set (urban, highway,
+multi_ap, bidirectional).  Third-party plugins must live in an importable
+module and register at its import: campaign workers on platforms without
+``fork`` (the executor's ``spawn`` fallback) re-import rather than
+inherit the parent's registry, so a plugin registered only by a script's
+``__main__`` body would be missing there.
+"""
+
+from __future__ import annotations
+
+import typing
+from dataclasses import dataclass, field
+
+from repro.errors import ScenarioError
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from collections.abc import Callable, Mapping
+
+
+@dataclass(frozen=True)
+class ScenarioPreset:
+    """A named, zero-argument campaign recipe a plugin ships with.
+
+    ``build`` returns a plain :class:`~repro.campaign.spec.CampaignSpec`
+    JSON dict (never a ``CampaignSpec`` instance — plugins sit below the
+    campaign layer and must not import it).  The CLI materialises the
+    dict via ``CampaignSpec.from_dict``.
+    """
+
+    name: str
+    description: str
+    build: "Callable[[], dict]"
+
+
+@dataclass(frozen=True)
+class ScenarioPlugin:
+    """Everything defining one runnable scenario kind.
+
+    Attributes
+    ----------
+    name:
+        Registry key; also the ``scenario`` field of campaign specs.
+    description:
+        One line for ``repro scenarios`` and the README scenario table.
+    config_cls:
+        The scenario's configuration dataclass.  Must be constructible
+        from defaults and round-trip through
+        :func:`repro.scenarios.configs.config_to_dict`.
+    build_round:
+        ``(config, round_index) -> context``; the context exposes
+        ``run()`` executing the round to completion.
+    collect_row:
+        ``(finished context) -> dict``; the JSON row a campaign stores.
+    summarize:
+        ``(rows, parameter) -> summary_cls`` — folds one grid point's
+        rows (all rounds) into one summary object.
+    summary_cls:
+        The type :attr:`summarize` returns (e.g. ``SweepPoint``), used by
+        typed report entry points to refuse mismatched campaigns.
+    report_header / report_line:
+        The CLI report table: a header string and a ``summary -> str``
+        formatter.
+    modes:
+        Protocol modes the scenario's config accepts in its ``mode``
+        field (``("carq",)`` when the scenario is cooperative-only).
+    presets:
+        Campaign recipes the CLI offers under ``--preset``.
+    """
+
+    name: str
+    description: str
+    config_cls: type
+    build_round: "Callable[[typing.Any, int], typing.Any]"
+    collect_row: "Callable[[typing.Any], dict]"
+    summarize: "Callable[[list[dict], typing.Any], typing.Any]"
+    summary_cls: type
+    report_header: str
+    report_line: "Callable[[typing.Any], str]"
+    modes: tuple[str, ...] = ("carq",)
+    presets: tuple[ScenarioPreset, ...] = ()
+
+    def run_round(self, config, round_index: int) -> dict:
+        """Build, execute, and reduce one round to its result row."""
+        ctx = self.build_round(config, round_index)
+        ctx.run()
+        return self.collect_row(ctx)
+
+    def default_config(self):
+        """The scenario configuration with every field at its default."""
+        return self.config_cls()
+
+
+_PLUGINS: dict[str, ScenarioPlugin] = {}
+
+
+def register(plugin: ScenarioPlugin) -> ScenarioPlugin:
+    """Add *plugin* to the registry; duplicate names are rejected."""
+    if plugin.name in _PLUGINS:
+        raise ScenarioError(
+            f"scenario {plugin.name!r} is already registered "
+            f"(by {_PLUGINS[plugin.name].config_cls.__name__})"
+        )
+    _PLUGINS[plugin.name] = plugin
+    return plugin
+
+
+def unregister(name: str) -> None:
+    """Remove a plugin (test isolation helper)."""
+    _PLUGINS.pop(name, None)
+
+
+def get_scenario(name: str) -> ScenarioPlugin:
+    """The plugin registered under *name*.
+
+    Raises
+    ------
+    ScenarioError
+        When nothing is registered under *name*; the message lists the
+        known scenario kinds.
+    """
+    try:
+        return _PLUGINS[name]
+    except KeyError:
+        raise ScenarioError(
+            f"unknown scenario kind {name!r}; registered: "
+            f"{', '.join(scenario_names())}"
+        ) from None
+
+
+def has_scenario(name: str) -> bool:
+    """Whether *name* is a registered scenario kind."""
+    return name in _PLUGINS
+
+
+def scenario_names() -> list[str]:
+    """All registered scenario names, sorted."""
+    return sorted(_PLUGINS)
+
+
+def all_scenarios() -> list[ScenarioPlugin]:
+    """All registered plugins, name order."""
+    return [_PLUGINS[name] for name in scenario_names()]
+
+
+def scenario_table_markdown() -> str:
+    """The README scenario table, generated from plugin metadata.
+
+    One source of truth: ``repro scenarios --markdown`` prints this and
+    the README embeds it, so the docs can never drift from the registry.
+    """
+    lines = [
+        "| Scenario | Protocol modes | Presets | What it studies |",
+        "| --- | --- | --- | --- |",
+    ]
+    for plugin in all_scenarios():
+        presets = ", ".join(f"`{p.name}`" for p in plugin.presets) or "—"
+        modes = ", ".join(f"`{m}`" for m in plugin.modes)
+        lines.append(
+            f"| `{plugin.name}` | {modes} | {presets} | {plugin.description} |"
+        )
+    return "\n".join(lines)

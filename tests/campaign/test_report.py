@@ -144,7 +144,7 @@ class TestDownloadSummaries:
             download_summaries(MemoryStore(), spec)
 
     def test_sweep_points_reject_multi_ap(self):
-        with pytest.raises(CampaignError, match="download_summary"):
+        with pytest.raises(CampaignError, match="DownloadSummary"):
             sweep_points(MemoryStore(), self.spec())
 
 

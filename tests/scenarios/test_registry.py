@@ -1,0 +1,155 @@
+"""The scenario plugin registry: registration, lookup, campaign dispatch."""
+
+from dataclasses import dataclass, field
+
+import pytest
+
+from repro.campaign.executor import run_campaign
+from repro.campaign.report import point_summaries
+from repro.campaign.spec import CampaignSpec, config_from_dict, config_to_dict
+from repro.campaign.store import MemoryStore
+from repro.errors import CampaignError, ScenarioError
+from repro.scenarios import (
+    ScenarioPlugin,
+    ScenarioPreset,
+    all_scenarios,
+    get_scenario,
+    has_scenario,
+    register,
+    scenario_names,
+    scenario_table_markdown,
+)
+from repro.scenarios.registry import unregister
+
+BUILTINS = ("bidirectional", "highway", "multi_ap", "urban")
+
+
+@dataclass(frozen=True)
+class _ToyConfig:
+    seed: int = 3
+    rounds: int = 2
+    value: int = 10
+
+
+@dataclass
+class _ToyContext:
+    config: _ToyConfig
+    round_index: int
+    ran: bool = False
+
+    def run(self) -> None:
+        self.ran = True
+
+
+@dataclass(frozen=True)
+class _ToySummary:
+    parameter: object
+    total: int
+
+
+def _toy_plugin(name: str) -> ScenarioPlugin:
+    return ScenarioPlugin(
+        name=name,
+        description="toy scenario for registry tests",
+        config_cls=_ToyConfig,
+        build_round=_ToyContext,
+        collect_row=lambda ctx: {
+            "value": ctx.config.value + ctx.round_index,
+            "ran": ctx.ran,
+        },
+        summarize=lambda rows, parameter: _ToySummary(
+            parameter, sum(r["value"] for r in rows)
+        ),
+        summary_cls=_ToySummary,
+        report_header="toy",
+        report_line=lambda s: f"{s.parameter} {s.total}",
+        presets=(ScenarioPreset("toy-preset", "a preset", lambda: {}),),
+    )
+
+
+@pytest.fixture
+def toy():
+    plugin = register(_toy_plugin("toy"))
+    yield plugin
+    unregister("toy")
+
+
+class TestRegistration:
+    def test_builtins_are_registered(self):
+        for name in BUILTINS:
+            assert has_scenario(name)
+        assert set(BUILTINS) <= set(scenario_names())
+
+    def test_duplicate_name_rejected(self, toy):
+        with pytest.raises(ScenarioError, match="already registered"):
+            register(_toy_plugin("toy"))
+
+    def test_duplicate_builtin_rejected(self):
+        with pytest.raises(ScenarioError, match="urban"):
+            register(_toy_plugin("urban"))
+
+    def test_unknown_scenario_lookup_fails_with_known_names(self):
+        with pytest.raises(ScenarioError, match="urban"):
+            get_scenario("martian")
+
+    def test_registry_errors_are_campaign_errors(self):
+        # The campaign layer dispatches through the registry; callers
+        # catching CampaignError must see registry misses too.
+        with pytest.raises(CampaignError):
+            get_scenario("martian")
+
+
+class TestPluginContracts:
+    """Every registered plugin honours the interface the engine assumes."""
+
+    @pytest.mark.parametrize("name", BUILTINS)
+    def test_default_config_round_trips_json(self, name):
+        plugin = get_scenario(name)
+        cfg = plugin.default_config()
+        assert config_from_dict(plugin.config_cls, config_to_dict(cfg)) == cfg
+
+    @pytest.mark.parametrize("name", BUILTINS)
+    def test_presets_build_valid_campaign_specs(self, name):
+        plugin = get_scenario(name)
+        for preset in plugin.presets:
+            spec = CampaignSpec.from_dict(preset.build())
+            assert spec.scenario == name
+            assert spec.name == preset.name
+            # The base dict must materialise (validates field names).
+            for task in spec.expand()[:1]:
+                task.config()
+
+    @pytest.mark.parametrize("name", BUILTINS)
+    def test_mode_field_matches_declared_modes(self, name):
+        plugin = get_scenario(name)
+        cfg = plugin.default_config()
+        assert cfg.mode in plugin.modes
+
+    def test_markdown_table_names_every_plugin(self):
+        table = scenario_table_markdown()
+        for plugin in all_scenarios():
+            assert f"`{plugin.name}`" in table
+
+
+class TestCampaignDispatch:
+    """A plugin registration is all it takes to ride the campaign engine."""
+
+    def test_campaign_runs_through_registered_plugin(self, toy):
+        spec = CampaignSpec(
+            name="toy-run",
+            scenario="toy",
+            seed=3,
+            rounds=2,
+            base=config_to_dict(_ToyConfig()),
+        )
+        store = MemoryStore()
+        stats = run_campaign(spec, store, workers=1)
+        assert stats.executed == 2
+        (summary,) = point_summaries(store, spec)
+        assert summary == _ToySummary((), 10 + 11)
+
+    def test_unregistered_scenario_refused_by_spec(self):
+        with pytest.raises(CampaignError, match="scenario"):
+            CampaignSpec(
+                name="x", scenario="toy", seed=1, rounds=1, base={}
+            )
