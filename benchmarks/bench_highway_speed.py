@@ -47,3 +47,51 @@ def test_highway_speed_sweep(benchmark, artifact_sink):
         assert point.lost_after_fraction < point.lost_before_fraction
     # Loss fraction worsens from the slowest to the fastest pass.
     assert points[-1].lost_before_fraction > points[0].lost_before_fraction
+
+
+def test_highway_large_n_fast_path(benchmark, bench_json_sink):
+    """Largest-N highway: 96 vehicles spread along 78 km of road.
+
+    Sparse through-traffic (``spread_along_road``) is the honest
+    at-scale geometry: each radio reaches only its ~6-8 km neighborhood,
+    so the culling fast path touches O(reachable) receivers while the
+    exhaustive path samples all 96.  Fixed 5-simulated-second window;
+    outcomes are pinned bit-identical by the fast-path A/B test.
+    """
+    import dataclasses
+    import time
+
+    from repro.experiments.highway import build_highway_round
+
+    def window_seconds(fast_path: bool) -> float:
+        cfg = HighwayConfig(
+            n_cars=96,
+            gap_m=800.0,
+            speed_ms=30.0,
+            road_length_m=78000.0,
+            seed=5,
+            spread_along_road=True,
+        )
+        cfg = dataclasses.replace(
+            cfg, radio=dataclasses.replace(cfg.radio, reception_fast_path=fast_path)
+        )
+        ctx = build_highway_round(cfg, 0)
+        t0 = time.perf_counter()
+        ctx.sim.run(until=5.0)
+        return time.perf_counter() - t0
+
+    fast = benchmark.pedantic(window_seconds, args=(True,), rounds=1, iterations=1)
+    exhaustive = window_seconds(False)
+    bench_json_sink(
+        "highway.large_n",
+        {
+            "radios": 97,
+            "window_s": 5.0,
+            "fast_s": round(fast, 3),
+            "exhaustive_s": round(exhaustive, 3),
+            "speedup": round(exhaustive / fast, 2),
+        },
+    )
+    # Generous floor for noisy CI boxes; BENCH_kernel.json records the
+    # actual ratio (≥3× on an idle machine).
+    assert exhaustive / fast > 2.0

@@ -60,3 +60,50 @@ def test_multi_ap_download(benchmark, artifact_sink):
     if finished_pairs:
         assert sum(c for c, _ in finished_pairs) < sum(d for _, d in finished_pairs)
     assert coop_incomplete <= direct_incomplete
+
+
+def test_multi_ap_large_n_fast_path(benchmark, bench_json_sink):
+    """Largest-N corridor: 20 infostations + 12 cars (32 radios).
+
+    Runs a fixed 10-simulated-second window of the same round with the
+    reception fast path on vs forced exhaustive; outcomes are pinned
+    bit-identical by ``tests/scenarios/test_fast_path_ab.py``, so the
+    only difference left to measure is throughput.
+    """
+    import dataclasses
+    import time
+
+    from repro.experiments.multi_ap import build_multi_ap_round
+
+    def window_seconds(fast_path: bool) -> float:
+        cfg = MultiApConfig(
+            road_length_m=8000.0,
+            ap_spacing_m=400.0,
+            n_cars=12,
+            file_blocks=250,
+            speed_ms=15.0,
+            seed=5,
+        )
+        cfg = dataclasses.replace(
+            cfg, radio=dataclasses.replace(cfg.radio, reception_fast_path=fast_path)
+        )
+        ctx = build_multi_ap_round(cfg, 0)
+        t0 = time.perf_counter()
+        ctx.sim.run(until=10.0)
+        return time.perf_counter() - t0
+
+    fast = benchmark.pedantic(window_seconds, args=(True,), rounds=1, iterations=1)
+    exhaustive = window_seconds(False)
+    bench_json_sink(
+        "multi_ap.large_n",
+        {
+            "radios": 32,
+            "window_s": 10.0,
+            "fast_s": round(fast, 3),
+            "exhaustive_s": round(exhaustive, 3),
+            "speedup": round(exhaustive / fast, 2),
+        },
+    )
+    # Generous floor for noisy CI boxes; BENCH_kernel.json records the
+    # actual ratio (≥3× on an idle machine).
+    assert exhaustive / fast > 2.0

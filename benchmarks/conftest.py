@@ -10,6 +10,7 @@ EXPERIMENTS.md come from these files — and also prints it (visible with
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 import pytest
@@ -23,11 +24,37 @@ URBAN_ROUNDS = 12
 
 OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
 
+#: Machine-readable perf trajectory: kernel and medium throughput numbers
+#: land here so future PRs have a baseline to compare against (the CI
+#: bench-smoke job uploads it as an artifact).
+BENCH_JSON = pathlib.Path(__file__).parent.parent / "BENCH_kernel.json"
+
 
 @pytest.fixture(scope="session")
 def urban_result():
     """One shared multi-round run of the paper testbed."""
     return run_urban_experiment(paper_testbed_config(rounds=URBAN_ROUNDS))
+
+
+@pytest.fixture(scope="session")
+def bench_json_sink():
+    """Writer that merges ``{key: payload}`` entries into BENCH_kernel.json.
+
+    Entries survive across runs (merge, not overwrite), so one invocation
+    of ``bench_kernel.py`` and one of the scenario benches together build
+    the full perf record.
+    """
+
+    def write(key: str, payload: dict) -> None:
+        data = {"schema": 1, "entries": {}}
+        if BENCH_JSON.exists():
+            data = json.loads(BENCH_JSON.read_text())
+        data.setdefault("entries", {})[key] = payload
+        BENCH_JSON.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+        print(f"\n===== BENCH_kernel.json[{key}] =====")
+        print(json.dumps(payload, indent=2, sort_keys=True))
+
+    return write
 
 
 @pytest.fixture(scope="session")

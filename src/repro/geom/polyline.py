@@ -106,6 +106,13 @@ class Polyline:
 
     def point_at(self, s: float) -> Vec2:
         """Position at arc length *s* from the start."""
+        points = self._points
+        if len(points) == 2 and not self._closed:
+            # Straight track (highway, corridor): skip the segment search.
+            # Bit-identical to the general path below (into = s - 0, and
+            # the only cumulative entry is the segment length itself).
+            s = self._wrap(s)
+            return points[0].lerp(points[1], s / self._cumulative[-1])
         idx, into = self._locate(s)
         a, b = self._segment(idx)
         seg_len = a.distance_to(b)

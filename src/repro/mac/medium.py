@@ -1,25 +1,40 @@
 """The shared wireless medium.
 
 One :class:`Medium` instance connects all interfaces of a scenario.  For
-every transmission it samples the channel toward every attached receiver,
+every transmission it samples the channel toward attached receivers,
 tracks concurrent arrivals for interference/SINR, enforces half-duplex
 radios, and reports outcomes to an optional trace collector.
 
 Reception pipeline per (frame, receiver):
 
-1. sample path loss + shadowing + fading → received power;
-2. drop silently if the mean power is far below the noise floor (the
+1. bound the receiver's best-case mean power deterministically (path loss
+   at current positions plus the configured shadowing headroom) and cull
+   the link if it can never clear ``noise_floor - sensitivity_margin`` —
+   no RNG is consumed, and because all stochastic channel draws are keyed
+   per ``(link, transmission)``, skipping a link cannot perturb any other
+   link's realisation;
+2. sample path loss + shadowing + fading → received power;
+3. drop silently if the mean power is far below the noise floor (the
    receiver's hardware would never sync to the preamble — real sniffers
    record nothing there either);
-3. accumulate interference from temporally overlapping arrivals;
-4. at frame end, draw delivery from the SINR-dependent frame error rate;
-5. a receiver that transmitted during any part of the arrival loses the
+4. accumulate interference from temporally overlapping arrivals;
+5. at frame end, draw delivery from the SINR-dependent frame error rate;
+6. a receiver that transmitted during any part of the arrival loses the
    frame outright (half-duplex).
+
+The candidate receivers themselves come from a lazily refreshed spatial
+grid (cell size = the maximum reachable radius implied by the path-loss
+model), so a broadcast costs O(reachable receivers), not O(attached
+interfaces).  ``fast_path=False`` forces the exhaustive path — every
+attached interface is bounded *and sampled* — which must produce
+bit-identical outcomes (the A/B pin in
+``tests/scenarios/test_fast_path_ab.py``).
 """
 
 from __future__ import annotations
 
 import enum
+import math
 import typing
 from dataclasses import dataclass
 
@@ -32,6 +47,7 @@ from repro.sim import Priority, Simulator
 from repro.units import dbm_sum
 
 if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.geom import Vec2
     from repro.mac.interface import NetworkInterface
 
 
@@ -79,6 +95,60 @@ class _Arrival:
         self.half_duplex = False
 
 
+class _NeighborIndex:
+    """Grid buckets of interface positions, refreshed lazily.
+
+    Built from a snapshot of positions; queries widen their radius by the
+    maximum distance any node may have moved since the snapshot
+    (``max_speed_ms · age``), so the candidate set is always a superset
+    of the truly reachable receivers as long as no node outruns the
+    configured speed bound.
+    """
+
+    __slots__ = ("cell_m", "built_at", "version", "_buckets")
+
+    def __init__(
+        self,
+        interfaces: list["NetworkInterface"],
+        cell_m: float,
+        now: float,
+        version: int,
+    ) -> None:
+        self.cell_m = cell_m
+        self.built_at = now
+        self.version = version
+        buckets: dict[tuple[int, int], list["NetworkInterface"]] = {}
+        inv = 1.0 / cell_m
+        for iface in interfaces:
+            pos = iface.position()
+            key = (math.floor(pos.x * inv), math.floor(pos.y * inv))
+            buckets.setdefault(key, []).append(iface)
+        self._buckets = buckets
+
+    def query(self, pos: "Vec2", radius: float) -> list["NetworkInterface"]:
+        """Every interface bucketed within *radius* of *pos* (superset)."""
+        inv = 1.0 / self.cell_m
+        x_lo = math.floor((pos.x - radius) * inv)
+        x_hi = math.floor((pos.x + radius) * inv)
+        y_lo = math.floor((pos.y - radius) * inv)
+        y_hi = math.floor((pos.y + radius) * inv)
+        buckets = self._buckets
+        found: list["NetworkInterface"] = []
+        if (x_hi - x_lo + 1) * (y_hi - y_lo + 1) >= len(buckets):
+            # Query box spans more cells than exist: walking the occupied
+            # buckets (and box-testing each) is cheaper than probing the box.
+            for (ix, iy), bucket in buckets.items():
+                if x_lo <= ix <= x_hi and y_lo <= iy <= y_hi:
+                    found.extend(bucket)
+            return found
+        for ix in range(x_lo, x_hi + 1):
+            for iy in range(y_lo, y_hi + 1):
+                bucket = buckets.get((ix, iy))
+                if bucket is not None:
+                    found.extend(bucket)
+        return found
+
+
 class Medium:
     """Connects interfaces through a :class:`~repro.radio.channel.Channel`.
 
@@ -94,6 +164,38 @@ class Medium:
     sensitivity_margin_db:
         Arrivals whose mean power is more than this below the receiver
         noise floor are discarded without bookkeeping.
+    fast_path:
+        When true (default), receivers are found through the spatial
+        neighbor index and hopeless links are culled before sampling.
+        When false, every attached interface is bounded and sampled — the
+        exhaustive A/B reference, bit-identical to the fast path.
+    cull_headroom_db:
+        Shadowing boost granted to a link before it is declared
+        unreachable: a receiver is culled when ``tx_power + rx_gain -
+        pathloss - obstruction + headroom`` is below its sensitivity
+        threshold.  The bound is part of the reception model — both the
+        fast and the exhaustive path apply it, which is what makes them
+        bit-identical.  ``None`` derives the provable worst case from
+        the channel's clamped shadowing models (±4σ: exact pre-fast-path
+        physics, but a much wider radius).  The default 12 dB is a
+        fidelity/throughput trade-off: links whose deterministic mean
+        sits in the 12 dB band *below* the sensitivity threshold need a
+        shadowing boost exceeding the headroom to matter, which for a
+        composite σ of ~7 dB happens on a few percent of edge-of-range
+        frames — all at least ``sensitivity_margin_db`` under the noise
+        floor, so they can never deliver and are lost only as potential
+        weak interferers and trace rows.  Scenarios that need the exact
+        tail set the headroom knob (``RadioEnvironment.cull_headroom_db``)
+        higher or pass ``None``.
+    neighbor_refresh_s:
+        Maximum age of the neighbor index snapshot before it is rebuilt.
+    max_speed_ms:
+        Upper bound on node speed, used to widen stale-index queries so a
+        moving receiver can never be missed.  Raise it for scenarios with
+        faster (or teleporting) mobility.
+    neighbor_index_min_nodes:
+        Below this interface count the index is skipped (a linear scan of
+        so few nodes is cheaper than grid bookkeeping).
     """
 
     def __init__(
@@ -103,13 +205,36 @@ class Medium:
         *,
         trace: typing.Any | None = None,
         sensitivity_margin_db: float = 10.0,
+        fast_path: bool = True,
+        cull_headroom_db: float | None = 12.0,
+        neighbor_refresh_s: float = 1.0,
+        max_speed_ms: float = 100.0,
+        neighbor_index_min_nodes: int = 16,
     ) -> None:
         self._sim = sim
         self._channel = channel
         self._trace = trace
         self._sensitivity_margin_db = sensitivity_margin_db
+        self._fast_path = fast_path
+        if cull_headroom_db is None:
+            cull_headroom_db = channel.shadow_headroom_db()
+        self._cull_headroom_db = cull_headroom_db
+        self._neighbor_refresh_s = neighbor_refresh_s
+        self._max_speed_ms = max_speed_ms
+        self._neighbor_index_min_nodes = neighbor_index_min_nodes
         self._interfaces: list[NetworkInterface] = []
         self._ongoing: dict[NetworkInterface, list[_Arrival]] = {}
+        # Attach-order rank and sensitivity threshold per interface, cached
+        # off the hot path (thresholds are static per RadioConfig).
+        self._attach_rank: dict[NetworkInterface, int] = {}
+        self._rx_threshold_dbm: dict[NetworkInterface, float] = {}
+        self._tx_seq = 0
+        self._index: _NeighborIndex | None = None
+        self._index_version = 0
+        self._reach_radius_m: float | None = None
+        # Per-transmit-power query radius (radios share a handful of
+        # distinct powers, so this stays tiny).
+        self._tx_radius_m: dict[float, float] = {}
 
     @property
     def channel(self) -> Channel:
@@ -121,16 +246,100 @@ class Medium:
         """The attached trace collector, if any."""
         return self._trace
 
+    @property
+    def fast_path(self) -> bool:
+        """Whether reception uses the culling fast path."""
+        return self._fast_path
+
+    @property
+    def cull_headroom_db(self) -> float:
+        """Shadowing headroom granted by the reachability bound."""
+        return self._cull_headroom_db
+
     def set_trace(self, trace: typing.Any | None) -> None:
         """Install or replace the trace collector."""
         self._trace = trace
 
     def attach(self, iface: "NetworkInterface") -> None:
         """Register an interface.  Each interface joins exactly one medium."""
-        if iface in self._interfaces:
+        if iface in self._ongoing:
             raise MacError(f"interface {iface.name!r} already attached")
+        self._attach_rank[iface] = len(self._interfaces)
         self._interfaces.append(iface)
         self._ongoing[iface] = []
+        self._rx_threshold_dbm[iface] = (
+            iface.config.noise_floor_dbm - self._sensitivity_margin_db
+        )
+        self.invalidate_neighbors()
+
+    def invalidate_neighbors(self) -> None:
+        """Force a neighbor-index rebuild (topology or mobility jump)."""
+        self._index_version += 1
+        self._reach_radius_m = None
+        self._tx_radius_m.clear()
+
+    # -- candidate discovery --------------------------------------------------
+
+    def _radius_for_loss_budget(self, tx_power_dbm: float) -> float:
+        """Radius beyond which *tx_power* cannot pass any receiver's bound."""
+        if not self._interfaces:
+            return math.inf
+        best = tx_power_dbm + max(
+            iface.config.antenna_gain_db for iface in self._interfaces
+        )
+        min_threshold = min(self._rx_threshold_dbm.values())
+        max_loss = best - min_threshold + self._cull_headroom_db
+        if not math.isfinite(max_loss):
+            return math.inf
+        return self._channel.max_range_m(max_loss)
+
+    def _candidates(self, tx_iface: "NetworkInterface", tx_pos: "Vec2") -> list:
+        """Receivers that could possibly pass the reachability bound.
+
+        Returns a superset of the bound-passing set, in attach order (the
+        per-pair bound in :meth:`transmit` does the exact cull).
+        """
+        interfaces = self._interfaces
+        if (
+            not self._fast_path
+            or len(interfaces) < self._neighbor_index_min_nodes
+        ):
+            return interfaces
+        # Grid cells are a quarter of the strongest radio's reach (a
+        # bucket-count / query-precision sweet spot); queries use the
+        # transmitter's own (possibly much shorter) reach.
+        cell = self._reach_radius_m
+        if cell is None:
+            cell = self._reach_radius_m = (
+                self._radius_for_loss_budget(
+                    max(iface.config.tx_power_dbm for iface in interfaces)
+                )
+                / 4.0
+            )
+        if not math.isfinite(cell):
+            return interfaces
+        tx_power = tx_iface.config.tx_power_dbm
+        radius = self._tx_radius_m.get(tx_power)
+        if radius is None:
+            radius = self._radius_for_loss_budget(tx_power)
+            self._tx_radius_m[tx_power] = radius
+        now = self._sim.now
+        index = self._index
+        if (
+            index is None
+            or index.version != self._index_version
+            or now - index.built_at > self._neighbor_refresh_s
+        ):
+            index = self._index = _NeighborIndex(
+                interfaces, cell, now, self._index_version
+            )
+        slack = self._max_speed_ms * (now - index.built_at)
+        found = index.query(tx_pos, radius + slack)
+        if len(found) >= len(interfaces):
+            return interfaces
+        rank = self._attach_rank
+        found.sort(key=rank.__getitem__)
+        return found
 
     # -- transmission ---------------------------------------------------------
 
@@ -141,61 +350,77 @@ class Medium:
         interface is responsible for marking itself as transmitting for the
         returned duration.
         """
-        if tx_iface not in self._ongoing:
+        ongoing = self._ongoing
+        if tx_iface not in ongoing:
             raise MacError(f"interface {tx_iface.name!r} not attached to this medium")
         now = self._sim.now
         airtime = frame_airtime(frame.size_bytes, rate)
+        end = now + airtime
         tx_pos = tx_iface.position()
+        self._tx_seq += 1
+        tx_seq = self._tx_seq
         if self._trace is not None:
             self._trace.on_tx(now, tx_iface.node_id, frame, rate)
 
         # A station that starts transmitting kills anything it was receiving.
-        for arrival in self._ongoing[tx_iface]:
+        for arrival in ongoing[tx_iface]:
             arrival.half_duplex = True
 
-        for rx_iface in self._interfaces:
+        channel = self._channel
+        fast = self._fast_path
+        headroom = self._cull_headroom_db
+        tx_power = tx_iface.config.tx_power_dbm
+        tx_id = tx_iface.node_id
+        thresholds = self._rx_threshold_dbm
+        finishing: list[tuple[NetworkInterface, _Arrival]] = []
+        for rx_iface in self._candidates(tx_iface, tx_pos):
             if rx_iface is tx_iface:
                 continue
-            self._start_arrival(tx_iface, rx_iface, frame, rate, tx_pos, now, airtime)
+            rx_gain = rx_iface.config.antenna_gain_db
+            rx_pos = rx_iface.position()
+            budget = channel.link_budget(tx_pos, rx_pos)
+            threshold = thresholds[rx_iface]
+            reachable = tx_power + rx_gain - budget[1] + headroom >= threshold
+            if fast and not reachable:
+                continue  # culled without consuming any stochastic draw
+            sample = channel.sample(
+                tx_id,
+                rx_iface.node_id,
+                tx_pos,
+                rx_pos,
+                tx_power,
+                rx_gain,
+                time=now,
+                tx_seq=tx_seq,
+                budget=budget,
+            )
+            if not reachable or sample.mean_rx_power_dbm < threshold:
+                continue  # far out of range: the radio never syncs
+            arrival = _Arrival(frame, rate, sample, now, end)
+            # Mutual interference with everything already on the air here.
+            for other in ongoing[rx_iface]:
+                other.interferers_dbm.append(sample.rx_power_dbm)
+                arrival.interferers_dbm.append(other.sample.rx_power_dbm)
+            if rx_iface.transmitting:
+                arrival.half_duplex = True
+            ongoing[rx_iface].append(arrival)
+            finishing.append((rx_iface, arrival))
+
+        if finishing:
+            # One frame-end event for the whole broadcast (the arrivals all
+            # end at the same instant and carry consecutive ranks anyway).
+            # URGENT so medium bookkeeping settles before normal callbacks
+            # at the same instant observe the channel state.
+            self._sim.schedule(
+                airtime, self._finish_transmission, finishing, priority=Priority.URGENT
+            )
         return airtime
 
-    def _start_arrival(
-        self,
-        tx_iface: "NetworkInterface",
-        rx_iface: "NetworkInterface",
-        frame: Frame,
-        rate: WifiRate,
-        tx_pos: typing.Any,
-        now: float,
-        airtime: float,
+    def _finish_transmission(
+        self, finishing: list[tuple["NetworkInterface", _Arrival]]
     ) -> None:
-        sample = self._channel.sample(
-            tx_iface.node_id,
-            rx_iface.node_id,
-            tx_pos,
-            rx_iface.position(),
-            tx_iface.config.tx_power_dbm,
-            rx_iface.config.antenna_gain_db,
-            time=now,
-        )
-        noise_floor = rx_iface.config.noise_floor_dbm
-        if sample.mean_rx_power_dbm < noise_floor - self._sensitivity_margin_db:
-            return  # far out of range: the radio never syncs, nothing recorded
-        arrival = _Arrival(frame, rate, sample, now, now + airtime)
-
-        # Mutual interference with everything already on the air here.
-        for other in self._ongoing[rx_iface]:
-            other.interferers_dbm.append(sample.rx_power_dbm)
-            arrival.interferers_dbm.append(other.sample.rx_power_dbm)
-        if rx_iface.transmitting:
-            arrival.half_duplex = True
-
-        self._ongoing[rx_iface].append(arrival)
-        # URGENT so medium bookkeeping settles before normal callbacks at
-        # the same instant observe the channel state.
-        self._sim.schedule(
-            airtime, self._finish_arrival, rx_iface, arrival, priority=Priority.URGENT
-        )
+        for rx_iface, arrival in finishing:
+            self._finish_arrival(rx_iface, arrival)
 
     def _finish_arrival(self, rx_iface: "NetworkInterface", arrival: _Arrival) -> None:
         self._ongoing[rx_iface].remove(arrival)
@@ -243,11 +468,20 @@ class Medium:
     # -- carrier sense ----------------------------------------------------------
 
     def busy(self, iface: "NetworkInterface") -> bool:
-        """Whether *iface* senses energy above its carrier-sense threshold."""
+        """Whether *iface* senses energy above its carrier-sense threshold.
+
+        Concurrent arrivals add up in the detector: two frames each just
+        below the threshold are sensed busy together, so the arrivals'
+        mean powers are aggregated with :func:`~repro.units.dbm_sum`
+        before the comparison.
+        """
         if iface.transmitting:
             return True
+        arrivals = self._ongoing[iface]
+        if not arrivals:
+            return False
         threshold = iface.config.carrier_sense_threshold_dbm
-        return any(
-            arrival.sample.mean_rx_power_dbm >= threshold
-            for arrival in self._ongoing[iface]
-        )
+        if len(arrivals) == 1:
+            return arrivals[0].sample.mean_rx_power_dbm >= threshold
+        total = dbm_sum(*(arrival.sample.mean_rx_power_dbm for arrival in arrivals))
+        return total >= threshold

@@ -4,6 +4,14 @@ For every transmitted frame and every potential receiver the
 :class:`Channel` combines path loss, correlated shadowing and per-frame
 fading into one received-power figure, from which the medium derives
 carrier-sense levels, SINR and frame-error draws.
+
+The deterministic part of the link budget (distance, path loss,
+obstruction) is exposed separately via :meth:`Channel.link_budget`, so
+the medium can bound a receiver's best-case power — and cull hopeless
+links — *before* any stochastic component is evaluated.  The stochastic
+components (shadowing, fading) draw keyed randomness per
+``(link, transmission)`` (see :mod:`repro.radio.keyed`), so a culled link
+never perturbs another link's realisation.
 """
 
 from __future__ import annotations
@@ -16,6 +24,7 @@ import numpy as np
 from repro.geom import Vec2
 from repro.radio.error_models import frame_error_rate
 from repro.radio.fading import FadingModel, NoFading
+from repro.radio.keyed import stable_hash64
 from repro.radio.modulation import WifiRate
 from repro.radio.obstruction import NoObstruction, ObstructionModel
 from repro.radio.pathloss import LogDistancePathLoss, PathLossModel
@@ -73,11 +82,50 @@ class Channel:
         self.fading = fading if fading is not None else NoFading()
         self.obstruction = obstruction if obstruction is not None else NoObstruction()
         self._rng = rng if rng is not None else np.random.default_rng()
+        # (tx_id, rx_id) → (canonical link key, stable 64-bit link hash);
+        # pure values, memoised off the per-frame hot path.
+        self._links: dict[tuple[Hashable, Hashable], tuple[tuple, int]] = {}
 
     @staticmethod
     def link_key(node_a: Hashable, node_b: Hashable) -> tuple[Hashable, Hashable]:
         """Canonical (order-independent) link identifier for reciprocity."""
         return (node_a, node_b) if repr(node_a) <= repr(node_b) else (node_b, node_a)
+
+    def _link(self, tx_id: Hashable, rx_id: Hashable) -> tuple[tuple, int]:
+        cached = self._links.get((tx_id, rx_id))
+        if cached is None:
+            key = self.link_key(tx_id, rx_id)
+            cached = (key, stable_hash64(key))
+            self._links[(tx_id, rx_id)] = cached
+        return cached
+
+    # -- deterministic link budget -------------------------------------------
+
+    def link_budget(self, tx_pos: Vec2, rx_pos: Vec2) -> tuple[float, float]:
+        """``(distance_m, base_loss_db)`` — the deterministic budget part.
+
+        ``base_loss_db`` is path loss plus obstruction; shadowing and
+        fading are not included, so ``tx_power + rx_gain - base_loss_db``
+        is the link's mean received power before any stochastic draw.
+        """
+        distance = tx_pos.distance_to(rx_pos)
+        loss = self.pathloss.loss_db(distance)
+        loss += self.obstruction.extra_loss_db(tx_pos, rx_pos)
+        return distance, loss
+
+    def shadow_headroom_db(self) -> float:
+        """Worst-case positive shadowing excursion (``inf`` if unbounded)."""
+        return self.shadowing.max_boost_db()
+
+    def max_range_m(self, max_loss_db: float) -> float:
+        """Largest distance whose *path* loss stays within *max_loss_db*.
+
+        Obstruction only ever adds loss, so this is a conservative
+        (never-too-small) radius for the medium's neighbor index.
+        """
+        return self.pathloss.range_for_loss(max_loss_db)
+
+    # -- stochastic realisation ----------------------------------------------
 
     def sample(
         self,
@@ -88,16 +136,26 @@ class Channel:
         tx_power_dbm: float,
         rx_gain_db: float = 0.0,
         time: float = 0.0,
+        *,
+        tx_seq: int | None = None,
+        budget: tuple[float, float] | None = None,
     ) -> LinkSample:
-        """Draw the channel realisation for one frame on one link."""
-        distance = tx_pos.distance_to(rx_pos)
-        loss = self.pathloss.loss_db(distance)
-        loss += self.obstruction.extra_loss_db(tx_pos, rx_pos)
-        shadow = self.shadowing.sample_db(
-            self.link_key(tx_id, rx_id), tx_pos, rx_pos, time
-        )
+        """Draw the channel realisation for one frame on one link.
+
+        ``tx_seq`` is the medium's per-transmission counter: when given,
+        the fading draw is keyed by ``(link, tx_seq)`` and the sample is
+        a pure function of its arguments.  Without it, fading falls back
+        to the model's sequential counter (legacy single-link callers).
+        ``budget`` forwards a precomputed :meth:`link_budget` so the
+        deterministic part is not evaluated twice.
+        """
+        if budget is None:
+            budget = self.link_budget(tx_pos, rx_pos)
+        distance, loss = budget
+        link, link_hash = self._link(tx_id, rx_id)
+        shadow = self.shadowing.sample_db(link, tx_pos, rx_pos, time)
         mean_power = tx_power_dbm + rx_gain_db - loss - shadow
-        fade = self.fading.sample_db()
+        fade = self.fading.sample_db(None if tx_seq is None else (link_hash, tx_seq))
         return LinkSample(
             rx_power_dbm=mean_power + fade,
             mean_rx_power_dbm=mean_power,

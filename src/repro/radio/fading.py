@@ -5,6 +5,13 @@ the channel coherence time (~ a few ms at 20 km/h) is shorter than the
 5 pkt/s per-flow inter-packet gap, so consecutive frames of one flow see
 independent small-scale realisations.  Temporal correlation across frames
 is carried by the shadowing process instead.
+
+Draws are *keyed* (see :mod:`repro.radio.keyed`): the channel passes a
+``(link, transmission)`` key and the realisation is a pure function of
+it, so the medium's reception fast path can skip out-of-range links
+without perturbing any other link's fading sequence.  Calling
+``sample_db()`` without a key falls back to an internal call counter,
+which yields an ordinary i.i.d. sequence for statistics and tests.
 """
 
 from __future__ import annotations
@@ -15,40 +22,52 @@ import math
 import numpy as np
 
 from repro.errors import RadioError
+from repro.radio.keyed import KeyedRandom
 
 
 class FadingModel(abc.ABC):
     """Interface: one power-gain sample (dB) per transmitted frame."""
 
     @abc.abstractmethod
-    def sample_db(self) -> float:
-        """A fading gain in dB (typically negative-mean)."""
+    def sample_db(self, key: tuple[int, ...] | None = None) -> float:
+        """A fading gain in dB (typically negative-mean) for *key*."""
 
 
 class NoFading(FadingModel):
     """Deterministic zero fading — for unit tests and calibration."""
 
-    def sample_db(self) -> float:
+    def sample_db(self, key: tuple[int, ...] | None = None) -> float:
         return 0.0
 
 
-class RayleighFading(FadingModel):
+class _KeyedFading(FadingModel):
+    """Shared plumbing: keyed draws with a sequential-counter fallback."""
+
+    def __init__(self, rng: np.random.Generator) -> None:
+        self._keyed = KeyedRandom.from_rng(rng)
+        self._calls = 0
+
+    def _key(self, key: tuple[int, ...] | None) -> tuple[int, ...]:
+        if key is None:
+            self._calls += 1
+            return (self._calls,)
+        return key
+
+
+class RayleighFading(_KeyedFading):
     """Rayleigh fading: no line-of-sight, power gain ~ Exp(1).
 
     Models the deep-urban segments of the loop where the AP is not visible.
     """
 
-    def __init__(self, rng: np.random.Generator) -> None:
-        self._rng = rng
-
-    def sample_db(self) -> float:
-        gain = float(self._rng.exponential(1.0))
-        # Clamp once-in-a-billion zero draws rather than propagating -inf dB.
+    def sample_db(self, key: tuple[int, ...] | None = None) -> float:
+        gain = self._keyed.exponential(*self._key(key))
+        # Clamp astronomically deep draws rather than propagating -inf dB.
         gain = max(gain, 1e-12)
         return 10.0 * math.log10(gain)
 
 
-class RicianFading(FadingModel):
+class RicianFading(_KeyedFading):
     """Rician fading with K-factor: partial line-of-sight.
 
     The amplitude is ``|sqrt(K/(K+1)) + CN(0, 1/(K+1))|`` so the mean power
@@ -59,15 +78,15 @@ class RicianFading(FadingModel):
     def __init__(self, rng: np.random.Generator, *, k_factor: float = 4.0) -> None:
         if k_factor < 0.0:
             raise RadioError(f"Rician K-factor must be >= 0, got {k_factor!r}")
-        self._rng = rng
+        super().__init__(rng)
         self.k_factor = k_factor
+        self._los = math.sqrt(k_factor / (k_factor + 1.0))
+        self._scatter_sigma = math.sqrt(1.0 / (2.0 * (k_factor + 1.0)))
 
-    def sample_db(self) -> float:
-        k = self.k_factor
-        los = math.sqrt(k / (k + 1.0))
-        scatter_sigma = math.sqrt(1.0 / (2.0 * (k + 1.0)))
-        re = los + float(self._rng.normal(0.0, scatter_sigma))
-        im = float(self._rng.normal(0.0, scatter_sigma))
+    def sample_db(self, key: tuple[int, ...] | None = None) -> float:
+        z_re, z_im = self._keyed.normal_pair(*self._key(key))
+        re = self._los + self._scatter_sigma * z_re
+        im = self._scatter_sigma * z_im
         gain = re * re + im * im
         gain = max(gain, 1e-12)
         return 10.0 * math.log10(gain)

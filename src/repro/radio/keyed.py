@@ -1,0 +1,114 @@
+"""Counter-based ("keyed") randomness for per-link channel draws.
+
+The medium's reception fast path culls receivers that can never clear the
+sensitivity threshold *without sampling their channel*.  With ordinary
+sequential generators that would be impossible to do bit-identically: a
+skipped draw shifts every later draw on the shared stream.  A
+:class:`KeyedRandom` instead derives every variate as a *pure function*
+of an integer key tuple — ``(link, transmission, component)`` — so any
+subset of links can be sampled, in any order, and each link always sees
+exactly the same realisation.  This is the counter-based-RNG idea of
+Philox/Threefry (Salmon et al., SC'11), implemented with the splitmix64
+finaliser, which passes BigCrush as a 64→64 mixer and costs a handful of
+integer ops in pure Python.
+
+Seeding: a ``KeyedRandom`` is born from one draw off a named
+:class:`~repro.sim.random.RandomStreams` generator, so the whole keyed
+tree stays reproducible from the simulation's root seed.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable
+
+import numpy as np
+
+_MASK = 0xFFFFFFFFFFFFFFFF
+#: splitmix64 increment (golden-ratio odd constant).
+_GAMMA = 0x9E3779B97F4A7C15
+_INV_2_53 = 1.0 / (1 << 53)
+
+
+def _mix(value: int) -> int:
+    """splitmix64 finaliser: a high-quality 64-bit mixing permutation."""
+    value = (value ^ (value >> 30)) * 0xBF58476D1CE4E5B9 & _MASK
+    value = (value ^ (value >> 27)) * 0x94D049BB133111EB & _MASK
+    return value ^ (value >> 31)
+
+
+def stable_hash64(value: Hashable) -> int:
+    """A process-stable 64-bit hash for link keys and node ids.
+
+    Python's built-in ``hash`` is salted per process, which would break
+    reproducibility across runs (and across campaign workers), so ints
+    are mixed directly and everything else is FNV-1a-hashed over its
+    ``repr``.
+    """
+    if isinstance(value, int):
+        return _mix(value & _MASK)
+    if isinstance(value, tuple):
+        acc = 0x8C74E9B55D3AEF1D
+        for item in value:
+            acc = _mix(acc ^ stable_hash64(item))
+        return acc
+    acc = 0xCBF29CE484222325  # FNV-1a offset basis
+    for byte in repr(value).encode("utf-8"):
+        acc ^= byte
+        acc = (acc * 0x100000001B3) & _MASK
+    return acc
+
+
+class KeyedRandom:
+    """Deterministic variates indexed by integer key tuples.
+
+    Two instances with the same seed return identical values for
+    identical keys; values for distinct keys are statistically
+    independent.  There is no internal state: calling in any order, any
+    number of times, yields the same results.
+    """
+
+    __slots__ = ("_seed",)
+
+    def __init__(self, seed: int) -> None:
+        self._seed = _mix(seed & _MASK)
+
+    @classmethod
+    def from_rng(cls, rng: np.random.Generator) -> "KeyedRandom":
+        """Derive the keyed seed from one draw of a sequential stream."""
+        return cls(int(rng.integers(0, 1 << 63, dtype=np.int64)))
+
+    def _word(self, keys: tuple[int, ...]) -> int:
+        # splitmix64 finaliser, inlined: this runs several times per
+        # channel sample, so the _mix call overhead matters.
+        acc = self._seed
+        for key in keys:
+            acc = (acc + _GAMMA) ^ (key & _MASK)
+            acc = (acc ^ (acc >> 30)) * 0xBF58476D1CE4E5B9 & _MASK
+            acc = (acc ^ (acc >> 27)) * 0x94D049BB133111EB & _MASK
+            acc ^= acc >> 31
+        return acc
+
+    def uniform(self, *keys: int) -> float:
+        """One U(0, 1) variate for *keys* (never exactly 0 or 1)."""
+        return (self._word(keys) >> 11) * _INV_2_53 + _INV_2_53 * 0.5
+
+    def normal(self, *keys: int) -> float:
+        """One N(0, 1) variate for *keys* (Box–Muller, cosine branch)."""
+        word = self._word(keys)
+        u1 = (word >> 11) * _INV_2_53 + _INV_2_53 * 0.5
+        u2 = (_mix(word + _GAMMA) >> 11) * _INV_2_53
+        return math.sqrt(-2.0 * math.log(u1)) * math.cos(6.283185307179586 * u2)
+
+    def normal_pair(self, *keys: int) -> tuple[float, float]:
+        """Two independent N(0, 1) variates for *keys* (one Box–Muller)."""
+        word = self._word(keys)
+        u1 = (word >> 11) * _INV_2_53 + _INV_2_53 * 0.5
+        u2 = (_mix(word + _GAMMA) >> 11) * _INV_2_53
+        radius = math.sqrt(-2.0 * math.log(u1))
+        angle = 6.283185307179586 * u2
+        return radius * math.cos(angle), radius * math.sin(angle)
+
+    def exponential(self, *keys: int) -> float:
+        """One Exp(1) variate for *keys*."""
+        return -math.log(self.uniform(*keys))

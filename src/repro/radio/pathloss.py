@@ -1,7 +1,12 @@
 """Large-scale path-loss models.
 
 All models return path loss in dB (a positive number to subtract from the
-transmit power) as a function of link distance in metres.
+transmit power) as a function of link distance in metres.  They sit on
+the medium's per-receiver hot path, so each model folds its parameters
+into precomputed constants (one ``log10`` per evaluation) and exposes the
+closed-form inverse :meth:`PathLossModel.range_for_loss`, which the
+medium's spatial neighbor index uses to convert a power threshold into a
+candidate radius.
 """
 
 from __future__ import annotations
@@ -25,6 +30,16 @@ class PathLossModel(abc.ABC):
         must handle ``distance_m == 0`` gracefully (clamping to a minimum
         distance) because a mobility model may momentarily co-locate nodes.
         """
+
+    def range_for_loss(self, loss_db: float) -> float:
+        """Largest distance whose loss does not exceed *loss_db*.
+
+        The inverse of :meth:`loss_db`; used to size the medium's
+        neighbor search radius.  Models without a closed form may return
+        ``inf``, which conservatively disables the spatial cull (every
+        receiver stays a candidate).
+        """
+        return math.inf
 
 
 def _clamp_distance(distance_m: float, minimum: float = 1.0) -> float:
@@ -50,9 +65,19 @@ class FreeSpacePathLoss(PathLossModel):
     frequency_hz: float = 2.412e9
     min_distance_m: float = 1.0
 
+    def __post_init__(self) -> None:
+        # 20·log10(4πf/c), folded so one log10 remains per evaluation.
+        constant = 20.0 * math.log10(
+            4.0 * math.pi * self.frequency_hz / SPEED_OF_LIGHT
+        )
+        object.__setattr__(self, "_constant_db", constant)
+
     def loss_db(self, distance_m: float) -> float:
         d = _clamp_distance(distance_m, self.min_distance_m)
-        return 20.0 * math.log10(4.0 * math.pi * d * self.frequency_hz / SPEED_OF_LIGHT)
+        return 20.0 * math.log10(d) + self._constant_db
+
+    def range_for_loss(self, loss_db: float) -> float:
+        return 10.0 ** ((loss_db - self._constant_db) / 20.0)
 
 
 @dataclass(frozen=True)
@@ -77,6 +102,11 @@ class LogDistancePathLoss(PathLossModel):
             raise RadioError(f"path-loss exponent must be positive, got {self.exponent!r}")
         if self.reference_distance_m <= 0.0:
             raise RadioError("reference distance must be positive")
+        # loss(d) = constant + 10·n·log10(d) for d ≥ d0.
+        constant = self._reference_loss() - 10.0 * self.exponent * math.log10(
+            self.reference_distance_m
+        )
+        object.__setattr__(self, "_constant_db", constant)
 
     def _reference_loss(self) -> float:
         if self.reference_loss_db is not None:
@@ -87,9 +117,10 @@ class LogDistancePathLoss(PathLossModel):
 
     def loss_db(self, distance_m: float) -> float:
         d = _clamp_distance(distance_m, self.reference_distance_m)
-        return self._reference_loss() + 10.0 * self.exponent * math.log10(
-            d / self.reference_distance_m
-        )
+        return self._constant_db + 10.0 * self.exponent * math.log10(d)
+
+    def range_for_loss(self, loss_db: float) -> float:
+        return 10.0 ** ((loss_db - self._constant_db) / (10.0 * self.exponent))
 
 
 @dataclass(frozen=True)
@@ -110,6 +141,16 @@ class TwoRayGroundPathLoss(PathLossModel):
     def __post_init__(self) -> None:
         if self.tx_height_m <= 0.0 or self.rx_height_m <= 0.0:
             raise RadioError("antenna heights must be positive")
+        object.__setattr__(
+            self,
+            "_free_space",
+            FreeSpacePathLoss(self.frequency_hz, self.min_distance_m),
+        )
+        object.__setattr__(
+            self,
+            "_height_gain_db",
+            10.0 * math.log10(self.tx_height_m**2 * self.rx_height_m**2),
+        )
 
     @property
     def crossover_distance_m(self) -> float:
@@ -119,9 +160,46 @@ class TwoRayGroundPathLoss(PathLossModel):
 
     def loss_db(self, distance_m: float) -> float:
         d = _clamp_distance(distance_m, self.min_distance_m)
-        free_space = FreeSpacePathLoss(self.frequency_hz, self.min_distance_m)
         if d <= self.crossover_distance_m:
-            return free_space.loss_db(d)
-        return 40.0 * math.log10(d) - 10.0 * math.log10(
-            self.tx_height_m**2 * self.rx_height_m**2
-        )
+            return self._free_space.loss_db(d)
+        return 40.0 * math.log10(d) - self._height_gain_db
+
+    def range_for_loss(self, loss_db: float) -> float:
+        crossover = self.crossover_distance_m
+        if loss_db <= self.loss_db(crossover):
+            return min(self._free_space.range_for_loss(loss_db), crossover)
+        return 10.0 ** ((loss_db + self._height_gain_db) / 40.0)
+
+
+class MemoizedPathLoss(PathLossModel):
+    """Caches :meth:`loss_db` by exact distance for static-topology reuse.
+
+    Static node pairs (the multi-AP infostations, the urban testbed's
+    window AP) query the same bit-identical distances every frame; so do
+    regularly spaced geometries, whose distinct inter-node distances
+    collapse to a handful of values.  The cache is exact (keyed on the
+    float distance), so wrapping a model never changes results — a miss
+    simply delegates.  When the cache fills (mobile workloads produce
+    unbounded distinct distances) it is dropped wholesale; hot static
+    entries re-populate within a frame.
+    """
+
+    def __init__(self, model: PathLossModel, *, max_entries: int = 65536) -> None:
+        if max_entries <= 0:
+            raise RadioError("memoized path loss needs a positive capacity")
+        self.model = model
+        self.max_entries = max_entries
+        self._cache: dict[float, float] = {}
+
+    def loss_db(self, distance_m: float) -> float:
+        cached = self._cache.get(distance_m)
+        if cached is not None:
+            return cached
+        value = self.model.loss_db(distance_m)
+        if len(self._cache) >= self.max_entries:
+            self._cache.clear()
+        self._cache[distance_m] = value
+        return value
+
+    def range_for_loss(self, loss_db: float) -> float:
+        return self.model.range_for_loss(loss_db)

@@ -52,8 +52,14 @@ class RadioConfig:
             raise ConfigurationError("bandwidth must be positive")
         if self.noise_figure_db < 0.0:
             raise ConfigurationError("noise figure must be >= 0 dB")
+        # Precomputed: read once per received arrival on the medium hot path.
+        object.__setattr__(
+            self,
+            "_noise_floor_dbm",
+            thermal_noise_dbm(self.bandwidth_hz, self.noise_figure_db),
+        )
 
     @property
     def noise_floor_dbm(self) -> float:
         """Thermal noise power in the receiver bandwidth plus noise figure."""
-        return thermal_noise_dbm(self.bandwidth_hz, self.noise_figure_db)
+        return self._noise_floor_dbm

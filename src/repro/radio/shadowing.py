@@ -11,10 +11,32 @@ furniture.  Two properties matter for reproducing the paper:
    fade *independently*, which is precisely the spatial diversity that
    Cooperative ARQ converts into recovered packets.
 
-The classic Gudmundson (1991) model gives the autocorrelation
-``ρ(Δd) = exp(-Δd / d_corr)`` of the shadowing process along a trajectory.
-We realise it per link as a first-order Gauss–Markov (AR(1)) process
-indexed by the cumulative relative movement of the two endpoints.
+Both models here realise their process from *keyed* randomness
+(:mod:`repro.radio.keyed`): the value on a link is a pure function of the
+link, the geometry (or time) and the round epoch — never of how often or
+in which order links were sampled.  That invariance is what lets the
+medium's reception fast path cull out-of-range links without perturbing
+any other link's realisation:
+
+* :class:`GudmundsonShadowing` is a frozen spatial random field — a unit
+  Gaussian lattice with cell size equal to the decorrelation distance,
+  interpolated and re-normalised to keep the marginal exactly
+  ``N(0, σ²)``.  The lattice is indexed by the summed endpoint position
+  *and* the endpoint separation, so any relative movement — a follower
+  trailing the AP, or two cars passing head-on (where the position sum
+  is stationary but the separation sweeps) — walks into fresh cells at
+  the summed-displacement rate, reproducing Gudmundson's (1991)
+  ``ρ(Δd) ≈ exp(-Δd/d_corr)`` roll-off; a stationary link keeps its
+  value; both indices are symmetric in tx/rx, so the field is
+  reciprocal by construction.
+* :class:`TemporalTxShadowing` is an Ornstein–Uhlenbeck chain realised on
+  a fixed time grid with keyed innovations, advanced lazily to the
+  queried instant.
+
+Values are clamped to ``±clamp_sigmas·σ`` (default 4σ, clipping
+probability ~6e-5 per draw), so every model exposes a finite
+:meth:`ShadowingModel.max_boost_db` — the worst-case headroom the
+medium's deterministic reachability bound can rely on.
 """
 
 from __future__ import annotations
@@ -27,6 +49,7 @@ import numpy as np
 
 from repro.errors import RadioError
 from repro.geom import Vec2
+from repro.radio.keyed import KeyedRandom, stable_hash64
 
 LinkKey = tuple[Hashable, Hashable]
 
@@ -40,12 +63,21 @@ class ShadowingModel(abc.ABC):
     ) -> float:
         """Shadowing value (dB, may be negative) for a packet on *link*.
 
-        Implementations may keep per-link state; *link* must be symmetric
-        (callers normalise the endpoint order) so the channel is reciprocal.
+        Implementations must be pure in ``(link, positions, time)``
+        between :meth:`reset` calls; *link* must be symmetric (callers
+        normalise the endpoint order) so the channel is reciprocal.
         """
 
+    def max_boost_db(self) -> float:
+        """Largest positive value :meth:`sample_db` can ever return.
+
+        Used by the medium's deterministic reachability bound; models
+        without a finite bound return ``inf`` (which disables culling).
+        """
+        return math.inf
+
     def reset(self) -> None:
-        """Drop all per-link state (called between simulation rounds)."""
+        """Start a fresh realisation (called between simulation rounds)."""
 
 
 class NoShadowing(ShadowingModel):
@@ -56,30 +88,38 @@ class NoShadowing(ShadowingModel):
     ) -> float:
         return 0.0
 
+    def max_boost_db(self) -> float:
+        return 0.0
+
     def reset(self) -> None:  # no state
         return None
 
 
 class GudmundsonShadowing(ShadowingModel):
-    """Spatially correlated log-normal shadowing.
+    """Spatially correlated log-normal shadowing as a frozen keyed field.
 
     Parameters
     ----------
     rng:
-        Source of randomness (a dedicated stream, see
+        Source of the field seed (a dedicated stream, see
         :class:`repro.sim.RandomStreams`).
     sigma_db:
         Standard deviation of the shadowing process (4–8 dB urban).
     decorrelation_distance_m:
-        Distance over which correlation falls to ``1/e`` (10–20 m urban).
+        Lattice cell size: correlation decays over roughly this distance
+        of summed endpoint movement, after Gudmundson (1991).
+    clamp_sigmas:
+        Values are clipped to ``±clamp_sigmas·sigma_db``.
 
     Notes
     -----
-    State per link is ``(last tx pos, last rx pos, last value)``.  On each
-    sample the relative displacement of both endpoints since the previous
-    sample drives the AR(1) update
-
-    ``X_new = ρ X_old + sqrt(1-ρ²) N(0, σ)``,  ``ρ = exp(-Δd/d_corr)``.
+    The value for a link is ``σ·Σ wᵢ gᵢ / ‖w‖₂`` over the eight unit
+    Gaussians ``gᵢ`` anchored at the corners of the lattice cell in
+    ``(summed position, separation)`` space, with trilinear weights
+    ``wᵢ``; the ``‖w‖₂`` renormalisation keeps the marginal exactly
+    ``N(0, σ²)`` everywhere.  Each ``gᵢ`` is a pure function of
+    ``(link, epoch, corner)``, so the field is deterministic per round
+    no matter which links the medium samples or skips.
     """
 
     def __init__(
@@ -88,33 +128,91 @@ class GudmundsonShadowing(ShadowingModel):
         *,
         sigma_db: float = 6.0,
         decorrelation_distance_m: float = 15.0,
+        clamp_sigmas: float = 4.0,
     ) -> None:
         if sigma_db < 0.0:
             raise RadioError(f"shadowing sigma must be >= 0, got {sigma_db!r}")
         if decorrelation_distance_m <= 0.0:
             raise RadioError("decorrelation distance must be positive")
-        self._rng = rng
+        self._keyed = KeyedRandom.from_rng(rng)
         self.sigma_db = sigma_db
         self.decorrelation_distance_m = decorrelation_distance_m
-        self._state: dict[LinkKey, tuple[Vec2, Vec2, float]] = {}
+        self.clamp_sigmas = clamp_sigmas
+        self._epoch = 0
+        self._link_hashes: dict[LinkKey, int] = {}
+        # (link hash, corner) → unit Gaussian: a pure memo of keyed values.
+        # Consecutive frames of a moving link live in the same lattice
+        # cell for ~d_corr/speed seconds, so the eight corner draws are
+        # reused hundreds of times; capped and dropped wholesale when a
+        # long-running scenario accumulates too many cold corners.
+        self._corners: dict[tuple[int, int, int, int], float] = {}
+
+    _MAX_CORNER_CACHE = 262144
+
+    def _link_hash(self, link: LinkKey) -> int:
+        cached = self._link_hashes.get(link)
+        if cached is None:
+            cached = stable_hash64(link)
+            self._link_hashes[link] = cached
+        return cached
+
+    def _corner(self, h: int, ix: int, iy: int, iz: int) -> float:
+        key = (h, ix, iy, iz)
+        value = self._corners.get(key)
+        if value is None:
+            value = self._keyed.normal(h, self._epoch, ix, iy, iz)
+            if len(self._corners) >= self._MAX_CORNER_CACHE:
+                self._corners.clear()
+            self._corners[key] = value
+        return value
 
     def sample_db(
         self, link: LinkKey, tx_pos: Vec2, rx_pos: Vec2, time: float = 0.0
     ) -> float:
-        previous = self._state.get(link)
-        if previous is None:
-            value = float(self._rng.normal(0.0, self.sigma_db))
-        else:
-            prev_tx, prev_rx, prev_value = previous
-            moved = prev_tx.distance_to(tx_pos) + prev_rx.distance_to(rx_pos)
-            rho = math.exp(-moved / self.decorrelation_distance_m)
-            innovation = float(self._rng.normal(0.0, self.sigma_db))
-            value = rho * prev_value + math.sqrt(max(0.0, 1.0 - rho * rho)) * innovation
-        self._state[link] = (tx_pos, rx_pos, value)
-        return value
+        inv_cell = 1.0 / self.decorrelation_distance_m
+        # Two symmetric geometry indices: the summed endpoint position
+        # (decorrelates co-moving and single-mover links) and the
+        # separation (decorrelates head-on passes, where the sum is
+        # stationary but the endpoints sweep past each other).
+        sx = (tx_pos.x + rx_pos.x) * inv_cell
+        sy = (tx_pos.y + rx_pos.y) * inv_cell
+        sz = tx_pos.distance_to(rx_pos) * inv_cell
+        ix = math.floor(sx)
+        iy = math.floor(sy)
+        iz = math.floor(sz)
+        fx = sx - ix
+        fy = sy - iy
+        fz = sz - iz
+        h = self._link_hash(link)
+        corner = self._corner
+        gx = 1.0 - fx
+        gy = 1.0 - fy
+        gz = 1.0 - fz
+        mix = gz * (
+            gx * gy * corner(h, ix, iy, iz)
+            + fx * gy * corner(h, ix + 1, iy, iz)
+            + gx * fy * corner(h, ix, iy + 1, iz)
+            + fx * fy * corner(h, ix + 1, iy + 1, iz)
+        ) + fz * (
+            gx * gy * corner(h, ix, iy, iz + 1)
+            + fx * gy * corner(h, ix + 1, iy, iz + 1)
+            + gx * fy * corner(h, ix, iy + 1, iz + 1)
+            + fx * fy * corner(h, ix + 1, iy + 1, iz + 1)
+        )
+        # Trilinear weights factorise, so ‖w‖₂² does too.
+        norm = math.sqrt(
+            (gx * gx + fx * fx) * (gy * gy + fy * fy) * (gz * gz + fz * fz)
+        )
+        value = self.sigma_db * mix / norm
+        cap = self.clamp_sigmas * self.sigma_db
+        return min(max(value, -cap), cap)
+
+    def max_boost_db(self) -> float:
+        return self.clamp_sigmas * self.sigma_db
 
     def reset(self) -> None:
-        self._state.clear()
+        self._epoch += 1
+        self._corners.clear()
 
 
 class TemporalTxShadowing(ShadowingModel):
@@ -125,12 +223,19 @@ class TemporalTxShadowing(ShadowingModel):
     Because the process is keyed by the *transmitter*, a deep dip hits
     every receiver at once: this is the common-mode loss component that
     makes different cars lose the *same* packets (the paper's joint-loss
-    floor in Figs 6–8).  It evolves as an Ornstein–Uhlenbeck process with
-    correlation time ``tau_s``.
+    floor in Figs 6–8).  It evolves as an Ornstein–Uhlenbeck chain with
+    correlation time ``tau_s``, realised on a fixed grid of
+    ``tau_s / 4``-second steps with keyed innovations and advanced lazily
+    to the queried instant (so the value at a time is independent of the
+    sampling pattern).
 
     Per-link diversity still comes from :class:`GudmundsonShadowing`;
     compose the two with :class:`CompositeShadowing`.
     """
+
+    #: Grid steps per correlation time; within one step the process is
+    #: constant, matching the sub-coherence packet spacing of the flows.
+    _STEPS_PER_TAU = 4
 
     def __init__(
         self,
@@ -139,17 +244,25 @@ class TemporalTxShadowing(ShadowingModel):
         sigma_db: float = 4.0,
         tau_s: float = 2.0,
         hub: Hashable | None = None,
+        clamp_sigmas: float = 4.0,
     ) -> None:
         if sigma_db < 0.0:
             raise RadioError(f"shadowing sigma must be >= 0, got {sigma_db!r}")
         if tau_s <= 0.0:
             raise RadioError("correlation time must be positive")
-        self._rng = rng
+        self._keyed = KeyedRandom.from_rng(rng)
         self.sigma_db = sigma_db
         self.tau_s = tau_s
+        self.clamp_sigmas = clamp_sigmas
         self._hub = hub
-        # process key → (last sample time, last value)
-        self._state: dict[Hashable, tuple[float, float]] = {}
+        self._step_s = tau_s / self._STEPS_PER_TAU
+        rho = math.exp(-1.0 / self._STEPS_PER_TAU)
+        self._rho = rho
+        self._innovation_scale = math.sqrt(max(0.0, 1.0 - rho * rho))
+        self._epoch = 0
+        # process key → (hash, last grid index, value there) — a pure
+        # cache: values are deterministic in (key, epoch, grid index).
+        self._state: dict[Hashable, tuple[int, int, float]] = {}
 
     def _process_key(self, link: LinkKey) -> Hashable:
         """All links touching the hub share one process; others are per-link."""
@@ -160,20 +273,33 @@ class TemporalTxShadowing(ShadowingModel):
     def sample_db(
         self, link: LinkKey, tx_pos: Vec2, rx_pos: Vec2, time: float = 0.0
     ) -> float:
-        tx_key = self._process_key(link)
-        previous = self._state.get(tx_key)
-        if previous is None:
-            value = float(self._rng.normal(0.0, self.sigma_db))
+        key = self._process_key(link)
+        k = max(0, math.floor(time / self._step_s))
+        cached = self._state.get(key)
+        if cached is None or cached[1] > k:
+            h = cached[0] if cached is not None else stable_hash64(key)
+            j, value = 0, self._clamp(self.sigma_db * self._keyed.normal(h, self._epoch, 0))
         else:
-            prev_time, prev_value = previous
-            dt = abs(time - prev_time)
-            rho = math.exp(-dt / self.tau_s)
-            innovation = float(self._rng.normal(0.0, self.sigma_db))
-            value = rho * prev_value + math.sqrt(max(0.0, 1.0 - rho * rho)) * innovation
-        self._state[tx_key] = (time, value)
+            h, j, value = cached
+        sigma_innovation = self._innovation_scale * self.sigma_db
+        while j < k:
+            j += 1
+            value = self._clamp(
+                self._rho * value
+                + sigma_innovation * self._keyed.normal(h, self._epoch, j)
+            )
+        self._state[key] = (h, k, value)
         return value
 
+    def _clamp(self, value: float) -> float:
+        cap = self.clamp_sigmas * self.sigma_db
+        return min(max(value, -cap), cap)
+
+    def max_boost_db(self) -> float:
+        return self.clamp_sigmas * self.sigma_db
+
     def reset(self) -> None:
+        self._epoch += 1
         self._state.clear()
 
 
@@ -193,7 +319,13 @@ class CompositeShadowing(ShadowingModel):
     def sample_db(
         self, link: LinkKey, tx_pos: Vec2, rx_pos: Vec2, time: float = 0.0
     ) -> float:
-        return sum(c.sample_db(link, tx_pos, rx_pos, time) for c in self.components)
+        total = 0.0
+        for component in self.components:
+            total += component.sample_db(link, tx_pos, rx_pos, time)
+        return total
+
+    def max_boost_db(self) -> float:
+        return sum(c.max_boost_db() for c in self.components)
 
     def reset(self) -> None:
         for component in self.components:

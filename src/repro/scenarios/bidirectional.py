@@ -28,6 +28,7 @@ from repro.mobility.static import StaticMobility
 from repro.scenarios import channels
 from repro.scenarios.common import (
     AP_NODE_ID,
+    build_medium,
     car_ids as _car_ids,
     collect_matrices,
     make_flows,
@@ -150,8 +151,9 @@ def build_bidirectional_round(
     """Wire one bidirectional pass."""
     sim = Simulator(seed=round_seed(cfg.seed, round_index, stride=5003))
     capture = TraceCollector()
-    medium = Medium(
-        sim, channels.highway_channel(cfg.radio, sim, AP_NODE_ID), trace=capture
+    medium = build_medium(
+        sim, channels.highway_channel(cfg.radio, sim, AP_NODE_ID), cfg.radio,
+        trace=capture,
     )
 
     east = Polyline([Vec2(0.0, 0.0), Vec2(cfg.road_length_m, 0.0)])

@@ -24,6 +24,23 @@ from repro.trace.matrix import ReceptionMatrix
 AP_NODE_ID: NodeId = NodeId(100)
 
 
+def build_medium(sim: Simulator, channel, radio, *, trace=None) -> Medium:
+    """The scenario's shared medium, honouring the radio's reception knobs.
+
+    Every scenario builder wires its medium through here so the
+    ``reception_fast_path`` / ``cull_headroom_db`` fields of
+    :class:`~repro.scenarios.urban.RadioEnvironment` reach the MAC layer
+    uniformly (and campaigns can A/B the fast path per arm).
+    """
+    return Medium(
+        sim,
+        channel,
+        trace=trace,
+        fast_path=radio.reception_fast_path,
+        cull_headroom_db=radio.cull_headroom_db,
+    )
+
+
 def round_seed(base_seed: int, round_index: int, *, stride: int = 7919) -> int:
     """Independent per-round simulator seed (rounds are i.i.d. repetitions).
 

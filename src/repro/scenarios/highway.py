@@ -23,6 +23,7 @@ from repro.net.ap import AccessPoint
 from repro.scenarios import channels
 from repro.scenarios.common import (
     AP_NODE_ID,
+    build_medium,
     car_ids as _car_ids,
     collect_matrices,
     make_flows,
@@ -83,6 +84,11 @@ class HighwayConfig:
     gap_m: float = 35.0
     road_length_m: float = 4000.0
     ap_offset_m: float = 20.0
+    #: Platoon mode (default) staggers car *entry times* at the road
+    #: start — the paper's convoy passing the AP.  Spread mode instead
+    #: staggers *start positions* along the road, modelling sparse
+    #: through-traffic at scale (the large-N benchmark geometry).
+    spread_along_road: bool = False
     packet_rate_hz: float = 10.0
     payload_bytes: int = 1000
     seed: int = 404
@@ -139,7 +145,7 @@ def build_highway_round(cfg: HighwayConfig, round_index: int) -> HighwayRoundCon
     capture = TraceCollector()
     # Highway propagation: two-ray ground (flat open road), no buildings.
     channel = channels.highway_channel(cfg.radio, sim, AP_NODE_ID)
-    medium = Medium(sim, channel, trace=capture)
+    medium = build_medium(sim, channel, cfg.radio, trace=capture)
     car_ids = _car_ids(cfg.n_cars)
     flows = make_flows(car_ids, cfg.packet_rate_hz, cfg.payload_bytes)
     ap = ap_class(cfg.mode)(
@@ -151,15 +157,27 @@ def build_highway_round(cfg: HighwayConfig, round_index: int) -> HighwayRoundCon
         sim.streams.get("ap"),
         flows,
     )
-    mobilities = [
-        PathMobility(
-            scenario.track,
-            cfg.speed_ms,
-            start_arc_length=0.0,
-            start_time=index * cfg.gap_m / cfg.speed_ms,
-        )
-        for index in range(cfg.n_cars)
-    ]
+    if cfg.spread_along_road:
+        track_length = scenario.track.length
+        mobilities = [
+            PathMobility(
+                scenario.track,
+                cfg.speed_ms,
+                start_arc_length=min(index * cfg.gap_m, track_length),
+                start_time=0.0,
+            )
+            for index in range(cfg.n_cars)
+        ]
+    else:
+        mobilities = [
+            PathMobility(
+                scenario.track,
+                cfg.speed_ms,
+                start_arc_length=0.0,
+                start_time=index * cfg.gap_m / cfg.speed_ms,
+            )
+            for index in range(cfg.n_cars)
+        ]
     cars = spawn_platoon(
         cfg.mode,
         sim,

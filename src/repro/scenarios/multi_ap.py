@@ -27,7 +27,12 @@ from repro.mobility.path import PathMobility
 from repro.mobility.static import StaticMobility
 from repro.net.ap import AccessPoint
 from repro.scenarios import channels
-from repro.scenarios.common import car_ids as _car_ids, make_flows, round_seed
+from repro.scenarios.common import (
+    build_medium,
+    car_ids as _car_ids,
+    make_flows,
+    round_seed,
+)
 from repro.scenarios.configs import config_to_dict
 from repro.scenarios.modes import build_vehicle, reception_state
 from repro.scenarios.registry import ScenarioPlugin, ScenarioPreset, register
@@ -132,7 +137,7 @@ def build_multi_ap_round(cfg: MultiApConfig, round_index: int) -> MultiApRoundCo
     track = Polyline.straight(cfg.road_length_m)
     capture = TraceCollector()
     channel = channels.corridor_channel(cfg.radio, sim)
-    medium = Medium(sim, channel, trace=capture)
+    medium = build_medium(sim, channel, cfg.radio, trace=capture)
     car_ids = _car_ids(cfg.n_cars)
     ap_ids = [NodeId(200 + i) for i in range(len(cfg.ap_positions()))]
     flows = make_flows(

@@ -28,6 +28,7 @@ from repro.radio.phy import RadioConfig
 from repro.scenarios import channels
 from repro.scenarios.common import (
     AP_NODE_ID,
+    build_medium,
     car_ids as _car_ids,
     collect_matrices,
     frames_sent_by_node,
@@ -70,6 +71,14 @@ class RadioEnvironment:
     car_tx_power_dbm: float = 15.0
     rate_name: str = "dsss-1"
     building_loss_db: float = 31.0
+    #: Reception fast path (see :class:`repro.mac.medium.Medium`): when
+    #: true, the medium finds receivers through its spatial neighbor
+    #: index and culls links that cannot clear the sensitivity threshold
+    #: before sampling them.  Turning it off forces the exhaustive
+    #: reference path, which must be bit-identical (A/B validation).
+    reception_fast_path: bool = True
+    #: Worst-case shadowing boost (dB) granted by the reachability bound.
+    cull_headroom_db: float = 12.0
 
     def ap_radio(self) -> RadioConfig:
         """PHY parameters of the access point."""
@@ -222,7 +231,7 @@ def build_urban_round(
     sim = Simulator(seed=round_seed(cfg.seed, round_index))
     tb = testbed if testbed is not None else urban_loop()
     capture = TraceCollector()
-    medium = Medium(sim, build_channel(cfg, sim, tb), trace=capture)
+    medium = build_medium(sim, build_channel(cfg, sim, tb), cfg.radio, trace=capture)
 
     mobilities = build_platoon_mobility(cfg, sim, tb)
     car_ids = cfg.car_ids()

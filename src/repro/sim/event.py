@@ -32,7 +32,10 @@ class Event:
     O(1); the queue discards dead entries lazily).
     """
 
-    __slots__ = ("time", "priority", "seq", "callback", "args", "_cancelled")
+    __slots__ = (
+        "time", "priority", "seq", "callback", "args",
+        "_key", "_cancelled", "_fired", "owner",
+    )
 
     def __init__(
         self,
@@ -47,23 +50,46 @@ class Event:
         self.seq = seq
         self.callback = callback
         self.args = args
+        # Precomputed: heap sifts compare each event O(log n) times, so
+        # building the key tuple per comparison dominates queue cost.
+        self._key = (time, int(priority), seq)
         self._cancelled = False
+        self._fired = False
+        #: The EventQueue holding this event (stamped by ``push``), so a
+        #: queue can refuse to adjust its live count for foreign handles.
+        self.owner: object | None = None
 
     @property
     def cancelled(self) -> bool:
         """Whether :meth:`cancel` has been called."""
         return self._cancelled
 
+    @property
+    def fired(self) -> bool:
+        """Whether the event has already left the queue for execution."""
+        return self._fired
+
+    def mark_fired(self) -> None:
+        """Record that the queue handed this event to the executor."""
+        self._fired = True
+
     def cancel(self) -> None:
-        """Prevent the event from firing.  Idempotent."""
-        self._cancelled = True
+        """Prevent the event from firing.  Idempotent.
+
+        Cancelling an event that has already fired is a no-op: the
+        callback ran (or is running) and there is nothing left to stop.
+        Callers holding stale event handles — a retransmit timer whose
+        frame just went out, say — can therefore cancel unconditionally.
+        """
+        if not self._fired:
+            self._cancelled = True
 
     def sort_key(self) -> tuple[float, int, int]:
         """The deterministic heap ordering key."""
-        return (self.time, int(self.priority), self.seq)
+        return self._key
 
     def __lt__(self, other: "Event") -> bool:
-        return self.sort_key() < other.sort_key()
+        return self._key < other._key
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self._cancelled else "pending"

@@ -15,6 +15,14 @@ class EventQueue:
     lazy-deletion trade-off.  :meth:`compact` can be called to purge dead
     entries if a workload cancels heavily (the MAC layer does when frames
     are suppressed).
+
+    Invariant: ``len(self)`` always equals the number of non-cancelled
+    events currently in the heap (see :meth:`live_heap_count`).  All
+    bookkeeping that could break it is funnelled through :meth:`cancel`,
+    which refuses events that are not live heap entries — in particular
+    events that already fired (popped events are marked via
+    :meth:`Event.mark_fired`, so a cancel-after-fire cannot drive the
+    live count negative and stop a run while live events remain).
     """
 
     def __init__(self) -> None:
@@ -29,12 +37,22 @@ class EventQueue:
         return self._live > 0
 
     def push(self, event: Event) -> None:
-        """Insert an event."""
+        """Insert an event.
+
+        Raises
+        ------
+        ValueError
+            If the event already belongs to a queue (double-push would
+            double-count the live total).
+        """
+        if event.owner is not None:
+            raise ValueError(f"{event!r} is already queued")
+        event.owner = self
         heapq.heappush(self._heap, event)
         self._live += 1
 
     def pop(self) -> Event:
-        """Remove and return the earliest live event.
+        """Remove and return the earliest live event, marking it fired.
 
         Raises
         ------
@@ -45,6 +63,7 @@ class EventQueue:
             event = heapq.heappop(self._heap)
             if not event.cancelled:
                 self._live -= 1
+                event.mark_fired()
                 return event
         raise IndexError("pop from empty EventQueue")
 
@@ -61,22 +80,44 @@ class EventQueue:
             raise IndexError("peek on empty EventQueue")
         return self._heap[0].time
 
-    def note_cancelled(self) -> None:
-        """Inform the queue that one of its events was cancelled.
+    def cancel(self, event: Event) -> bool:
+        """Cancel *event* if it is still a live entry of this queue.
 
-        Called by the simulator so :meth:`__len__` stays accurate.
+        Returns ``True`` when the event was live and is now cancelled;
+        ``False`` when there was nothing to do (already cancelled,
+        already fired, or never pushed to *this* queue).  This is the
+        only path that may decrement the live count for a cancellation,
+        so the count cannot drift.
         """
+        if event.cancelled or event.fired or event.owner is not self:
+            return False
+        event.cancel()
         self._live -= 1
+        return True
 
     def compact(self) -> None:
         """Drop all cancelled entries and re-heapify."""
         self._heap = [e for e in self._heap if not e.cancelled]
         heapq.heapify(self._heap)
+        # Dead entries carried no live count; the invariant is untouched,
+        # but re-derive defensively so a prior external miscount heals.
+        self._live = len(self._heap)
 
     def clear(self) -> None:
-        """Remove everything."""
+        """Remove everything, resetting all cancellation bookkeeping.
+
+        Discarded events are marked cancelled so a stale handle passed to
+        :meth:`cancel` afterwards is refused instead of driving the live
+        count negative.
+        """
+        for event in self._heap:
+            event.cancel()
         self._heap.clear()
         self._live = 0
+
+    def live_heap_count(self) -> int:
+        """O(n) count of non-cancelled heap entries (invariant check)."""
+        return sum(1 for e in self._heap if not e.cancelled)
 
     def _discard_dead_head(self) -> None:
         while self._heap and self._heap[0].cancelled:

@@ -92,10 +92,14 @@ class Simulator:
         return event
 
     def cancel(self, event: Event) -> None:
-        """Cancel a pending event.  Idempotent."""
-        if not event.cancelled:
-            event.cancel()
-            self._queue.note_cancelled()
+        """Cancel a pending event.  Idempotent.
+
+        Cancelling an event that already fired is a no-op: the live-event
+        count must only be decremented for events still in the queue, or
+        :attr:`pending_events` would go negative and :meth:`run` could
+        stop while live events remain.
+        """
+        self._queue.cancel(event)
 
     # -- processes ----------------------------------------------------------------
 

@@ -44,7 +44,11 @@ class TestPlatoonSizeSweep:
         assert trio.reduction_fraction > 0.3
 
     def test_diversity_grows_with_size(self, points):
-        assert points[1].lost_after_fraction < points[0].lost_after_fraction
+        # Diversity is visible in the *recovered share* of losses: a solo
+        # car recovers nothing, three cooperators most.  (Absolute
+        # residual loss is not comparable across sizes — each car adds a
+        # flow, so bigger platoons also carry more in-window load.)
+        assert points[1].reduction_fraction > points[0].reduction_fraction + 0.3
 
 
 class TestBitrateSweep:

@@ -214,3 +214,99 @@ class TestTraceHooks:
         assert trace.tx_records[0].node == a.node_id
         delivered = [r for r in trace.rx_records if r.delivered]
         assert [r.frame.seq for r in delivered] == [7]
+
+
+class TestCarrierSenseAggregation:
+    """Concurrent arrivals add up in the energy detector (dbm_sum)."""
+
+    def test_two_subthreshold_arrivals_sense_busy_together(self):
+        # With exponent 3 / 40 dB reference loss / 15 dBm EIRP, the mean
+        # power at 251 m is ≈ -97.2 dBm: individually below the -96 dBm
+        # carrier-sense threshold, but two of them sum to ≈ -94.2 dBm.
+        sim, medium, (listener, left, right) = make_net(
+            [Vec2(0, 0), Vec2(-251, 0), Vec2(251, 0)]
+        )
+        samples = []
+        sim.schedule(
+            0.0, medium.transmit, left, data_frame(left.node_id, listener.node_id, 1), RATE
+        )
+        sim.schedule(0.001, lambda: samples.append(medium.busy(listener)))
+        sim.schedule(
+            0.002, medium.transmit, right, data_frame(right.node_id, listener.node_id, 2), RATE
+        )
+        sim.schedule(0.003, lambda: samples.append(medium.busy(listener)))
+        sim.run()
+        assert samples == [False, True]
+
+
+class TestReceptionFastPath:
+    """The culling fast path must match the exhaustive path bit for bit."""
+
+    def run_grid(self, *, fast_path):
+        """A 30-node line network: one broadcast from the west end."""
+        sim = Simulator(seed=7)
+        channel = Channel(
+            pathloss=LogDistancePathLoss(exponent=3.0, reference_loss_db=40.0),
+            rng=sim.streams.get("channel"),
+        )
+        trace = TraceCollector()
+        medium = Medium(sim, channel, trace=trace, fast_path=fast_path)
+        ifaces = []
+        for index in range(30):
+            position = Vec2(60.0 * index, 0.0)
+            ifaces.append(
+                NetworkInterface(
+                    sim,
+                    medium,
+                    NodeId(index + 1),
+                    (lambda p: (lambda: p))(position),
+                    RadioConfig(),
+                    sim.streams.get(f"mac-{index}"),
+                    name=f"if{index + 1}",
+                )
+            )
+        ifaces[0].send(data_frame(ifaces[0].node_id, ifaces[-1].node_id))
+        sim.run()
+        return [(r.node, r.cause, r.snr_db, r.rx_power_dbm) for r in trace.rx_records]
+
+    def test_fast_and_exhaustive_records_identical(self):
+        assert self.run_grid(fast_path=True) == self.run_grid(fast_path=False)
+
+    def test_fast_path_culls_far_receivers(self):
+        records = self.run_grid(fast_path=True)
+        assert records  # near receivers hear the frame...
+        heard = {node for node, *_ in records}
+        assert NodeId(30) not in heard  # ...the far end of the line does not
+
+    def test_far_node_culled_without_perturbing_near_links(self):
+        """Removing a distant interface must not change near outcomes."""
+
+        def run(with_far_node):
+            sim = Simulator(seed=3)
+            channel = Channel(
+                pathloss=LogDistancePathLoss(exponent=3.0, reference_loss_db=40.0),
+                rng=sim.streams.get("channel"),
+            )
+            trace = TraceCollector()
+            medium = Medium(sim, channel, trace=trace)
+            positions = [Vec2(0, 0), Vec2(30, 0)]
+            if with_far_node:
+                positions.append(Vec2(80_000, 0))
+            ifaces = []
+            for index, position in enumerate(positions):
+                ifaces.append(
+                    NetworkInterface(
+                        sim,
+                        medium,
+                        NodeId(index + 1),
+                        (lambda p: (lambda: p))(position),
+                        RadioConfig(),
+                        sim.streams.get(f"mac-{index}"),
+                        name=f"if{index + 1}",
+                    )
+                )
+            ifaces[0].send(data_frame(ifaces[0].node_id, ifaces[1].node_id))
+            sim.run()
+            return [(r.node, r.snr_db, r.rx_power_dbm) for r in trace.rx_records]
+
+        assert run(True) == run(False)

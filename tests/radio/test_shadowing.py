@@ -70,6 +70,32 @@ class TestGudmundson:
         second = model.sample_db(link, Vec2(0, 0), Vec2(0, 0))
         assert first != second  # fresh draw, not the stored value
 
+    def test_head_on_pass_decorrelates(self):
+        """Two cars passing each other must not share one frozen draw.
+
+        In a head-on pass the endpoint position *sum* is stationary —
+        only the separation changes — so the field must also be indexed
+        by separation (regression for the bidirectional scenario's
+        oncoming-car links).
+        """
+        model = GudmundsonShadowing(
+            rng(), sigma_db=6.0, decorrelation_distance_m=10.0
+        )
+        link = ("east", "west")
+        values = [
+            model.sample_db(link, Vec2(25.0 * t, 0.0), Vec2(1000.0 - 25.0 * t, 3.0))
+            for t in range(40)
+        ]
+        assert np.std(values) > 2.0  # decorrelates over the pass
+        assert len(set(values)) > 10  # not one frozen realisation
+
+    def test_reciprocal_in_endpoint_order(self):
+        model = GudmundsonShadowing(rng(), sigma_db=6.0)
+        link = ("a", "b")
+        forward = model.sample_db(link, Vec2(3, 1), Vec2(40, 2))
+        reverse = model.sample_db(link, Vec2(40, 2), Vec2(3, 1))
+        assert forward == pytest.approx(reverse)
+
     def test_validation(self):
         with pytest.raises(RadioError):
             GudmundsonShadowing(rng(), sigma_db=-1.0)

@@ -1,0 +1,68 @@
+"""A/B pin: the reception fast path changes nothing but the wall clock.
+
+For every registered scenario the same small campaign is run twice —
+once with the medium's culling fast path (the default) and once forced
+onto the exhaustive reference path, which bounds *and samples* every
+attached interface.  Because all stochastic channel draws are keyed per
+``(link, transmission)``, the extra samples of the exhaustive path must
+not perturb anything: the stored summary rows have to match bit for bit.
+
+A scenario added to the registry without an entry here fails the
+coverage test below, so the pin cannot silently rot.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.campaign.executor import run_campaign
+from repro.campaign.report import point_summaries
+from repro.campaign.spec import CampaignSpec, config_to_dict
+from repro.campaign.store import MemoryStore
+from repro.experiments.highway import HighwayConfig
+from repro.experiments.multi_ap import MultiApConfig
+from repro.experiments.scenario import UrbanScenarioConfig
+from repro.scenarios.bidirectional import BidirectionalConfig
+from repro.scenarios.registry import scenario_names
+
+#: One cheap-but-representative configuration per registered scenario.
+SMALL_CONFIGS = {
+    "urban": UrbanScenarioConfig(seed=55, round_duration_s=40.0),
+    "highway": HighwayConfig(seed=5, rounds=1, speed_ms=25.0, road_length_m=2000.0),
+    "multi_ap": MultiApConfig(
+        seed=13,
+        rounds=1,
+        road_length_m=4000.0,
+        ap_spacing_m=800.0,
+        file_blocks=60,
+        speed_ms=15.0,
+    ),
+    "bidirectional": BidirectionalConfig(rounds=1, oncoming_cars=2),
+}
+
+
+def run_rows(scenario: str, config, *, fast_path: bool):
+    radio = dataclasses.replace(config.radio, reception_fast_path=fast_path)
+    config = dataclasses.replace(config, radio=radio)
+    spec = CampaignSpec(
+        name=f"ab-{scenario}-{'fast' if fast_path else 'exhaustive'}",
+        scenario=scenario,
+        seed=config.seed,
+        rounds=1,
+        base=config_to_dict(config),
+    )
+    store = MemoryStore()
+    run_campaign(spec, store, workers=1)
+    return point_summaries(store, spec)
+
+
+def test_every_registered_scenario_is_covered():
+    assert set(SMALL_CONFIGS) == set(scenario_names())
+
+
+@pytest.mark.parametrize("scenario", sorted(SMALL_CONFIGS))
+def test_fast_path_rows_bit_identical(scenario):
+    config = SMALL_CONFIGS[scenario]
+    fast = run_rows(scenario, config, fast_path=True)
+    exhaustive = run_rows(scenario, config, fast_path=False)
+    assert fast == exhaustive

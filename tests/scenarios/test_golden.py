@@ -1,12 +1,17 @@
 """Golden determinism pins: exact rows per scenario kind.
 
-These constants were recorded from the pre-refactor builders (PR 1
-state) and assert bit-identical behaviour of the plugin wirings: same
-seeds → same trajectories → same channel draws → the very same
-aggregates, serial or parallel, before and after the registry refactor.
+These constants assert bit-identical behaviour of the plugin wirings:
+same seeds → same trajectories → same channel draws → the very same
+aggregates, serial or parallel, with the reception fast path on (the
+default) or forced exhaustive (see ``test_fast_path_ab.py``).
 
 They are regression pins, not physics: if a deliberate wiring or stream
-change shifts them, re-record and explain in EXPERIMENTS.md.
+change shifts them, re-record and explain in EXPERIMENTS.md.  Last
+re-record: the keyed-randomness channel rework (PR 3) — fading and
+shadowing became pure functions of ``(link, transmission)`` so the
+medium can cull unreachable receivers without perturbing any other
+link's draws, which necessarily re-realised every stochastic sequence
+(calibration bands were re-checked; see EXPERIMENTS.md).
 """
 
 import pytest
@@ -40,8 +45,8 @@ class TestUrbanGolden:
         base = UrbanScenarioConfig(seed=55, round_duration_s=40.0)
         spec = platoon_size_spec(base, [1, 2], rounds=2)
         assert rows(sweep_points(run(spec), spec)) == [
-            (1, 87.5, 0.005714285714285714, 0.005714285714285714),
-            (2, 86.75, 0.11815561959654179, 0.11815561959654179),
+            (1, 87.0, 0.0, 0.0),
+            (2, 86.75, 0.14697406340057637, 0.14697406340057637),
         ]
 
     def test_full_duration_round_exact(self):
@@ -54,7 +59,7 @@ class TestUrbanGolden:
             base=config_to_dict(base),
         )
         assert rows(sweep_points(run(spec), spec)) == [
-            ((), 156.0, 0.25427350427350426, 0.0405982905982906),
+            ((), 156.66666666666666, 0.251063829787234, 0.031914893617021274),
         ]
 
 
@@ -70,8 +75,8 @@ class TestHighwayGolden:
             axes=(axis("speed_ms", [20.0, 30.0]),),
         )
         assert rows(sweep_points(run(spec), spec)) == [
-            (20.0, 1652.6666666666667, 0.3007260992335619, 0.29064138765631303),
-            (30.0, 1301.3333333333333, 0.27484631147540983, 0.27484631147540983),
+            (20.0, 1650.0, 0.2723232323232323, 0.15656565656565657),
+            (30.0, 1302.3333333333333, 0.33043255694906576, 0.22011773739442028),
         ]
 
 
@@ -112,7 +117,7 @@ class TestBidirectionalGolden:
             base=config_to_dict(base),
         )
         assert rows(sweep_points(run(spec), spec)) == [
-            ((), 1814.0, 0.4788680632120544, 0.36622565233370086),
+            ((), 1738.0, 0.5264672036823935, 0.3784042961258151),
         ]
 
 

@@ -43,8 +43,7 @@ class TestCancellation:
         survivor = make_event(2.0, seq=1)
         q.push(victim)
         q.push(survivor)
-        victim.cancel()
-        q.note_cancelled()
+        q.cancel(victim)
         assert q.pop() is survivor
 
     def test_len_counts_live_only(self):
@@ -52,8 +51,7 @@ class TestCancellation:
         e = make_event(1.0)
         q.push(e)
         assert len(q) == 1
-        e.cancel()
-        q.note_cancelled()
+        q.cancel(e)
         assert len(q) == 0
         assert not q
 
@@ -66,8 +64,7 @@ class TestCancellation:
         dead = make_event(1.0, seq=0)
         q.push(dead)
         q.push(make_event(5.0, seq=1))
-        dead.cancel()
-        q.note_cancelled()
+        q.cancel(dead)
         assert q.peek_time() == 5.0
 
     def test_peek_empty_raises(self):
@@ -80,8 +77,7 @@ class TestCancellation:
         drop = make_event(1.0, seq=1)
         q.push(keep)
         q.push(drop)
-        drop.cancel()
-        q.note_cancelled()
+        q.cancel(drop)
         q.compact()
         assert len(q) == 1
         assert q.pop() is keep
@@ -97,6 +93,112 @@ class TestCancellation:
         e.cancel()
         e.cancel()
         assert e.cancelled
+
+
+class TestLiveCountInvariant:
+    """``len(queue)`` must always equal the number of live heap entries.
+
+    Property-style audit of the ``push``/``pop``/``cancel``/``compact``/
+    ``clear`` bookkeeping, including the historical foot-guns: cancelling
+    an event that already fired, cancelling twice, and clearing mid-run
+    after cancellations.
+    """
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(
+                    [
+                        "push", "pop", "cancel", "cancel_fired",
+                        "cancel_cleared", "compact", "clear",
+                    ]
+                ),
+                st.floats(min_value=0.0, max_value=100.0),
+            ),
+            max_size=120,
+        )
+    )
+    def test_len_always_matches_live_heap_entries(self, ops):
+        q = EventQueue()
+        seq = 0
+        pending = []  # events pushed and not yet popped (may be cancelled)
+        fired = []
+        cleared = []
+        for op, time in ops:
+            if op == "push":
+                event = make_event(time, seq=seq)
+                seq += 1
+                q.push(event)
+                pending.append(event)
+            elif op == "pop" and q:
+                event = q.pop()
+                assert event.fired
+                pending.remove(event)
+                fired.append(event)
+            elif op == "cancel" and pending:
+                q.cancel(pending[0])
+                q.cancel(pending[0])  # double-cancel must count once
+            elif op == "cancel_fired" and fired:
+                # Stale handle: cancelling a fired event is a no-op.
+                assert not q.cancel(fired[0])
+            elif op == "cancel_cleared" and cleared:
+                # Stale handle from before a clear(): also a no-op.
+                assert not q.cancel(cleared[0])
+            elif op == "compact":
+                q.compact()
+            elif op == "clear":
+                q.clear()
+                cleared.extend(pending)
+                pending.clear()
+            assert len(q) == q.live_heap_count()
+            assert len(q) >= 0
+
+    def test_clear_after_cancellations_resets_bookkeeping(self):
+        q = EventQueue()
+        events = [make_event(float(i), seq=i) for i in range(4)]
+        for event in events:
+            q.push(event)
+        q.cancel(events[0])
+        q.cancel(events[1])
+        q.clear()
+        assert len(q) == 0
+        assert q.live_heap_count() == 0
+        # The queue must be fully reusable after a mid-run clear.
+        fresh = make_event(1.0, seq=99)
+        q.push(fresh)
+        assert len(q) == 1
+        assert q.pop() is fresh
+
+    def test_cancel_of_foreign_event_is_refused(self):
+        """A handle from another queue (or never pushed) must not count."""
+        mine, other = EventQueue(), EventQueue()
+        event = make_event(1.0, seq=0)
+        other.push(event)
+        mine.push(make_event(2.0, seq=1))
+        assert not mine.cancel(event)
+        assert len(mine) == 1 == mine.live_heap_count()
+        never_pushed = make_event(3.0, seq=2)
+        assert not mine.cancel(never_pushed)
+        assert len(mine) == 1
+
+    def test_double_push_rejected(self):
+        q = EventQueue()
+        event = make_event(1.0)
+        q.push(event)
+        with pytest.raises(ValueError):
+            q.push(event)
+        assert len(q) == 1 == q.live_heap_count()
+
+    def test_cancel_of_cleared_handle_is_refused(self):
+        """Regression: clear() then cancel(stale) must not eat the count."""
+        q = EventQueue()
+        stale = make_event(1.0, seq=0)
+        q.push(stale)
+        q.clear()
+        assert not q.cancel(stale)
+        assert len(q) == 0
+        q.push(make_event(2.0, seq=1))
+        assert len(q) == 1 == q.live_heap_count()
 
 
 class TestHeapProperty:

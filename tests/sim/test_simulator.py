@@ -153,6 +153,36 @@ class TestCancel:
         sim.cancel(event)
         assert sim.pending_events == 0
 
+    def test_cancel_after_fire_is_a_noop(self):
+        """Regression: cancelling a fired event must not eat a live one.
+
+        The stale-handle pattern is common in the MAC layer (a timer is
+        cancelled after the event it guarded already ran).  Cancelling a
+        fired event used to decrement the live count anyway, driving
+        ``pending_events`` negative and letting ``run()`` stop while live
+        events remained.
+        """
+        sim = Simulator()
+        log = []
+        timer = sim.schedule(1.0, log.append, "timer")
+        sim.schedule(2.0, sim.cancel, timer)  # fires after the timer did
+        sim.schedule(3.0, log.append, "late")
+        sim.run()
+        assert log == ["timer", "late"]
+        assert sim.pending_events == 0
+
+    def test_cancel_after_fire_does_not_stop_run_early(self):
+        sim = Simulator()
+        log = []
+        first = sim.schedule(1.0, log.append, "a")
+        sim.run()
+        # Between runs: cancel the stale handle, then schedule fresh work.
+        sim.cancel(first)
+        sim.schedule(1.0, log.append, "b")
+        assert sim.pending_events == 1
+        sim.run()
+        assert log == ["a", "b"]
+
 
 class TestStreams:
     def test_seeded_streams_reproducible(self):
