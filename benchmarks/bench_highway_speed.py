@@ -50,48 +50,61 @@ def test_highway_speed_sweep(benchmark, artifact_sink):
 
 
 def test_highway_large_n_fast_path(benchmark, bench_json_sink):
-    """Largest-N highway: 96 vehicles spread along 78 km of road.
+    """Largest-N highway: 96 vehicles over 14.6 km of dense traffic.
 
-    Sparse through-traffic (``spread_along_road``) is the honest
-    at-scale geometry: each radio reaches only its ~6-8 km neighborhood,
-    so the culling fast path touches O(reachable) receivers while the
-    exhaustive path samples all 96.  Fixed 5-simulated-second window;
-    outcomes are pinned bit-identical by the fast-path A/B test.
+    Dense through-traffic (``spread_along_road``, 150 m gaps) is the
+    batch kernel's target regime: each broadcast reaches most of the
+    fleet, so per-candidate Python cost dominates the scalar paths.
+    Three arms over a fixed 5-simulated-second window — the vectorized
+    batch kernel (default), PR 3's scalar fast path, and the scalar
+    exhaustive reference; outcomes are pinned bit-identical by the
+    fast-path/batch A/B test.
     """
     import dataclasses
     import time
 
     from repro.experiments.highway import build_highway_round
 
-    def window_seconds(fast_path: bool) -> float:
+    def window_seconds(fast_path: bool, batch: bool) -> float:
         cfg = HighwayConfig(
             n_cars=96,
-            gap_m=800.0,
+            gap_m=150.0,
             speed_ms=30.0,
-            road_length_m=78000.0,
+            road_length_m=14625.0,
             seed=5,
             spread_along_road=True,
         )
         cfg = dataclasses.replace(
-            cfg, radio=dataclasses.replace(cfg.radio, reception_fast_path=fast_path)
+            cfg,
+            radio=dataclasses.replace(
+                cfg.radio,
+                reception_fast_path=fast_path,
+                reception_batch=batch,
+            ),
         )
         ctx = build_highway_round(cfg, 0)
         t0 = time.perf_counter()
         ctx.sim.run(until=5.0)
         return time.perf_counter() - t0
 
-    fast = benchmark.pedantic(window_seconds, args=(True,), rounds=1, iterations=1)
-    exhaustive = window_seconds(False)
+    batch = benchmark.pedantic(
+        window_seconds, args=(True, True), rounds=1, iterations=1
+    )
+    fast = window_seconds(True, False)
+    exhaustive = window_seconds(False, False)
     bench_json_sink(
         "highway.large_n",
         {
             "radios": 97,
             "window_s": 5.0,
+            "batch_s": round(batch, 3),
             "fast_s": round(fast, 3),
             "exhaustive_s": round(exhaustive, 3),
-            "speedup": round(exhaustive / fast, 2),
+            "speedup": round(exhaustive / batch, 2),
+            "batch_vs_fast_speedup": round(fast / batch, 2),
         },
     )
-    # Generous floor for noisy CI boxes; BENCH_kernel.json records the
-    # actual ratio (≥3× on an idle machine).
-    assert exhaustive / fast > 2.0
+    # Generous floors for noisy CI boxes; BENCH_kernel.json records the
+    # actual ratios measured on an idle machine.
+    assert exhaustive / batch > 1.4
+    assert fast / batch > 1.2

@@ -63,47 +63,65 @@ def test_multi_ap_download(benchmark, artifact_sink):
 
 
 def test_multi_ap_large_n_fast_path(benchmark, bench_json_sink):
-    """Largest-N corridor: 20 infostations + 12 cars (32 radios).
+    """Largest-N corridor: 20 infostations + 48 cars (68 radios).
 
-    Runs a fixed 10-simulated-second window of the same round with the
-    reception fast path on vs forced exhaustive; outcomes are pinned
-    bit-identical by ``tests/scenarios/test_fast_path_ab.py``, so the
-    only difference left to measure is throughput.
+    A dense car wave passing closely spaced infostations: the wave's
+    broadcasts carry ~60 candidates each (the batch kernel's regime)
+    while the many out-of-range infostations keep beaconing into
+    near-empty neighborhoods (3-candidate sets, scalar loop) — so this
+    case measures the *blended* end-to-end win, protocol and event
+    kernel included, not just the reception pipeline.  Three arms over a
+    fixed 10-simulated-second window; outcomes are pinned bit-identical
+    by ``tests/scenarios/test_fast_path_ab.py``.
     """
     import dataclasses
     import time
 
     from repro.experiments.multi_ap import build_multi_ap_round
 
-    def window_seconds(fast_path: bool) -> float:
+    def window_seconds(fast_path: bool, batch: bool) -> float:
         cfg = MultiApConfig(
-            road_length_m=8000.0,
-            ap_spacing_m=400.0,
-            n_cars=12,
+            road_length_m=4000.0,
+            ap_spacing_m=200.0,
+            n_cars=48,
             file_blocks=250,
             speed_ms=15.0,
             seed=5,
         )
         cfg = dataclasses.replace(
-            cfg, radio=dataclasses.replace(cfg.radio, reception_fast_path=fast_path)
+            cfg,
+            radio=dataclasses.replace(
+                cfg.radio,
+                reception_fast_path=fast_path,
+                reception_batch=batch,
+            ),
         )
         ctx = build_multi_ap_round(cfg, 0)
         t0 = time.perf_counter()
         ctx.sim.run(until=10.0)
         return time.perf_counter() - t0
 
-    fast = benchmark.pedantic(window_seconds, args=(True,), rounds=1, iterations=1)
-    exhaustive = window_seconds(False)
+    batch = benchmark.pedantic(
+        window_seconds, args=(True, True), rounds=1, iterations=1
+    )
+    fast = window_seconds(True, False)
+    exhaustive = window_seconds(False, False)
     bench_json_sink(
         "multi_ap.large_n",
         {
-            "radios": 32,
+            "radios": 68,
             "window_s": 10.0,
+            "batch_s": round(batch, 3),
             "fast_s": round(fast, 3),
             "exhaustive_s": round(exhaustive, 3),
-            "speedup": round(exhaustive / fast, 2),
+            "speedup": round(exhaustive / batch, 2),
+            "batch_vs_fast_speedup": round(fast / batch, 2),
         },
     )
     # Generous floor for noisy CI boxes; BENCH_kernel.json records the
-    # actual ratio (≥3× on an idle machine).
-    assert exhaustive / fast > 2.0
+    # actual ratios measured on an idle machine.  The batch-vs-fast
+    # ratio of this protocol-bound case is recorded (and covered by the
+    # CI regression gate's noise tolerance) rather than asserted inline:
+    # two sequential 6 s windows on a shared runner don't share
+    # instantaneous load, so a hard floor here would only add flakes.
+    assert exhaustive / batch > 1.5

@@ -1,0 +1,91 @@
+"""CI guard: fail when a fresh bench run regresses against the baseline.
+
+Usage::
+
+    python benchmarks/check_bench_regression.py \
+        --baseline /tmp/BENCH_kernel.baseline.json --fresh BENCH_kernel.json
+
+Compares every ``*speedup*`` figure of every entry present in *both*
+files and exits non-zero when a fresh value falls more than
+``--tolerance`` (default 20 %) below the committed baseline.  Absolute
+timings are deliberately ignored — CI machines vary wildly — but the
+*ratios* between the paths of one run share the same noise, so a real
+regression (a batch-kernel slowdown, a de-vectorised hot loop) shows up
+while machine-to-machine drift does not.  Entries or keys that exist
+only on one side are skipped: adding a new benchmark must not break the
+guard, and a dropped one is a review problem, not a CI problem.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+
+
+def load_entries(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle).get("entries", {})
+
+
+def compare(baseline: dict, fresh: dict, tolerance: float) -> list[str]:
+    """Human-readable regression descriptions (empty = all good)."""
+    regressions = []
+    for name in sorted(set(baseline) & set(fresh)):
+        base_entry, fresh_entry = baseline[name], fresh[name]
+        for key in sorted(set(base_entry) & set(fresh_entry)):
+            if "speedup" not in key:
+                continue
+            base_value, fresh_value = base_entry[key], fresh_entry[key]
+            if not isinstance(base_value, (int, float)) or base_value <= 0:
+                continue
+            if not isinstance(fresh_value, (int, float)) or not math.isfinite(
+                fresh_value
+            ):
+                # A null/NaN fresh figure means the bench recorded
+                # garbage; never let `NaN < floor == False` pass it.
+                regressions.append(
+                    f"{name}.{key}: non-numeric fresh value {fresh_value!r} "
+                    f"(baseline {base_value:.2f})"
+                )
+                continue
+            floor = base_value * (1.0 - tolerance)
+            if fresh_value < floor:
+                regressions.append(
+                    f"{name}.{key}: {fresh_value:.2f} < {floor:.2f} "
+                    f"(baseline {base_value:.2f}, tolerance {tolerance:.0%})"
+                )
+    return regressions
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True, help="committed BENCH_kernel.json")
+    parser.add_argument("--fresh", required=True, help="freshly generated file")
+    parser.add_argument(
+        "--tolerance", type=float, default=0.2,
+        help="allowed fractional drop below the baseline (default 0.2)",
+    )
+    args = parser.parse_args(argv)
+    baseline = load_entries(args.baseline)
+    fresh = load_entries(args.fresh)
+    shared = set(baseline) & set(fresh)
+    if not shared:
+        print("bench-regression: no shared entries to compare", file=sys.stderr)
+        return 2
+    regressions = compare(baseline, fresh, args.tolerance)
+    if regressions:
+        print("bench-regression: speedups fell below the baseline:")
+        for line in regressions:
+            print(f"  {line}")
+        return 1
+    print(
+        f"bench-regression: {len(shared)} shared entr{'y' if len(shared) == 1 else 'ies'} "
+        "within tolerance"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -247,6 +247,38 @@ def _print_campaign_report(spec: CampaignSpec, store: JsonlStore) -> None:
         print(plugin.report_line(summary))
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Run one scenario round under cProfile and print the hot spots.
+
+    Future perf PRs should start from this data rather than guessing:
+    ``repro profile --scenario multi_ap`` answers "where does a round
+    actually spend its time" in a few seconds.
+    """
+    import cProfile
+    import dataclasses
+    import pstats
+
+    plugin = get_scenario(args.scenario)
+    config = plugin.default_config()
+    if args.seed is not None:
+        config = dataclasses.replace(config, seed=args.seed)
+    for override in args.set or []:
+        path, sep, raw = override.partition("=")
+        if not sep:
+            print(f"profile: --set expects PATH=VALUE, got {override!r}",
+                  file=sys.stderr)
+            return 2
+        config = apply_override(config, path.strip(), _parse_set_value(raw))
+    context = plugin.build_round(config, args.round)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    context.run()
+    profiler.disable()
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.sort_stats(args.sort).print_stats(args.limit)
+    return 0
+
+
 def _cmd_scenarios(args: argparse.Namespace) -> int:
     """List the registered scenario plugins (the extension surface)."""
     if args.markdown:
@@ -332,6 +364,32 @@ def build_parser() -> argparse.ArgumentParser:
     multi_ap.add_argument("--rounds", type=int, default=2)
     multi_ap.add_argument("--seed", type=int, default=77)
     multi_ap.set_defaults(func=_cmd_multi_ap)
+
+    profile = sub.add_parser(
+        "profile", help="cProfile one scenario round (perf work starts here)"
+    )
+    profile.add_argument(
+        "--scenario",
+        choices=scenario_names(),
+        default="urban",
+        help="scenario to profile (default config, one round)",
+    )
+    profile.add_argument("--seed", type=int, default=None, help="override config seed")
+    profile.add_argument("--round", type=int, default=0, help="round index to build")
+    profile.add_argument(
+        "--sort",
+        choices=["cumulative", "tottime", "calls"],
+        default="cumulative",
+        help="pstats sort key",
+    )
+    profile.add_argument("--limit", type=int, default=20, help="rows to print")
+    profile.add_argument(
+        "--set",
+        action="append",
+        metavar="PATH=VALUE",
+        help="override a config field, e.g. --set round_duration_s=10",
+    )
+    profile.set_defaults(func=_cmd_profile)
 
     scenarios = sub.add_parser(
         "scenarios", help="list the registered scenario plugins"

@@ -16,6 +16,8 @@ import bisect
 import math
 from collections.abc import Iterable, Sequence
 
+import numpy as np
+
 from repro.errors import GeometryError
 from repro.geom.vec import Vec2
 
@@ -117,6 +119,53 @@ class Polyline:
         a, b = self._segment(idx)
         seg_len = a.distance_to(b)
         return a.lerp(b, into / seg_len)
+
+    def points_at(self, s: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Batch :meth:`point_at`: ``(xs, ys)`` for a whole arc array.
+
+        Bit-identical per element to the scalar path (the batch mobility
+        queries rely on it): the wrap, segment search, and lerp evaluate
+        the same float64 expressions, and segment lengths reuse the same
+        per-segment ``distance_to`` values.
+        """
+        points = self._points
+        length = self._cumulative[-1]
+        if self._closed:
+            s = s % length
+        elif s.size and (float(s.min()) < 0.0 or float(s.max()) > length):
+            raise GeometryError(
+                f"arc length outside [0, {length!r}] on open polyline"
+            )
+        if len(points) == 2 and not self._closed:
+            t = s / length
+            a, b = points
+            return a.x + (b.x - a.x) * t, a.y + (b.y - a.y) * t
+        ax, ay, bx, by, seg_len, cumulative = self._segment_arrays()
+        idx = np.searchsorted(cumulative, s, side="right") - 1
+        idx = np.minimum(idx, self.segment_count - 1)
+        t = (s - cumulative[idx]) / seg_len[idx]
+        return ax[idx] + (bx[idx] - ax[idx]) * t, ay[idx] + (by[idx] - ay[idx]) * t
+
+    def _segment_arrays(self):
+        """Per-segment endpoint/length arrays for the batch projection.
+
+        Segment lengths are the scalar ``a.distance_to(b)`` values (libm
+        hypot), not a vectorized recomputation, so the batch ``into /
+        seg_len`` divides by exactly the number the scalar path uses.
+        """
+        cached = getattr(self, "_segments_cache", None)
+        if cached is None:
+            segments = [self._segment(i) for i in range(self.segment_count)]
+            cached = (
+                np.array([a.x for a, _ in segments]),
+                np.array([a.y for a, _ in segments]),
+                np.array([b.x for _, b in segments]),
+                np.array([b.y for _, b in segments]),
+                np.array([a.distance_to(b) for a, b in segments]),
+                np.array(self._cumulative),
+            )
+            self._segments_cache = cached
+        return cached
 
     def heading_at(self, s: float) -> float:
         """Travel direction (radians, CCW from +x) at arc length *s*."""

@@ -46,6 +46,17 @@ class NetworkInterface:
         Stream for back-off draws (one per node).
     name:
         Human-readable label for diagnostics.
+    mobility:
+        The node's mobility model, when the owner has one.  When given,
+        it MUST be the exact model ``position_fn`` reports from (no
+        wrapping, no offsets): the medium's batch reception kernel
+        groups candidates whose models share a
+        :meth:`~repro.mobility.base.MobilityModel.batch_key` and queries
+        the models directly, bypassing ``position_fn`` — a diverging
+        pair would silently break the pinned batch/scalar bit-identity.
+        ``None`` (the default) makes every query go through
+        ``position_fn``.  Like ``config``, it is snapshotted by
+        ``Medium.attach`` and must not be reassigned afterwards.
     """
 
     def __init__(
@@ -57,6 +68,7 @@ class NetworkInterface:
         config: RadioConfig,
         rng: np.random.Generator,
         name: str = "",
+        mobility=None,
     ) -> None:
         self._sim = sim
         self._medium = medium
@@ -64,6 +76,7 @@ class NetworkInterface:
         self._position_fn = position_fn
         self.config = config
         self._rng = rng
+        self.mobility = mobility
         self.name = name or f"iface-{node_id}"
 
         self._queue: deque[tuple[Frame, WifiRate]] = deque()

@@ -29,6 +29,13 @@ interfaces).  ``fast_path=False`` forces the exhaustive path — every
 attached interface is bounded *and sampled* — which must produce
 bit-identical outcomes (the A/B pin in
 ``tests/scenarios/test_fast_path_ab.py``).
+
+On top of either discovery mode, ``batch=True`` (the default) runs steps
+1–3 for the whole candidate set as one NumPy pass through the vectorized
+batch channel kernel (:mod:`repro.radio.batch`) whenever the set is
+large enough to amortise the array overhead; the scalar loop remains the
+reference implementation and the batch kernel is pinned bit-identical to
+it.
 """
 
 from __future__ import annotations
@@ -38,13 +45,16 @@ import math
 import typing
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.errors import MacError
 from repro.mac.frames import Frame
 from repro.mac.timing import frame_airtime
+from repro.radio.batch import broadcast_samples
 from repro.radio.channel import Channel, LinkSample
 from repro.radio.modulation import WifiRate
 from repro.sim import Priority, Simulator
-from repro.units import dbm_sum
+from repro.units import dbm_sum, dbm_sum_batch
 
 if typing.TYPE_CHECKING:  # pragma: no cover
     from repro.geom import Vec2
@@ -95,6 +105,16 @@ class _Arrival:
         self.half_duplex = False
 
 
+def _post_draw_cause(delivered: bool, arrival: "_Arrival") -> LossCause:
+    """Loss cause once the frame-error draw is in — shared by both
+    frame-end paths so the attribution rules cannot drift apart."""
+    if delivered:
+        return LossCause.DELIVERED
+    if arrival.interferers_dbm:
+        return LossCause.INTERFERENCE
+    return LossCause.CHANNEL
+
+
 class _NeighborIndex:
     """Grid buckets of interface positions, refreshed lazily.
 
@@ -128,10 +148,13 @@ class _NeighborIndex:
     def query(self, pos: "Vec2", radius: float) -> list["NetworkInterface"]:
         """Every interface bucketed within *radius* of *pos* (superset)."""
         inv = 1.0 / self.cell_m
-        x_lo = math.floor((pos.x - radius) * inv)
-        x_hi = math.floor((pos.x + radius) * inv)
-        y_lo = math.floor((pos.y - radius) * inv)
-        y_hi = math.floor((pos.y + radius) * inv)
+        # Unpack the Vec2 once: each coordinate feeds two bounds, and
+        # frozen-dataclass attribute reads are not free on this hot path.
+        px, py = pos.x, pos.y
+        x_lo = math.floor((px - radius) * inv)
+        x_hi = math.floor((px + radius) * inv)
+        y_lo = math.floor((py - radius) * inv)
+        y_hi = math.floor((py + radius) * inv)
         buckets = self._buckets
         found: list["NetworkInterface"] = []
         if (x_hi - x_lo + 1) * (y_hi - y_lo + 1) >= len(buckets):
@@ -169,6 +192,21 @@ class Medium:
         neighbor index and hopeless links are culled before sampling.
         When false, every attached interface is bounded and sampled — the
         exhaustive A/B reference, bit-identical to the fast path.
+    batch:
+        When true (default), broadcasts toward at least
+        ``batch_min_candidates`` candidates are evaluated by the
+        vectorized batch channel kernel (:mod:`repro.radio.batch`) — one
+        NumPy pass over the whole candidate set instead of a per-receiver
+        Python loop.  Bit-identical to the scalar path by construction
+        (keyed draws + pinned float64 semantics); ``False`` forces the
+        scalar reference loop.  Orthogonal to ``fast_path``: candidate
+        *discovery* stays grid-or-exhaustive, only per-candidate
+        *evaluation* changes shape.
+    batch_min_candidates:
+        Below this candidate count the scalar loop wins (NumPy's fixed
+        per-op overhead beats a short Python loop), so the batch kernel
+        steps aside.  Purely a throughput knob — both paths produce the
+        same arrivals.
     cull_headroom_db:
         Shadowing boost granted to a link before it is declared
         unreachable: a receiver is culled when ``tx_power + rx_gain -
@@ -206,6 +244,8 @@ class Medium:
         trace: typing.Any | None = None,
         sensitivity_margin_db: float = 10.0,
         fast_path: bool = True,
+        batch: bool = True,
+        batch_min_candidates: int = 8,
         cull_headroom_db: float | None = 12.0,
         neighbor_refresh_s: float = 1.0,
         max_speed_ms: float = 100.0,
@@ -216,6 +256,8 @@ class Medium:
         self._trace = trace
         self._sensitivity_margin_db = sensitivity_margin_db
         self._fast_path = fast_path
+        self._batch = batch
+        self._batch_min_candidates = batch_min_candidates
         if cull_headroom_db is None:
             cull_headroom_db = channel.shadow_headroom_db()
         self._cull_headroom_db = cull_headroom_db
@@ -224,10 +266,16 @@ class Medium:
         self._neighbor_index_min_nodes = neighbor_index_min_nodes
         self._interfaces: list[NetworkInterface] = []
         self._ongoing: dict[NetworkInterface, list[_Arrival]] = {}
-        # Attach-order rank and sensitivity threshold per interface, cached
-        # off the hot path (thresholds are static per RadioConfig).
+        # Attach-order rank per interface, cached off the hot path.
         self._attach_rank: dict[NetworkInterface, int] = {}
-        self._rx_threshold_dbm: dict[NetworkInterface, float] = {}
+        # (node id, antenna gain, threshold, mobility batch key, mobility)
+        # per interface — the attach-time snapshot both reception paths
+        # read: one probe per candidate instead of attribute chases and
+        # a batch_key() call per candidate per broadcast.
+        self._rx_static: dict[
+            NetworkInterface,
+            tuple[typing.Hashable, float, float, object, object],
+        ] = {}
         self._tx_seq = 0
         self._index: _NeighborIndex | None = None
         self._index_version = 0
@@ -252,6 +300,11 @@ class Medium:
         return self._fast_path
 
     @property
+    def batch(self) -> bool:
+        """Whether reception uses the vectorized batch channel kernel."""
+        return self._batch
+
+    @property
     def cull_headroom_db(self) -> float:
         """Shadowing headroom granted by the reachability bound."""
         return self._cull_headroom_db
@@ -261,14 +314,28 @@ class Medium:
         self._trace = trace
 
     def attach(self, iface: "NetworkInterface") -> None:
-        """Register an interface.  Each interface joins exactly one medium."""
+        """Register an interface.  Each interface joins exactly one medium.
+
+        The interface's ``config`` and ``mobility`` are snapshotted here
+        (thresholds, antenna gain, mobility batch group) and must not be
+        reassigned afterwards — both reception paths read the snapshot,
+        so a mid-run swap would silently keep the attach-time values.
+        Positions stay live either way (``position_fn`` / the mobility
+        model are queried per broadcast).
+        """
         if iface in self._ongoing:
             raise MacError(f"interface {iface.name!r} already attached")
         self._attach_rank[iface] = len(self._interfaces)
         self._interfaces.append(iface)
         self._ongoing[iface] = []
-        self._rx_threshold_dbm[iface] = (
-            iface.config.noise_floor_dbm - self._sensitivity_margin_db
+        threshold = iface.config.noise_floor_dbm - self._sensitivity_margin_db
+        mobility = iface.mobility
+        self._rx_static[iface] = (
+            iface.node_id,
+            iface.config.antenna_gain_db,
+            threshold,
+            mobility.batch_key() if mobility is not None else None,
+            mobility,
         )
         self.invalidate_neighbors()
 
@@ -287,7 +354,9 @@ class Medium:
         best = tx_power_dbm + max(
             iface.config.antenna_gain_db for iface in self._interfaces
         )
-        min_threshold = min(self._rx_threshold_dbm.values())
+        min_threshold = min(
+            threshold for _, _, threshold, _, _ in self._rx_static.values()
+        )
         max_loss = best - min_threshold + self._cull_headroom_db
         if not math.isfinite(max_loss):
             return math.inf
@@ -371,40 +440,42 @@ class Medium:
         headroom = self._cull_headroom_db
         tx_power = tx_iface.config.tx_power_dbm
         tx_id = tx_iface.node_id
-        thresholds = self._rx_threshold_dbm
+        candidates = self._candidates(tx_iface, tx_pos)
         finishing: list[tuple[NetworkInterface, _Arrival]] = []
-        for rx_iface in self._candidates(tx_iface, tx_pos):
-            if rx_iface is tx_iface:
-                continue
-            rx_gain = rx_iface.config.antenna_gain_db
-            rx_pos = rx_iface.position()
-            budget = channel.link_budget(tx_pos, rx_pos)
-            threshold = thresholds[rx_iface]
-            reachable = tx_power + rx_gain - budget[1] + headroom >= threshold
-            if fast and not reachable:
-                continue  # culled without consuming any stochastic draw
-            sample = channel.sample(
-                tx_id,
-                rx_iface.node_id,
-                tx_pos,
-                rx_pos,
-                tx_power,
-                rx_gain,
-                time=now,
-                tx_seq=tx_seq,
-                budget=budget,
+        if self._batch and len(candidates) >= self._batch_min_candidates:
+            self._receive_batch(
+                tx_iface, candidates, frame, rate, tx_pos, tx_power, tx_id,
+                now, end, tx_seq, finishing,
             )
-            if not reachable or sample.mean_rx_power_dbm < threshold:
-                continue  # far out of range: the radio never syncs
-            arrival = _Arrival(frame, rate, sample, now, end)
-            # Mutual interference with everything already on the air here.
-            for other in ongoing[rx_iface]:
-                other.interferers_dbm.append(sample.rx_power_dbm)
-                arrival.interferers_dbm.append(other.sample.rx_power_dbm)
-            if rx_iface.transmitting:
-                arrival.half_duplex = True
-            ongoing[rx_iface].append(arrival)
-            finishing.append((rx_iface, arrival))
+        else:
+            static = self._rx_static
+            for rx_iface in candidates:
+                if rx_iface is tx_iface:
+                    continue
+                # Same attach-time snapshot the batch gather reads, so
+                # the two paths can never disagree about radio params.
+                _, rx_gain, threshold, _, _ = static[rx_iface]
+                rx_pos = rx_iface.position()
+                budget = channel.link_budget(tx_pos, rx_pos)
+                reachable = tx_power + rx_gain - budget[1] + headroom >= threshold
+                if fast and not reachable:
+                    continue  # culled without consuming any stochastic draw
+                sample = channel.sample(
+                    tx_id,
+                    rx_iface.node_id,
+                    tx_pos,
+                    rx_pos,
+                    tx_power,
+                    rx_gain,
+                    time=now,
+                    tx_seq=tx_seq,
+                    budget=budget,
+                )
+                if not reachable or sample.mean_rx_power_dbm < threshold:
+                    continue  # far out of range: the radio never syncs
+                self._admit_arrival(
+                    rx_iface, _Arrival(frame, rate, sample, now, end), finishing
+                )
 
         if finishing:
             # One frame-end event for the whole broadcast (the arrivals all
@@ -416,43 +487,218 @@ class Medium:
             )
         return airtime
 
+    def _admit_arrival(
+        self,
+        rx_iface: "NetworkInterface",
+        arrival: _Arrival,
+        finishing: list[tuple["NetworkInterface", _Arrival]],
+    ) -> None:
+        """Register an in-range arrival: interference links + bookkeeping."""
+        sample = arrival.sample
+        # Mutual interference with everything already on the air here.
+        for other in self._ongoing[rx_iface]:
+            other.interferers_dbm.append(sample.rx_power_dbm)
+            arrival.interferers_dbm.append(other.sample.rx_power_dbm)
+        if rx_iface.transmitting:
+            arrival.half_duplex = True
+        self._ongoing[rx_iface].append(arrival)
+        finishing.append((rx_iface, arrival))
+
+    def _receive_batch(
+        self,
+        tx_iface: "NetworkInterface",
+        candidates: list["NetworkInterface"],
+        frame: Frame,
+        rate: WifiRate,
+        tx_pos: "Vec2",
+        tx_power: float,
+        tx_id: typing.Hashable,
+        now: float,
+        end: float,
+        tx_seq: int,
+        finishing: list[tuple["NetworkInterface", _Arrival]],
+    ) -> None:
+        """One vectorized pass over the candidate set (bit-identical).
+
+        Gathers the candidates into flat arrays — positions unpacked
+        once per Vec2, gains and cached thresholds alongside — and hands
+        them to :func:`repro.radio.batch.broadcast_samples`; survivors
+        come back as aligned arrays and are admitted in candidate order,
+        so arrival ordering (and with it interference pairing and event
+        ranks) matches the scalar loop exactly.
+        """
+        static = self._rx_static
+        rx_ifaces: list[NetworkInterface] = []
+        rx_ids: list[typing.Hashable] = []
+        rows: list[tuple[float, float]] = []
+        # Mobility batch groups: candidates whose models share a batch
+        # key get their positions from one vectorized query (index list,
+        # model list); everyone else queries position_fn per candidate.
+        groups: dict[object, tuple[list[int], list[object]]] = {}
+        scalar_pos: list[int] = []
+        index = 0
+        for rx_iface in candidates:
+            if rx_iface is tx_iface:
+                continue
+            rx_ifaces.append(rx_iface)
+            node_id, gain, floor, key, mobility = static[rx_iface]
+            rx_ids.append(node_id)
+            rows.append((gain, floor))
+            if key is None:
+                scalar_pos.append(index)
+            else:
+                group = groups.get(key)
+                if group is None:
+                    groups[key] = ([index], [mobility])
+                else:
+                    group[0].append(index)
+                    group[1].append(mobility)
+            index += 1
+        if not rows:
+            return
+        gathered = np.array(rows, dtype=np.float64)
+        xs = np.empty(index)
+        ys = np.empty(index)
+        for indices, models in groups.values():
+            if len(indices) < 4:
+                # Tiny group: the vectorized query's fixed overhead loses
+                # to a couple of scalar calls (same values either way).
+                scalar_pos.extend(indices)
+                continue
+            group_xs, group_ys = models[0].positions_at_time(models, now)
+            lanes = np.array(indices)
+            xs[lanes] = group_xs
+            ys[lanes] = group_ys
+        for i in scalar_pos:
+            pos = rx_ifaces[i].position()
+            xs[i] = pos.x
+            ys[i] = pos.y
+        result = broadcast_samples(
+            self._channel, tx_id, rx_ids, tx_pos,
+            xs, ys, gathered[:, 0], gathered[:, 1],
+            tx_power, self._cull_headroom_db, now, tx_seq,
+        )
+        rx_power = result.rx_power_dbm.tolist()
+        mean_power = result.mean_rx_power_dbm.tolist()
+        distance = result.distance_m.tolist()
+        for j, i in enumerate(result.kept.tolist()):
+            sample = LinkSample(
+                rx_power_dbm=rx_power[j],
+                mean_rx_power_dbm=mean_power[j],
+                distance_m=distance[j],
+            )
+            self._admit_arrival(
+                rx_ifaces[i], _Arrival(frame, rate, sample, now, end), finishing
+            )
+
     def _finish_transmission(
         self, finishing: list[tuple["NetworkInterface", _Arrival]]
     ) -> None:
+        if self._batch and len(finishing) >= self._batch_min_candidates:
+            self._finish_batch(finishing)
+            return
         for rx_iface, arrival in finishing:
             self._finish_arrival(rx_iface, arrival)
 
-    def _finish_arrival(self, rx_iface: "NetworkInterface", arrival: _Arrival) -> None:
-        self._ongoing[rx_iface].remove(arrival)
-        noise_floor = rx_iface.config.noise_floor_dbm
-        if arrival.interferers_dbm:
-            noise_plus_interference = dbm_sum(noise_floor, *arrival.interferers_dbm)
-        else:
-            noise_plus_interference = noise_floor
-        snr_db = arrival.sample.rx_power_dbm - noise_plus_interference
+    def _finish_batch(
+        self, finishing: list[tuple["NetworkInterface", _Arrival]]
+    ) -> None:
+        """Frame-end bookkeeping for a whole broadcast at once.
 
+        All arrivals of one transmission share the frame and rate, so
+        the SINR → frame-error-rate curve evaluates as one vectorized
+        pass; interference totals, loss causes, Bernoulli draws, trace
+        rows and deliveries still run per arrival in the scalar order,
+        which keeps the outcome stream bit-identical to
+        :meth:`_finish_arrival`.
+        """
+        n = len(finishing)
+        snrs: list[float] = []
+        npis: list[float] = []
+        causes: list[LossCause | None] = [None] * n
+        pending: list[int] = []
+        for i, (rx_iface, arrival) in enumerate(finishing):
+            npi, snr_db, cause = self._pre_classify(rx_iface, arrival)
+            npis.append(npi)
+            snrs.append(snr_db)
+            causes[i] = cause
+            if cause is None:
+                pending.append(i)
+        if pending:
+            first = finishing[pending[0]][1]
+            delivered = self._channel.frames_delivered_batch(
+                [finishing[i][1].sample for i in pending],
+                first.rate,
+                first.frame,
+                np.array([npis[i] for i in pending]),
+                [finishing[i][0].node_id for i in pending],
+            )
+            for i, ok in zip(pending, delivered):
+                causes[i] = _post_draw_cause(ok, finishing[i][1])
+        now = self._sim.now
+        trace = self._trace
+        for i, (rx_iface, arrival) in enumerate(finishing):
+            self._ongoing[rx_iface].remove(arrival)
+            cause = causes[i]
+            if trace is not None:
+                trace.on_rx(
+                    now, rx_iface.node_id, arrival.frame, cause, snrs[i],
+                    arrival.sample.rx_power_dbm,
+                )
+            if cause is LossCause.DELIVERED:
+                rx_iface.deliver(
+                    arrival.frame,
+                    RxInfo(now, arrival.sample.rx_power_dbm, snrs[i]),
+                )
+
+    def _pre_classify(
+        self, rx_iface: "NetworkInterface", arrival: _Arrival
+    ) -> tuple[float, float, LossCause | None]:
+        """``(noise+interference, snr, cause)`` before the delivery draw.
+
+        The single source of the frame-end semantics — interference
+        aggregation and the capture model — shared by the per-arrival
+        and batched paths so the two can never drift apart.  A ``None``
+        cause means the outcome still depends on the SINR-driven
+        frame-error draw.
+        """
+        noise_floor = rx_iface.config.noise_floor_dbm
+        interferers = arrival.interferers_dbm
+        if not interferers:
+            noise_plus_interference = noise_floor
+        elif len(interferers) < 8:
+            noise_plus_interference = dbm_sum(noise_floor, *interferers)
+        else:
+            # Storm-grade interference: the array-shaped conversion
+            # wins; exact-equivalent to dbm_sum by construction
+            # (pinned in tests/test_units.py).
+            noise_plus_interference = dbm_sum_batch([noise_floor] + interferers)
+        snr_db = arrival.sample.rx_power_dbm - noise_plus_interference
         if arrival.half_duplex:
-            cause = LossCause.HALF_DUPLEX
-        elif (
-            arrival.interferers_dbm
-            and snr_db < rx_iface.config.capture_threshold_db
-        ):
+            return noise_plus_interference, snr_db, LossCause.HALF_DUPLEX
+        if interferers and snr_db < rx_iface.config.capture_threshold_db:
             # Same-code DSSS interference is not suppressed by processing
             # gain: without a capture margin over the interferers the frame
             # is destroyed (classic 802.11 capture model).
-            cause = LossCause.INTERFERENCE
-        elif self._channel.frame_delivered(
-            arrival.sample,
-            arrival.rate,
-            arrival.frame,
-            noise_plus_interference,
-            rx_id=rx_iface.node_id,
-        ):
-            cause = LossCause.DELIVERED
-        elif arrival.interferers_dbm:
-            cause = LossCause.INTERFERENCE
-        else:
-            cause = LossCause.CHANNEL
+            return noise_plus_interference, snr_db, LossCause.INTERFERENCE
+        return noise_plus_interference, snr_db, None
+
+    def _finish_arrival(self, rx_iface: "NetworkInterface", arrival: _Arrival) -> None:
+        self._ongoing[rx_iface].remove(arrival)
+        noise_plus_interference, snr_db, cause = self._pre_classify(
+            rx_iface, arrival
+        )
+        if cause is None:
+            cause = _post_draw_cause(
+                self._channel.frame_delivered(
+                    arrival.sample,
+                    arrival.rate,
+                    arrival.frame,
+                    noise_plus_interference,
+                    rx_id=rx_iface.node_id,
+                ),
+                arrival,
+            )
 
         if self._trace is not None:
             self._trace.on_rx(

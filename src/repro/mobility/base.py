@@ -6,6 +6,8 @@ import abc
 import bisect
 from collections.abc import Sequence
 
+import numpy as np
+
 from repro.errors import MobilityError
 from repro.geom import Polyline, Vec2
 
@@ -20,6 +22,40 @@ class MobilityModel(abc.ABC):
     @abc.abstractmethod
     def position(self, time: float) -> Vec2:
         """Position at simulated *time* seconds."""
+
+    def positions_at(self, times: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Batch :meth:`position`: ``(xs, ys)`` over a whole time array.
+
+        Must be bit-identical to mapping the scalar method (this default
+        simply does that); track-based models vectorize through
+        :meth:`repro.geom.Polyline.points_at`.
+        """
+        xs = np.empty(times.shape[0])
+        ys = np.empty(times.shape[0])
+        for i, time in enumerate(times.tolist()):
+            pos = self.position(time)
+            xs[i] = pos.x
+            ys[i] = pos.y
+        return xs, ys
+
+    def batch_key(self):
+        """Grouping key for cross-model batched queries, or ``None``.
+
+        Models returning the same (non-``None``) key promise that
+        :meth:`positions_at_time` can evaluate any mix of them at one
+        instant in a single vectorized pass, bit-identical to calling
+        :meth:`position` on each.  The medium's batch reception kernel
+        uses this to replace its per-candidate position round-trips with
+        one batched mobility query per timestamp.
+        """
+        return None
+
+    @staticmethod
+    def positions_at_time(
+        models: "list[MobilityModel]", time: float
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Positions of *models* (one shared :meth:`batch_key`) at *time*."""
+        raise NotImplementedError
 
     def speed(self, time: float) -> float:
         """Scalar speed at *time*; default via symmetric differencing."""
@@ -77,6 +113,36 @@ class TraceMobility(MobilityModel):
 
     def position(self, time: float) -> Vec2:
         return self.track.point_at(self.arc_length(time))
+
+    def arc_lengths(self, times: np.ndarray) -> np.ndarray:
+        """Batch :meth:`arc_length` (same interpolation, elementwise)."""
+        time_grid = np.array(self._times)
+        arc_grid = np.array(self._arcs)
+        idx = np.searchsorted(time_grid, times, side="right") - 1
+        idx = np.clip(idx, 0, len(self._times) - 2)
+        t0 = time_grid[idx]
+        t1 = time_grid[idx + 1]
+        frac = (times - t0) / (t1 - t0)
+        arcs = arc_grid[idx] + (arc_grid[idx + 1] - arc_grid[idx]) * frac
+        arcs = np.where(times <= self._times[0], self._arcs[0], arcs)
+        return np.where(times >= self._times[-1], self._arcs[-1], arcs)
+
+    def positions_at(self, times: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        return self.track.points_at(self.arc_lengths(times))
+
+    def batch_key(self):
+        # Traces on one track batch their polyline projection; the
+        # per-trace arc interpolation stays scalar (each trace has its
+        # own time grid) but the point_at chain — the expensive half —
+        # vectorizes.
+        return ("trace", id(self.track))
+
+    @staticmethod
+    def positions_at_time(
+        models: "list[TraceMobility]", time: float
+    ) -> tuple[np.ndarray, np.ndarray]:
+        arcs = np.array([m.arc_length(time) for m in models])
+        return models[0].track.points_at(arcs)
 
     def speed(self, time: float) -> float:
         dt = 0.05

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.errors import MobilityError
 from repro.geom import Polyline, Vec2
 from repro.mobility.base import MobilityModel
@@ -40,6 +42,8 @@ class PathMobility(MobilityModel):
         self._speed = speed
         self._start_arc = start_arc_length
         self._start_time = start_time
+        # One attribute read hands the batch queries all three scalars.
+        self._params = (start_arc_length, speed, start_time)
 
     def arc_length(self, time: float) -> float:
         """Unwrapped arc-length coordinate at *time*."""
@@ -51,6 +55,31 @@ class PathMobility(MobilityModel):
 
     def position(self, time: float) -> Vec2:
         return self.track.point_at(self.arc_length(time))
+
+    def positions_at(self, times: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        elapsed = np.maximum(times - self._start_time, 0.0)
+        s = self._start_arc + self._speed * elapsed
+        if not self.track.closed:
+            s = np.minimum(s, self.track.length)
+        return self.track.points_at(s)
+
+    def batch_key(self):
+        # All constant-speed models on one track evaluate together: the
+        # arc formula vectorizes over per-model parameters and the track
+        # projects the batch in one pass.
+        return ("path", id(self.track))
+
+    @staticmethod
+    def positions_at_time(
+        models: "list[PathMobility]", time: float
+    ) -> tuple[np.ndarray, np.ndarray]:
+        params = np.array([m._params for m in models])
+        track = models[0].track
+        elapsed = np.maximum(time - params[:, 2], 0.0)
+        s = params[:, 0] + params[:, 1] * elapsed
+        if not track.closed:
+            s = np.minimum(s, track.length)
+        return track.points_at(s)
 
     def speed(self, time: float) -> float:
         if time < self._start_time:

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.geom import Vec2
 from repro.mobility.base import MobilityModel
 
@@ -14,6 +16,28 @@ class StaticMobility(MobilityModel):
 
     def position(self, time: float) -> Vec2:
         return self._position
+
+    def positions_at(self, times: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        n = times.shape[0]
+        return (
+            np.full(n, self._position.x),
+            np.full(n, self._position.y),
+        )
+
+    def batch_key(self):
+        # All static mounts evaluate together: one array gather replaces
+        # a position_fn call chain per candidate (multi-AP corridors
+        # carry dozens of infostations per broadcast).
+        return ("static",)
+
+    @staticmethod
+    def positions_at_time(
+        models: "list[StaticMobility]", time: float
+    ) -> tuple[np.ndarray, np.ndarray]:
+        return (
+            np.array([m._position.x for m in models]),
+            np.array([m._position.y for m in models]),
+        )
 
     def speed(self, time: float) -> float:
         return 0.0

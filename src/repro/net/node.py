@@ -54,6 +54,7 @@ class Node:
             radio,
             rng,
             name=f"{self.name}.iface",
+            mobility=mobility,
         )
 
     def position(self) -> Vec2:

@@ -1,0 +1,117 @@
+"""The vectorized batch channel kernel.
+
+:func:`broadcast_samples` evaluates one transmission against its whole
+candidate receiver set in a handful of NumPy operations — deterministic
+link budgets, the reachability cull, Gudmundson lattice shadowing, keyed
+fading and the sensitivity filter — instead of a per-receiver Python
+round-trip through the channel stack.  It exists because PR 3's keyed
+counter-based randomness made every stochastic draw a *pure function* of
+``(link, transmission)``: with no hidden stream state, the candidate set
+can be evaluated in any grouping, so batching is free of semantic risk
+and the kernel is pinned **bit-identical** to the scalar reference path
+(``tests/scenarios/test_fast_path_ab.py``,
+``tests/radio/test_batch_parity.py``).
+
+Exactness ground rules (shared by every ``*_batch`` method downstream):
+
+* float64 arithmetic (`+ - * /`, comparisons, ``np.sqrt``/``np.floor``/
+  ``minimum``/``maximum``) is evaluated elementwise in the scalar
+  operation order, which IEEE-754 makes bit-identical;
+* transcendentals (``log``/``log10``/``hypot``/``pow``/``cos``/``sin``/
+  ``exp``/``erfc``/``log1p``) go through
+  :func:`repro.radio.keyed.libm_map` because NumPy's SIMD kernels can
+  differ from libm in the last ulp (hardware-dependent dispatch);
+* splitmix64 runs on uint64 lanes with explicit carry handling where the
+  scalar code's unmasked Python ints grow a 65th bit
+  (:func:`repro.radio.keyed._finish_mix_u64`).
+
+The medium calls this once per transmission; everything here is
+allocation-lean but *not* stateful — all memoisation lives in the models
+themselves, keyed by pure values.
+"""
+
+from __future__ import annotations
+
+import typing
+
+import numpy as np
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.geom import Vec2
+    from repro.radio.channel import Channel
+
+
+class BroadcastBatch(typing.NamedTuple):
+    """Per-candidate outcome of one batched broadcast evaluation.
+
+    ``kept`` holds the indices (into the candidate arrays handed to
+    :func:`broadcast_samples`, ascending) of receivers that passed both
+    the reachability bound and the sensitivity filter; the three float
+    arrays are aligned with it.
+    """
+
+    kept: np.ndarray
+    rx_power_dbm: np.ndarray
+    mean_rx_power_dbm: np.ndarray
+    distance_m: np.ndarray
+
+
+_EMPTY = BroadcastBatch(
+    np.empty(0, dtype=np.intp),
+    np.empty(0),
+    np.empty(0),
+    np.empty(0),
+)
+
+
+def broadcast_samples(
+    channel: "Channel",
+    tx_id: typing.Hashable,
+    rx_ids: list[typing.Hashable],
+    tx_pos: "Vec2",
+    rx_xs: np.ndarray,
+    rx_ys: np.ndarray,
+    rx_gains_db: np.ndarray,
+    rx_thresholds_dbm: np.ndarray,
+    tx_power_dbm: float,
+    headroom_db: float,
+    time: float,
+    tx_seq: int,
+) -> BroadcastBatch:
+    """Evaluate one broadcast against its whole candidate set.
+
+    Mirrors the medium's scalar per-receiver pipeline exactly:
+
+    1. deterministic link budget (path loss + obstruction) per candidate;
+    2. reachability bound ``tx_power + gain - loss + headroom ≥
+       threshold`` — lanes failing it are culled without consuming any
+       stochastic draw (keyed randomness makes that safe);
+    3. shadowing + fading realisation for the survivors;
+    4. sensitivity filter ``mean_rx_power ≥ threshold``.
+
+    The scalar exhaustive path also *samples* bound-failing links before
+    discarding them; because every draw is pure and side-effect-free,
+    skipping those samples here changes nothing — the A/B pins prove it.
+    """
+    budget = channel.link_budget_batch(tx_pos, rx_xs, rx_ys)
+    distances, losses = budget
+    reachable = tx_power_dbm + rx_gains_db - losses + headroom_db >= rx_thresholds_dbm
+    idx = np.flatnonzero(reachable)
+    if idx.size == 0:
+        return _EMPTY
+    sub_ids = [rx_ids[i] for i in idx.tolist()]
+    rx_power, mean_power = channel.sample_batch(
+        tx_id,
+        sub_ids,
+        tx_pos,
+        rx_xs[idx],
+        rx_ys[idx],
+        tx_power_dbm,
+        rx_gains_db[idx],
+        time,
+        tx_seq,
+        (distances[idx], losses[idx]),
+    )
+    keep = mean_power >= rx_thresholds_dbm[idx]
+    kept = idx[keep]
+    return BroadcastBatch(kept, rx_power[keep], mean_power[keep], distances[kept])

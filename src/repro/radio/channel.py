@@ -22,16 +22,16 @@ from typing import Hashable
 import numpy as np
 
 from repro.geom import Vec2
-from repro.radio.error_models import frame_error_rate
+from repro.radio.error_models import frame_error_rate, frame_error_rate_batch
 from repro.radio.fading import FadingModel, NoFading
-from repro.radio.keyed import stable_hash64
+from repro.radio.keyed import hypot_map, stable_hash64
 from repro.radio.modulation import WifiRate
 from repro.radio.obstruction import NoObstruction, ObstructionModel
 from repro.radio.pathloss import LogDistancePathLoss, PathLossModel
 from repro.radio.shadowing import NoShadowing, ShadowingModel
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LinkSample:
     """One channel realisation for a frame on a link.
 
@@ -113,6 +113,32 @@ class Channel:
         loss += self.obstruction.extra_loss_db(tx_pos, rx_pos)
         return distance, loss
 
+    def link_budget_batch(
+        self, tx_pos: Vec2, rx_xs: np.ndarray, rx_ys: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """:meth:`link_budget` for a whole candidate set, bit-identically.
+
+        Returns ``(distances_m, base_losses_db)`` arrays aligned with the
+        candidate order.  Distances use the same libm ``hypot`` as
+        :meth:`Vec2.distance_to`, losses the models' pinned batch paths.
+        Subclasses that override :meth:`link_budget` (scripted physics in
+        protocol tests) are honoured by falling back to the scalar call
+        per candidate.
+        """
+        if type(self).link_budget is not Channel.link_budget:
+            pairs = [
+                self.link_budget(tx_pos, Vec2(x, y))
+                for x, y in zip(rx_xs.tolist(), rx_ys.tolist())
+            ]
+            return (
+                np.array([d for d, _ in pairs]),
+                np.array([loss for _, loss in pairs]),
+            )
+        distances = hypot_map(tx_pos.x - rx_xs, tx_pos.y - rx_ys)
+        losses = self.pathloss.loss_db_batch(distances)
+        losses = losses + self.obstruction.extra_loss_db_batch(tx_pos, rx_xs, rx_ys)
+        return distances, losses
+
     def shadow_headroom_db(self) -> float:
         """Worst-case positive shadowing excursion (``inf`` if unbounded)."""
         return self.shadowing.max_boost_db()
@@ -162,6 +188,65 @@ class Channel:
             distance_m=distance,
         )
 
+    def sample_batch(
+        self,
+        tx_id: Hashable,
+        rx_ids: list[Hashable],
+        tx_pos: Vec2,
+        rx_xs: np.ndarray,
+        rx_ys: np.ndarray,
+        tx_power_dbm: float,
+        rx_gains_db: np.ndarray,
+        time: float,
+        tx_seq: int,
+        budget: tuple[np.ndarray, np.ndarray],
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Draw one transmission's realisation toward many receivers.
+
+        The batch counterpart of :meth:`sample`: returns
+        ``(rx_power_dbm, mean_rx_power_dbm)`` arrays aligned with
+        *rx_ids*, each lane bit-identical to the scalar call for that
+        link (the keyed draws make the decomposition exact).  *budget*
+        forwards the :meth:`link_budget_batch` result.  Subclasses that
+        override :meth:`sample` (scripted realisations) are honoured by
+        falling back to the scalar call per candidate.
+        """
+        distances, losses = budget
+        if type(self).sample is not Channel.sample:
+            rx_power = np.empty(len(rx_ids))
+            mean_power = np.empty(len(rx_ids))
+            for i, rx_id in enumerate(rx_ids):
+                link_sample = self.sample(
+                    tx_id,
+                    rx_id,
+                    tx_pos,
+                    Vec2(float(rx_xs[i]), float(rx_ys[i])),
+                    tx_power_dbm,
+                    float(rx_gains_db[i]),
+                    time=time,
+                    tx_seq=tx_seq,
+                    budget=(float(distances[i]), float(losses[i])),
+                )
+                rx_power[i] = link_sample.rx_power_dbm
+                mean_power[i] = link_sample.mean_rx_power_dbm
+            return rx_power, mean_power
+        links: list[tuple] = []
+        hash_list: list[int] = []
+        cache_get = self._links.get
+        for rx_id in rx_ids:
+            cached = cache_get((tx_id, rx_id))
+            if cached is None:
+                cached = self._link(tx_id, rx_id)
+            links.append(cached[0])
+            hash_list.append(cached[1])
+        link_hashes = np.array(hash_list, dtype=np.uint64)
+        shadow = self.shadowing.sample_db_batch(
+            links, link_hashes, tx_pos, rx_xs, rx_ys, distances, time
+        )
+        mean_power = tx_power_dbm + rx_gains_db - losses - shadow
+        fade = self.fading.sample_db_batch(link_hashes, tx_seq)
+        return mean_power + fade, mean_power
+
     def frame_delivered(
         self,
         sample: LinkSample,
@@ -180,6 +265,43 @@ class Channel:
         size_bytes = getattr(frame, "size_bytes")
         fer = frame_error_rate(rate, sinr_db, size_bytes)
         return bool(self._rng.random() >= fer)
+
+    def frames_delivered_batch(
+        self,
+        samples: list[LinkSample],
+        rate: WifiRate,
+        frame: object,
+        noise_plus_interference_dbm: np.ndarray,
+        rx_ids: list[Hashable],
+    ) -> list[bool]:
+        """One broadcast's delivery outcomes, in arrival order.
+
+        The default delegates to :meth:`frame_delivered` per arrival, so
+        subclasses that script outcomes for protocol tests keep working
+        unchanged.  The medium calls this from the batched frame-end
+        path; the base implementation below vectorizes the FER curve
+        while drawing the Bernoulli variates sequentially in the same
+        order as the scalar path (nothing else consumes this stream
+        inside a frame-end event, so the draw sequence is identical).
+        """
+        if type(self).frame_delivered is not Channel.frame_delivered:
+            return [
+                self.frame_delivered(
+                    sample, rate, frame, float(npi), rx_id=rx_id
+                )
+                for sample, npi, rx_id in zip(
+                    samples, noise_plus_interference_dbm.tolist(), rx_ids
+                )
+            ]
+        sinr_db = (
+            np.array([sample.rx_power_dbm for sample in samples])
+            - noise_plus_interference_dbm
+        )
+        fers = frame_error_rate_batch(
+            rate, sinr_db, getattr(frame, "size_bytes")
+        )
+        random = self._rng.random
+        return [bool(random() >= fer) for fer in fers.tolist()]
 
     def reset(self) -> None:
         """Clear per-link shadowing state (between rounds)."""

@@ -22,7 +22,7 @@ import math
 import numpy as np
 
 from repro.errors import RadioError
-from repro.radio.keyed import KeyedRandom
+from repro.radio.keyed import KeyedRandom, libm_map
 
 
 class FadingModel(abc.ABC):
@@ -32,12 +32,28 @@ class FadingModel(abc.ABC):
     def sample_db(self, key: tuple[int, ...] | None = None) -> float:
         """A fading gain in dB (typically negative-mean) for *key*."""
 
+    def sample_db_batch(self, link_hashes: np.ndarray, tx_seq: int) -> np.ndarray:
+        """Fading for every link of one transmission at once.
+
+        Each lane draws for key ``(link_hash, tx_seq)`` — the keyed form
+        the medium uses — and must be bit-identical to mapping
+        :meth:`sample_db` over the hashes.  This fallback does exactly
+        that; the keyed models vectorize.
+        """
+        return np.array(
+            [self.sample_db((int(h), tx_seq)) for h in link_hashes.tolist()],
+            dtype=np.float64,
+        )
+
 
 class NoFading(FadingModel):
     """Deterministic zero fading — for unit tests and calibration."""
 
     def sample_db(self, key: tuple[int, ...] | None = None) -> float:
         return 0.0
+
+    def sample_db_batch(self, link_hashes: np.ndarray, tx_seq: int) -> np.ndarray:
+        return np.zeros(link_hashes.shape[0], dtype=np.float64)
 
 
 class _KeyedFading(FadingModel):
@@ -66,6 +82,12 @@ class RayleighFading(_KeyedFading):
         gain = max(gain, 1e-12)
         return 10.0 * math.log10(gain)
 
+    def sample_db_batch(self, link_hashes: np.ndarray, tx_seq: int) -> np.ndarray:
+        n = link_hashes.shape[0]
+        gain = self._keyed.exponential_batch([link_hashes, tx_seq], (n,))
+        gain = np.maximum(gain, 1e-12)
+        return 10.0 * libm_map(math.log10, gain)
+
 
 class RicianFading(_KeyedFading):
     """Rician fading with K-factor: partial line-of-sight.
@@ -90,3 +112,12 @@ class RicianFading(_KeyedFading):
         gain = re * re + im * im
         gain = max(gain, 1e-12)
         return 10.0 * math.log10(gain)
+
+    def sample_db_batch(self, link_hashes: np.ndarray, tx_seq: int) -> np.ndarray:
+        n = link_hashes.shape[0]
+        z_re, z_im = self._keyed.normal_pair_batch([link_hashes, tx_seq], (n,))
+        re = self._los + self._scatter_sigma * z_re
+        im = self._scatter_sigma * z_im
+        gain = re * re + im * im
+        gain = np.maximum(gain, 1e-12)
+        return 10.0 * libm_map(math.log10, gain)

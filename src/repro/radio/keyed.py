@@ -20,7 +20,8 @@ tree stays reproducible from the simulation's root seed.
 from __future__ import annotations
 
 import math
-from typing import Hashable
+from collections.abc import Sequence
+from typing import Callable, Hashable
 
 import numpy as np
 
@@ -28,6 +29,43 @@ _MASK = 0xFFFFFFFFFFFFFFFF
 #: splitmix64 increment (golden-ratio odd constant).
 _GAMMA = 0x9E3779B97F4A7C15
 _INV_2_53 = 1.0 / (1 << 53)
+#: ``_INV_2_53 * 0.5`` as evaluated by the scalar helpers below.
+_INV_2_54 = _INV_2_53 * 0.5
+
+# uint64 copies of the splitmix constants for the vectorized kernels.
+_GAMMA_U = np.uint64(_GAMMA)
+_M1_U = np.uint64(0xBF58476D1CE4E5B9)
+_M2_U = np.uint64(0x94D049BB133111EB)
+_U11 = np.uint64(11)
+_U27 = np.uint64(27)
+_U30 = np.uint64(30)
+_U31 = np.uint64(31)
+_U34 = np.uint64(34)
+_TWO_PI = 6.283185307179586
+
+
+def libm_map(func: Callable[[float], float], values: np.ndarray) -> np.ndarray:
+    """Apply a scalar libm function elementwise, bit-identical to ``math``.
+
+    NumPy's vectorized transcendentals (``np.log``, ``np.log10``,
+    ``np.hypot``, ``np.power``, and — on hardware where the wheel
+    dispatches SIMD kernels — ``np.cos``/``np.sin``) can differ from the
+    C library in the last ulp on a fraction of inputs, so they cannot be
+    used where the batch kernel must reproduce the scalar reference bit
+    for bit *on every machine a campaign worker may run on*.  Only
+    IEEE-exact ufuncs (``np.sqrt``, ``np.floor``, arithmetic,
+    min/max/comparisons) stay vectorized.
+    """
+    flat = values.reshape(-1)
+    out = np.fromiter(map(func, flat.tolist()), np.float64, count=flat.size)
+    return out.reshape(values.shape)
+
+
+def hypot_map(dx: np.ndarray, dy: np.ndarray) -> np.ndarray:
+    """Elementwise ``math.hypot`` (see :func:`libm_map` for why not np)."""
+    return np.fromiter(
+        map(math.hypot, dx.tolist(), dy.tolist()), np.float64, count=dx.size
+    )
 
 
 def _mix(value: int) -> int:
@@ -35,6 +73,31 @@ def _mix(value: int) -> int:
     value = (value ^ (value >> 30)) * 0xBF58476D1CE4E5B9 & _MASK
     value = (value ^ (value >> 27)) * 0x94D049BB133111EB & _MASK
     return value ^ (value >> 31)
+
+
+def _finish_mix_u64(value: np.ndarray, carry: np.ndarray | None) -> np.ndarray:
+    """The tail of :func:`_mix` on uint64 arrays, with 65-bit-input fidelity.
+
+    The scalar code runs on unmasked Python ints, so an input of
+    ``word + _GAMMA`` may carry a 65th bit into the first ``value >> 30``
+    term before the multiply-and-mask discards it again (``2**64 * M ≡ 0
+    mod 2**64``).  *carry* marks lanes whose true input overflowed 64
+    bits; their shifted term gains the bit the wrap dropped (bit
+    ``64 - 30 = 34``).  Everything after the first multiply is already
+    masked in the scalar code and needs no correction.
+    """
+    shifted = value >> _U30
+    if carry is not None:
+        shifted = shifted | (carry.astype(np.uint64) << _U34)
+    value = (value ^ shifted) * _M1_U
+    value = (value ^ (value >> _U27)) * _M2_U
+    return value ^ (value >> _U31)
+
+
+def _mix_plus_gamma_u64(word: np.ndarray) -> np.ndarray:
+    """Vectorized ``_mix(word + _GAMMA)`` for masked uint64 *word* lanes."""
+    total = word + _GAMMA_U
+    return _finish_mix_u64(total, total < _GAMMA_U)
 
 
 def stable_hash64(value: Hashable) -> int:
@@ -50,7 +113,12 @@ def stable_hash64(value: Hashable) -> int:
     if isinstance(value, tuple):
         acc = 0x8C74E9B55D3AEF1D
         for item in value:
-            acc = _mix(acc ^ stable_hash64(item))
+            # Int items (node ids — the common case on the cold-link
+            # path) hash inline rather than through a recursive call.
+            if isinstance(item, int):
+                acc = _mix(acc ^ _mix(item & _MASK))
+            else:
+                acc = _mix(acc ^ stable_hash64(item))
         return acc
     acc = 0xCBF29CE484222325  # FNV-1a offset basis
     for byte in repr(value).encode("utf-8"):
@@ -112,3 +180,65 @@ class KeyedRandom:
     def exponential(self, *keys: int) -> float:
         """One Exp(1) variate for *keys*."""
         return -math.log(self.uniform(*keys))
+
+    # -- vectorized batch variants -------------------------------------------
+    #
+    # Each *_batch method evaluates the matching scalar method for a whole
+    # lattice of keys at once and returns bit-identical float64 values
+    # (pinned by tests/radio/test_keyed.py).  Key columns are scalars or
+    # integer ndarrays that broadcast to *shape*; signed arrays wrap to
+    # uint64 exactly like the scalar path's ``key & _MASK``.
+
+    def words_batch(
+        self, cols: Sequence[int | np.ndarray], shape: tuple[int, ...]
+    ) -> np.ndarray:
+        """Vectorized :meth:`_word`: one uint64 word per key lane."""
+        acc = np.full(shape, np.uint64(self._seed), dtype=np.uint64)
+        for col in cols:
+            if isinstance(col, np.ndarray):
+                key = col if col.dtype == np.uint64 else col.astype(np.uint64)
+            else:
+                key = np.uint64(int(col) & _MASK)
+            # Scalar: acc = (acc + GAMMA) ^ key, *unmasked* — the 65th bit
+            # of the sum (key is already masked, so xor keeps it) leaks
+            # into the first shift term; see _finish_mix_u64.
+            total = acc + _GAMMA_U
+            carry = total < _GAMMA_U
+            acc = _finish_mix_u64(total ^ key, carry)
+        return acc
+
+    def uniform_batch(
+        self, cols: Sequence[int | np.ndarray], shape: tuple[int, ...]
+    ) -> np.ndarray:
+        """Vectorized :meth:`uniform`."""
+        return (self.words_batch(cols, shape) >> _U11) * _INV_2_53 + _INV_2_54
+
+    def normal_batch(
+        self, cols: Sequence[int | np.ndarray], shape: tuple[int, ...]
+    ) -> np.ndarray:
+        """Vectorized :meth:`normal` (Box–Muller, cosine branch)."""
+        word = self.words_batch(cols, shape)
+        u1 = (word >> _U11) * _INV_2_53 + _INV_2_54
+        u2 = (_mix_plus_gamma_u64(word) >> _U11) * _INV_2_53
+        return np.sqrt(-2.0 * libm_map(math.log, u1)) * libm_map(
+            math.cos, _TWO_PI * u2
+        )
+
+    def normal_pair_batch(
+        self, cols: Sequence[int | np.ndarray], shape: tuple[int, ...]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized :meth:`normal_pair`."""
+        word = self.words_batch(cols, shape)
+        u1 = (word >> _U11) * _INV_2_53 + _INV_2_54
+        u2 = (_mix_plus_gamma_u64(word) >> _U11) * _INV_2_53
+        radius = np.sqrt(-2.0 * libm_map(math.log, u1))
+        angle = _TWO_PI * u2
+        return radius * libm_map(math.cos, angle), radius * libm_map(
+            math.sin, angle
+        )
+
+    def exponential_batch(
+        self, cols: Sequence[int | np.ndarray], shape: tuple[int, ...]
+    ) -> np.ndarray:
+        """Vectorized :meth:`exponential`."""
+        return -libm_map(math.log, self.uniform_batch(cols, shape))

@@ -16,6 +16,8 @@ from __future__ import annotations
 import abc
 from collections.abc import Sequence
 
+import numpy as np
+
 from repro.errors import RadioError
 from repro.geom import Vec2
 from repro.geom.shapes import AxisRect
@@ -28,12 +30,33 @@ class ObstructionModel(abc.ABC):
     def extra_loss_db(self, tx_pos: Vec2, rx_pos: Vec2) -> float:
         """Additional attenuation for this link geometry (≥ 0)."""
 
+    def extra_loss_db_batch(
+        self, tx_pos: Vec2, rx_xs: np.ndarray, rx_ys: np.ndarray
+    ) -> np.ndarray:
+        """Extra loss toward a whole candidate set (bit-identical map).
+
+        Segment/footprint tests don't vectorize profitably for the
+        handful of buildings the scenarios model, so the default loops;
+        :class:`NoObstruction` short-circuits to zeros.
+        """
+        out = np.empty(rx_xs.shape[0], dtype=np.float64)
+        xs = rx_xs.tolist()
+        ys = rx_ys.tolist()
+        for i in range(len(xs)):
+            out[i] = self.extra_loss_db(tx_pos, Vec2(xs[i], ys[i]))
+        return out
+
 
 class NoObstruction(ObstructionModel):
     """Open field — no extra loss."""
 
     def extra_loss_db(self, tx_pos: Vec2, rx_pos: Vec2) -> float:
         return 0.0
+
+    def extra_loss_db_batch(
+        self, tx_pos: Vec2, rx_xs: np.ndarray, rx_ys: np.ndarray
+    ) -> np.ndarray:
+        return np.zeros(rx_xs.shape[0], dtype=np.float64)
 
 
 class BuildingObstruction(ObstructionModel):

@@ -15,7 +15,10 @@ import abc
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.errors import RadioError
+from repro.radio.keyed import libm_map
 from repro.units import SPEED_OF_LIGHT
 
 
@@ -30,6 +33,17 @@ class PathLossModel(abc.ABC):
         must handle ``distance_m == 0`` gracefully (clamping to a minimum
         distance) because a mobility model may momentarily co-locate nodes.
         """
+
+    def loss_db_batch(self, distances_m: np.ndarray) -> np.ndarray:
+        """Path loss for a whole candidate set at once.
+
+        Must be bit-identical to mapping :meth:`loss_db` over the array
+        (the batch reception kernel's contract); this fallback simply
+        does that, concrete models vectorize.
+        """
+        return np.array(
+            [self.loss_db(d) for d in distances_m.tolist()], dtype=np.float64
+        )
 
     def range_for_loss(self, loss_db: float) -> float:
         """Largest distance whose loss does not exceed *loss_db*.
@@ -46,6 +60,12 @@ def _clamp_distance(distance_m: float, minimum: float = 1.0) -> float:
     if distance_m < 0.0:
         raise RadioError(f"negative link distance {distance_m!r}")
     return max(distance_m, minimum)
+
+
+def _clamp_distances(distances_m: np.ndarray, minimum: float) -> np.ndarray:
+    if distances_m.size and float(distances_m.min()) < 0.0:
+        raise RadioError(f"negative link distance in batch {distances_m!r}")
+    return np.maximum(distances_m, minimum)
 
 
 @dataclass(frozen=True)
@@ -75,6 +95,10 @@ class FreeSpacePathLoss(PathLossModel):
     def loss_db(self, distance_m: float) -> float:
         d = _clamp_distance(distance_m, self.min_distance_m)
         return 20.0 * math.log10(d) + self._constant_db
+
+    def loss_db_batch(self, distances_m: np.ndarray) -> np.ndarray:
+        d = _clamp_distances(distances_m, self.min_distance_m)
+        return 20.0 * libm_map(math.log10, d) + self._constant_db
 
     def range_for_loss(self, loss_db: float) -> float:
         return 10.0 ** ((loss_db - self._constant_db) / 20.0)
@@ -118,6 +142,10 @@ class LogDistancePathLoss(PathLossModel):
     def loss_db(self, distance_m: float) -> float:
         d = _clamp_distance(distance_m, self.reference_distance_m)
         return self._constant_db + 10.0 * self.exponent * math.log10(d)
+
+    def loss_db_batch(self, distances_m: np.ndarray) -> np.ndarray:
+        d = _clamp_distances(distances_m, self.reference_distance_m)
+        return self._constant_db + 10.0 * self.exponent * libm_map(math.log10, d)
 
     def range_for_loss(self, loss_db: float) -> float:
         return 10.0 ** ((loss_db - self._constant_db) / (10.0 * self.exponent))
@@ -164,6 +192,15 @@ class TwoRayGroundPathLoss(PathLossModel):
             return self._free_space.loss_db(d)
         return 40.0 * math.log10(d) - self._height_gain_db
 
+    def loss_db_batch(self, distances_m: np.ndarray) -> np.ndarray:
+        d = _clamp_distances(distances_m, self.min_distance_m)
+        logd = libm_map(math.log10, d)
+        # FreeSpacePathLoss.loss_db on an already-clamped distance is
+        # exactly 20·log10(d) + constant, so the branch shares one log10.
+        free_space = 20.0 * logd + self._free_space._constant_db
+        two_ray = 40.0 * logd - self._height_gain_db
+        return np.where(d <= self.crossover_distance_m, free_space, two_ray)
+
     def range_for_loss(self, loss_db: float) -> float:
         crossover = self.crossover_distance_m
         if loss_db <= self.loss_db(crossover):
@@ -200,6 +237,33 @@ class MemoizedPathLoss(PathLossModel):
             self._cache.clear()
         self._cache[distance_m] = value
         return value
+
+    def loss_db_batch(self, distances_m: np.ndarray) -> np.ndarray:
+        """Batch lookup: cache hits fill directly, misses go vectorized.
+
+        The cache is exact, so mixing cached (scalar-computed) and
+        vectorized values never changes a result — the wrapped model's
+        batch method is itself pinned bit-identical to its scalar one.
+        """
+        d_list = distances_m.tolist()
+        out = np.empty(len(d_list), dtype=np.float64)
+        cache = self._cache
+        misses: list[int] = []
+        for i, d in enumerate(d_list):
+            cached = cache.get(d)
+            if cached is None:
+                misses.append(i)
+            else:
+                out[i] = cached
+        if misses:
+            values = self.model.loss_db_batch(distances_m[np.array(misses)])
+            if len(cache) + len(misses) > self.max_entries:
+                cache.clear()
+            for j, i in enumerate(misses):
+                value = float(values[j])
+                cache[d_list[i]] = value
+                out[i] = value
+        return out
 
     def range_for_loss(self, loss_db: float) -> float:
         return self.model.range_for_loss(loss_db)

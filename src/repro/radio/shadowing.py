@@ -53,6 +53,12 @@ from repro.radio.keyed import KeyedRandom, stable_hash64
 
 LinkKey = tuple[Hashable, Hashable]
 
+#: Corner offsets of one lattice cell, in the exact order the scalar
+#: trilinear expression visits them: x fastest, then y, then z.
+_CORNER_DX = np.array([0, 1, 0, 1, 0, 1, 0, 1], dtype=np.int64)
+_CORNER_DY = np.array([0, 0, 1, 1, 0, 0, 1, 1], dtype=np.int64)
+_CORNER_DZ = np.array([0, 0, 0, 0, 1, 1, 1, 1], dtype=np.int64)
+
 
 class ShadowingModel(abc.ABC):
     """Interface: per-link, position- and time-indexed shadowing in dB."""
@@ -67,6 +73,32 @@ class ShadowingModel(abc.ABC):
         between :meth:`reset` calls; *link* must be symmetric (callers
         normalise the endpoint order) so the channel is reciprocal.
         """
+
+    def sample_db_batch(
+        self,
+        links: list[LinkKey],
+        link_hashes: np.ndarray,
+        tx_pos: Vec2,
+        rx_xs: np.ndarray,
+        rx_ys: np.ndarray,
+        distances_m: np.ndarray,
+        time: float = 0.0,
+    ) -> np.ndarray:
+        """Shadowing for a whole candidate set of one broadcast.
+
+        *link_hashes* carries ``stable_hash64(link)`` per candidate (the
+        channel already memoises them) and *distances_m* the exact
+        tx→rx distances, so vectorized models need no per-link Python
+        work.  Must be bit-identical to mapping :meth:`sample_db`; this
+        fallback does exactly that, which also keeps stateful models
+        (the lazily advanced OU chain) trivially correct.
+        """
+        out = np.empty(len(links), dtype=np.float64)
+        xs = rx_xs.tolist()
+        ys = rx_ys.tolist()
+        for i, link in enumerate(links):
+            out[i] = self.sample_db(link, tx_pos, Vec2(xs[i], ys[i]), time)
+        return out
 
     def max_boost_db(self) -> float:
         """Largest positive value :meth:`sample_db` can ever return.
@@ -87,6 +119,11 @@ class NoShadowing(ShadowingModel):
         self, link: LinkKey, tx_pos: Vec2, rx_pos: Vec2, time: float = 0.0
     ) -> float:
         return 0.0
+
+    def sample_db_batch(
+        self, links, link_hashes, tx_pos, rx_xs, rx_ys, distances_m, time=0.0
+    ) -> np.ndarray:
+        return np.zeros(len(links), dtype=np.float64)
 
     def max_boost_db(self) -> float:
         return 0.0
@@ -146,8 +183,18 @@ class GudmundsonShadowing(ShadowingModel):
         # reused hundreds of times; capped and dropped wholesale when a
         # long-running scenario accumulates too many cold corners.
         self._corners: dict[tuple[int, int, int, int], float] = {}
+        # (link hash, cell) → all eight corner Gaussians of that cell as
+        # one tuple: the batch kernel's cell-grained memo (one dict probe
+        # per candidate instead of eight, and tuples assemble into the
+        # (n, 8) matrix with a single np.array call).  Values are pure in
+        # (key, epoch), so this coexists with the scalar memo without any
+        # consistency protocol.
+        self._corner_blocks: dict[
+            tuple[int, int, int, int], tuple[float, ...]
+        ] = {}
 
     _MAX_CORNER_CACHE = 262144
+    _MAX_BLOCK_CACHE = 32768
 
     def _link_hash(self, link: LinkKey) -> int:
         cached = self._link_hashes.get(link)
@@ -184,20 +231,35 @@ class GudmundsonShadowing(ShadowingModel):
         fy = sy - iy
         fz = sz - iz
         h = self._link_hash(link)
-        corner = self._corner
         gx = 1.0 - fx
         gy = 1.0 - fy
         gz = 1.0 - fz
+        block = self._corner_blocks.get((h, ix, iy, iz))
+        if block is not None:
+            # The batch kernel already drew this cell's eight corners
+            # (pure values, so reuse is exact): one probe, no per-corner
+            # lookups — mixed scalar/batch workloads share one cache.
+            c000, c100, c010, c110, c001, c101, c011, c111 = block
+        else:
+            corner = self._corner
+            c000 = corner(h, ix, iy, iz)
+            c100 = corner(h, ix + 1, iy, iz)
+            c010 = corner(h, ix, iy + 1, iz)
+            c110 = corner(h, ix + 1, iy + 1, iz)
+            c001 = corner(h, ix, iy, iz + 1)
+            c101 = corner(h, ix + 1, iy, iz + 1)
+            c011 = corner(h, ix, iy + 1, iz + 1)
+            c111 = corner(h, ix + 1, iy + 1, iz + 1)
         mix = gz * (
-            gx * gy * corner(h, ix, iy, iz)
-            + fx * gy * corner(h, ix + 1, iy, iz)
-            + gx * fy * corner(h, ix, iy + 1, iz)
-            + fx * fy * corner(h, ix + 1, iy + 1, iz)
+            gx * gy * c000
+            + fx * gy * c100
+            + gx * fy * c010
+            + fx * fy * c110
         ) + fz * (
-            gx * gy * corner(h, ix, iy, iz + 1)
-            + fx * gy * corner(h, ix + 1, iy, iz + 1)
-            + gx * fy * corner(h, ix, iy + 1, iz + 1)
-            + fx * fy * corner(h, ix + 1, iy + 1, iz + 1)
+            gx * gy * c001
+            + fx * gy * c101
+            + gx * fy * c011
+            + fx * fy * c111
         )
         # Trilinear weights factorise, so ‖w‖₂² does too.
         norm = math.sqrt(
@@ -207,12 +269,115 @@ class GudmundsonShadowing(ShadowingModel):
         cap = self.clamp_sigmas * self.sigma_db
         return min(max(value, -cap), cap)
 
+    def sample_db_batch(
+        self,
+        links: list[LinkKey],
+        link_hashes: np.ndarray,
+        tx_pos: Vec2,
+        rx_xs: np.ndarray,
+        rx_ys: np.ndarray,
+        distances_m: np.ndarray,
+        time: float = 0.0,
+    ) -> np.ndarray:
+        """Vectorized :meth:`sample_db` for one broadcast's candidate set.
+
+        Same math, array-shaped: the lattice indices, trilinear weights
+        and renormalisation evaluate in NumPy with the scalar operation
+        order preserved; the eight corner Gaussians come from
+        :meth:`_corner_block_matrix` (cell-memoised keyed draws).
+        *distances_m* must be the exact ``tx_pos.distance_to(rx_pos)``
+        values (the channel's link budget already computed them).
+        """
+        n = len(links)
+        if n == 0:
+            return np.zeros(0, dtype=np.float64)
+        inv_cell = 1.0 / self.decorrelation_distance_m
+        sx = (tx_pos.x + rx_xs) * inv_cell
+        sy = (tx_pos.y + rx_ys) * inv_cell
+        sz = distances_m * inv_cell
+        ixf = np.floor(sx)
+        iyf = np.floor(sy)
+        izf = np.floor(sz)
+        fx = sx - ixf
+        fy = sy - iyf
+        fz = sz - izf
+        corners = self._corner_block_matrix(
+            link_hashes,
+            ixf.astype(np.int64),
+            iyf.astype(np.int64),
+            izf.astype(np.int64),
+        )
+        gx = 1.0 - fx
+        gy = 1.0 - fy
+        gz = 1.0 - fz
+        mix = gz * (
+            gx * gy * corners[0]
+            + fx * gy * corners[1]
+            + gx * fy * corners[2]
+            + fx * fy * corners[3]
+        ) + fz * (
+            gx * gy * corners[4]
+            + fx * gy * corners[5]
+            + gx * fy * corners[6]
+            + fx * fy * corners[7]
+        )
+        norm = np.sqrt(
+            (gx * gx + fx * fx) * (gy * gy + fy * fy) * (gz * gz + fz * fz)
+        )
+        value = self.sigma_db * mix / norm
+        cap = self.clamp_sigmas * self.sigma_db
+        return np.minimum(np.maximum(value, -cap), cap)
+
+    def _corner_block_matrix(
+        self, link_hashes: np.ndarray, ix: np.ndarray, iy: np.ndarray, iz: np.ndarray
+    ) -> np.ndarray:
+        """The ``(8, n)`` corner Gaussians for each candidate's cell.
+
+        Cache hits resolve with one dict probe per candidate; all misses
+        of the broadcast evaluate as a single ``(8, m)`` vectorized keyed
+        draw.
+        """
+        n = ix.shape[0]
+        blocks = self._corner_blocks
+        h_list = link_hashes.tolist()
+        ix_list = ix.tolist()
+        iy_list = iy.tolist()
+        iz_list = iz.tolist()
+        rows: list[tuple[float, ...] | None] = [None] * n
+        misses: list[int] = []
+        for i in range(n):
+            block = blocks.get((h_list[i], ix_list[i], iy_list[i], iz_list[i]))
+            if block is None:
+                misses.append(i)
+            else:
+                rows[i] = block
+        if misses:
+            miss_idx = np.array(misses)
+            values = self._keyed.normal_batch(
+                [
+                    link_hashes[miss_idx],
+                    self._epoch,
+                    ix[miss_idx] + _CORNER_DX[:, None],
+                    iy[miss_idx] + _CORNER_DY[:, None],
+                    iz[miss_idx] + _CORNER_DZ[:, None],
+                ],
+                (8, len(misses)),
+            )
+            if len(blocks) + len(misses) > self._MAX_BLOCK_CACHE:
+                blocks.clear()
+            for j, i in enumerate(misses):
+                block = tuple(values[:, j].tolist())
+                blocks[(h_list[i], ix_list[i], iy_list[i], iz_list[i])] = block
+                rows[i] = block
+        return np.array(rows, dtype=np.float64).T
+
     def max_boost_db(self) -> float:
         return self.clamp_sigmas * self.sigma_db
 
     def reset(self) -> None:
         self._epoch += 1
         self._corners.clear()
+        self._corner_blocks.clear()
 
 
 class TemporalTxShadowing(ShadowingModel):
@@ -273,8 +438,12 @@ class TemporalTxShadowing(ShadowingModel):
     def sample_db(
         self, link: LinkKey, tx_pos: Vec2, rx_pos: Vec2, time: float = 0.0
     ) -> float:
-        key = self._process_key(link)
-        k = max(0, math.floor(time / self._step_s))
+        return self._value_at(
+            self._process_key(link), max(0, math.floor(time / self._step_s))
+        )
+
+    def _value_at(self, key: Hashable, k: int) -> float:
+        """The process value at grid step *k* (pure in key, epoch, k)."""
         cached = self._state.get(key)
         if cached is None or cached[1] > k:
             h = cached[0] if cached is not None else stable_hash64(key)
@@ -290,6 +459,113 @@ class TemporalTxShadowing(ShadowingModel):
             )
         self._state[key] = (h, k, value)
         return value
+
+    def sample_db_batch(
+        self, links, link_hashes, tx_pos, rx_xs, rx_ys, distances_m, time=0.0
+    ) -> np.ndarray:
+        """Batch evaluation: all innovations of the set in one keyed draw.
+
+        All lanes share the grid step, so every link touching the hub —
+        the whole candidate set when the AP transmits — resolves to one
+        process value.  Distinct processes that need advancing (or
+        initialising) pool their keyed innovations into a single
+        vectorized draw; the cheap ``clamp(ρ·v + σ·z)`` recurrence then
+        runs per process on those bit-identical variates, so the values
+        match the scalar chain exactly (it is pure in
+        ``(key, epoch, step)``).
+        """
+        k = max(0, math.floor(time / self._step_s))
+        n = len(links)
+        out = np.empty(n, dtype=np.float64)
+        hub = self._hub
+        state = self._state
+        # Process key → resolved value (float) or pending lane list.
+        seen: dict[Hashable, float | list[int]] = {}
+        pending = False
+        for i, link in enumerate(links):
+            key = hub if (hub is not None and hub in link) else link
+            entry = seen.get(key)
+            if entry is None:
+                cached = state.get(key)
+                if cached is not None and cached[1] == k:
+                    value = cached[2]
+                    seen[key] = value
+                    out[i] = value
+                else:
+                    seen[key] = [i]
+                    pending = True
+            elif type(entry) is list:
+                entry.append(i)
+            else:
+                out[i] = entry
+        if pending:
+            self._advance_batch(
+                {key: v for key, v in seen.items() if type(v) is list}, k, out
+            )
+        return out
+
+    def _advance_batch(
+        self, pending: dict[Hashable, list[int]], k: int, out: np.ndarray
+    ) -> None:
+        """Advance (or start) each pending process to step *k* at once.
+
+        The keyed innovations ``normal(h, epoch, j)`` for every needed
+        ``(process, step)`` pair are drawn as one vectorized batch — they
+        are pure, so pooling them changes nothing — and the sequential
+        clamp recurrence consumes them per process in scalar float64,
+        exactly as :meth:`_value_at` would.
+        """
+        state = self._state
+        starts: list[int] = []  # first innovation step needed per process
+        hashes: list[int] = []
+        values: list[float] = []
+        for key in pending:
+            cached = state.get(key)
+            if cached is None or cached[1] > k:
+                h = cached[0] if cached is not None else stable_hash64(key)
+                starts.append(0)
+                hashes.append(h)
+                values.append(0.0)  # seeded by the j=0 draw below
+            else:
+                h, j, value = cached
+                starts.append(j + 1)
+                hashes.append(h)
+                values.append(value)
+        h_arr = np.array(hashes, dtype=np.uint64)
+        if all(start == k for start in starts):
+            # Common steady-state shape: every stale process advances by
+            # exactly one grid step — one draw per process, no ragged
+            # index assembly.
+            draws = self._keyed.normal_batch(
+                [h_arr, self._epoch, k], (len(starts),)
+            ).tolist()
+        else:
+            counts = [k - start + 1 for start in starts]
+            h_flat = np.repeat(h_arr, counts)
+            steps: list[int] = []
+            for start in starts:
+                steps.extend(range(start, k + 1))
+            j_flat = np.array(steps, dtype=np.int64)
+            draws = self._keyed.normal_batch(
+                [h_flat, self._epoch, j_flat], (h_flat.shape[0],)
+            ).tolist()
+        clamp = self._clamp
+        rho = self._rho
+        sigma_innovation = self._innovation_scale * self.sigma_db
+        offset = 0
+        for index, (key, lanes) in enumerate(pending.items()):
+            start = starts[index]
+            value = values[index]
+            for step in range(start, k + 1):
+                z = draws[offset]
+                offset += 1
+                if step == 0:
+                    value = clamp(self.sigma_db * z)
+                else:
+                    value = clamp(rho * value + sigma_innovation * z)
+            state[key] = (hashes[index], k, value)
+            for lane in lanes:
+                out[lane] = value
 
     def _clamp(self, value: float) -> float:
         cap = self.clamp_sigmas * self.sigma_db
@@ -322,6 +598,18 @@ class CompositeShadowing(ShadowingModel):
         total = 0.0
         for component in self.components:
             total += component.sample_db(link, tx_pos, rx_pos, time)
+        return total
+
+    def sample_db_batch(
+        self, links, link_hashes, tx_pos, rx_xs, rx_ys, distances_m, time=0.0
+    ) -> np.ndarray:
+        # Accumulates from zeros in component order, matching the scalar
+        # ``0.0 + a + b`` summation bit for bit.
+        total = np.zeros(len(links), dtype=np.float64)
+        for component in self.components:
+            total = total + component.sample_db_batch(
+                links, link_hashes, tx_pos, rx_xs, rx_ys, distances_m, time
+            )
         return total
 
     def max_boost_db(self) -> float:

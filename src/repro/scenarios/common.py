@@ -28,15 +28,16 @@ def build_medium(sim: Simulator, channel, radio, *, trace=None) -> Medium:
     """The scenario's shared medium, honouring the radio's reception knobs.
 
     Every scenario builder wires its medium through here so the
-    ``reception_fast_path`` / ``cull_headroom_db`` fields of
-    :class:`~repro.scenarios.urban.RadioEnvironment` reach the MAC layer
-    uniformly (and campaigns can A/B the fast path per arm).
+    ``reception_fast_path`` / ``reception_batch`` / ``cull_headroom_db``
+    fields of :class:`~repro.scenarios.urban.RadioEnvironment` reach the
+    MAC layer uniformly (and campaigns can A/B each path per arm).
     """
     return Medium(
         sim,
         channel,
         trace=trace,
         fast_path=radio.reception_fast_path,
+        batch=radio.reception_batch,
         cull_headroom_db=radio.cull_headroom_db,
     )
 

@@ -77,6 +77,12 @@ class RadioEnvironment:
     #: before sampling them.  Turning it off forces the exhaustive
     #: reference path, which must be bit-identical (A/B validation).
     reception_fast_path: bool = True
+    #: Vectorized batch channel kernel (see :mod:`repro.radio.batch`):
+    #: when true, big-enough candidate sets are evaluated as one NumPy
+    #: pass.  Turning it off forces the scalar reference loop; the A/B
+    #: tests pin both settings bit-identical, so this is purely a
+    #: throughput knob.
+    reception_batch: bool = True
     #: Worst-case shadowing boost (dB) granted by the reachability bound.
     cull_headroom_db: float = 12.0
 

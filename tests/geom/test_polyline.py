@@ -131,3 +131,49 @@ class TestProperties:
         b = rect.point_at(s + ds)
         # Arc-length parameterisation: straight-line distance <= arc distance.
         assert a.distance_to(b) <= ds + 1e-9
+
+
+class TestPointsAtBatch:
+    """Batch projection is bit-identical to scalar point_at per lane."""
+
+    def test_straight_open_matches_scalar(self):
+        import numpy as np
+
+        line = Polyline([Vec2(0, 0), Vec2(120, 50)])
+        arcs = np.linspace(0.0, line.length, 257)
+        xs, ys = line.points_at(arcs)
+        for s, x, y in zip(arcs.tolist(), xs.tolist(), ys.tolist()):
+            p = line.point_at(s)
+            assert (x, y) == (p.x, p.y)
+
+    def test_multi_segment_closed_matches_scalar(self):
+        import numpy as np
+
+        rect = Polyline.rectangle(90.0, 40.0)
+        arcs = np.linspace(-50.0, 3.0 * rect.length, 509)
+        xs, ys = rect.points_at(arcs)
+        for s, x, y in zip(arcs.tolist(), xs.tolist(), ys.tolist()):
+            p = rect.point_at(s)
+            assert (x, y) == (p.x, p.y)
+
+    def test_multi_segment_open_matches_scalar(self):
+        import numpy as np
+
+        path = Polyline([Vec2(0, 0), Vec2(10, 0), Vec2(10, 25), Vec2(-5, 25)])
+        arcs = np.linspace(0.0, path.length, 401)
+        xs, ys = path.points_at(arcs)
+        for s, x, y in zip(arcs.tolist(), xs.tolist(), ys.tolist()):
+            p = path.point_at(s)
+            assert (x, y) == (p.x, p.y)
+
+    def test_open_out_of_range_raises(self):
+        import numpy as np
+        import pytest
+
+        from repro.errors import GeometryError
+
+        line = Polyline([Vec2(0, 0), Vec2(10, 0)])
+        with pytest.raises(GeometryError):
+            line.points_at(np.array([0.0, 11.0]))
+        with pytest.raises(GeometryError):
+            line.points_at(np.array([-0.5]))

@@ -90,3 +90,89 @@ class TestTraceMobility:
         trace = TraceMobility(loop, [0.0, 10.0], [90.0, 110.0])
         # Unwrapped arc 110 on a 100 m loop = position at arc 10.
         assert trace.position(10.0) == loop.point_at(10.0)
+
+
+class TestBatchPositions:
+    """Batched mobility queries are bit-identical to scalar position()."""
+
+    def test_static_positions_at(self):
+        import numpy as np
+
+        model = StaticMobility(Vec2(12.5, -3.0))
+        times = np.linspace(0.0, 50.0, 101)
+        xs, ys = model.positions_at(times)
+        assert np.array_equal(xs, np.full(101, 12.5))
+        assert np.array_equal(ys, np.full(101, -3.0))
+
+    def test_path_positions_at_matches_scalar(self):
+        import numpy as np
+
+        track = Polyline([Vec2(0, 0), Vec2(200, 0), Vec2(200, 150)])
+        model = PathMobility(track, 7.5, start_arc_length=10.0, start_time=2.0)
+        times = np.linspace(0.0, 60.0, 307)
+        xs, ys = model.positions_at(times)
+        for t, x, y in zip(times.tolist(), xs.tolist(), ys.tolist()):
+            p = model.position(t)
+            assert (x, y) == (p.x, p.y)
+
+    def test_trace_positions_at_matches_scalar(self):
+        import numpy as np
+
+        track = Polyline([Vec2(0, 0), Vec2(500, 0)])
+        trace = TraceMobility(track, [0.0, 5.0, 12.0, 30.0], [0.0, 60.0, 180.0, 420.0])
+        times = np.linspace(-2.0, 35.0, 311)
+        xs, ys = trace.positions_at(times)
+        for t, x, y in zip(times.tolist(), xs.tolist(), ys.tolist()):
+            p = trace.position(t)
+            assert (x, y) == (p.x, p.y)
+
+    def test_path_group_query_matches_scalar(self):
+        import numpy as np
+
+        track = Polyline([Vec2(0, 0), Vec2(5000, 0)])
+        models = [
+            PathMobility(track, 5.0 + i, start_arc_length=40.0 * i, start_time=0.5 * i)
+            for i in range(17)
+        ]
+        keys = {m.batch_key() for m in models}
+        assert len(keys) == 1
+        for time in [0.0, 3.3, 17.9, 400.0]:
+            xs, ys = PathMobility.positions_at_time(models, time)
+            for m, x, y in zip(models, xs.tolist(), ys.tolist()):
+                p = m.position(time)
+                assert (x, y) == (p.x, p.y)
+
+    def test_distinct_tracks_get_distinct_keys(self):
+        a = Polyline([Vec2(0, 0), Vec2(10, 0)])
+        b = Polyline([Vec2(0, 0), Vec2(10, 0)])
+        assert PathMobility(a, 1.0).batch_key() != PathMobility(b, 1.0).batch_key()
+        # Static mounts share one group; path and static never mix.
+        assert StaticMobility(Vec2(0, 0)).batch_key() == ("static",)
+        assert StaticMobility(Vec2(0, 0)).batch_key() != PathMobility(a, 1.0).batch_key()
+
+    def test_static_group_query_matches_scalar(self):
+        import numpy as np
+
+        models = [StaticMobility(Vec2(3.0 * i, -i)) for i in range(9)]
+        assert len({m.batch_key() for m in models}) == 1
+        xs, ys = StaticMobility.positions_at_time(models, 4.2)
+        for m, x, y in zip(models, xs.tolist(), ys.tolist()):
+            p = m.position(4.2)
+            assert (x, y) == (p.x, p.y)
+
+    def test_trace_group_query_matches_scalar(self):
+        track = Polyline([Vec2(0, 0), Vec2(100, 0), Vec2(100, 80)], closed=False)
+        models = [
+            TraceMobility(track, [0.0, 10.0 + i], [0.0, 90.0 + 5.0 * i])
+            for i in range(6)
+        ]
+        assert len({m.batch_key() for m in models}) == 1
+        other = TraceMobility(
+            Polyline([Vec2(0, 0), Vec2(1, 0)]), [0.0, 1.0], [0.0, 1.0]
+        )
+        assert other.batch_key() != models[0].batch_key()
+        for time in [0.0, 4.4, 9.9, 25.0]:
+            xs, ys = TraceMobility.positions_at_time(models, time)
+            for m, x, y in zip(models, xs.tolist(), ys.tolist()):
+                p = m.position(time)
+                assert (x, y) == (p.x, p.y)

@@ -1,0 +1,381 @@
+"""Property pin: the batch channel kernel is bit-identical to the scalar path.
+
+Every ``*_batch`` method must return, lane for lane, *exactly* the float
+the scalar reference produces — ``==``, never ``isclose``.  Hypothesis
+drives random topologies, link identities, and keys through each layer
+(path loss, obstruction, shadowing, fading, the channel façade, the FER
+curve) and the full medium broadcast, so any reordering of float
+operations or NumPy/libm divergence fails loudly here before it can rot
+the scenario-level A/B pins.
+"""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geom import Vec2
+from repro.geom.shapes import AxisRect
+from repro.radio.batch import broadcast_samples
+from repro.radio.channel import Channel
+from repro.radio.error_models import frame_error_rate, frame_error_rate_batch
+from repro.radio.fading import NoFading, RayleighFading, RicianFading
+from repro.radio.modulation import rate_by_name
+from repro.radio.obstruction import BuildingObstruction
+from repro.radio.pathloss import (
+    FreeSpacePathLoss,
+    LogDistancePathLoss,
+    MemoizedPathLoss,
+    TwoRayGroundPathLoss,
+)
+from repro.radio.shadowing import (
+    CompositeShadowing,
+    GudmundsonShadowing,
+    NoShadowing,
+    TemporalTxShadowing,
+)
+
+coords = st.floats(
+    min_value=-5e3, max_value=5e3, allow_nan=False, allow_infinity=False
+)
+distances = st.lists(
+    st.floats(min_value=0.0, max_value=2e4, allow_nan=False),
+    min_size=1,
+    max_size=40,
+)
+
+
+def positions_strategy(max_size=24):
+    return st.lists(st.tuples(coords, coords), min_size=1, max_size=max_size)
+
+
+@st.composite
+def topology(draw, max_nodes=24):
+    tx = draw(st.tuples(coords, coords))
+    rxs = draw(positions_strategy(max_nodes))
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    return tx, rxs, seed
+
+
+class TestPathLossBatchParity:
+    @given(distances)
+    def test_log_distance(self, values):
+        model = LogDistancePathLoss(exponent=3.2, reference_loss_db=41.0)
+        arr = np.array(values)
+        assert np.array_equal(
+            model.loss_db_batch(arr), np.array([model.loss_db(d) for d in values])
+        )
+
+    @given(distances)
+    def test_free_space(self, values):
+        model = FreeSpacePathLoss()
+        arr = np.array(values)
+        assert np.array_equal(
+            model.loss_db_batch(arr), np.array([model.loss_db(d) for d in values])
+        )
+
+    @given(distances)
+    def test_two_ray(self, values):
+        model = TwoRayGroundPathLoss(tx_height_m=6.0, rx_height_m=1.5)
+        arr = np.array(values)
+        assert np.array_equal(
+            model.loss_db_batch(arr), np.array([model.loss_db(d) for d in values])
+        )
+
+    @given(distances)
+    def test_memoized_with_warm_and_cold_cache(self, values):
+        model = MemoizedPathLoss(LogDistancePathLoss(exponent=2.9))
+        # Warm half the cache through the scalar path first.
+        for d in values[::2]:
+            model.loss_db(d)
+        arr = np.array(values)
+        assert np.array_equal(
+            model.loss_db_batch(arr), np.array([model.loss_db(d) for d in values])
+        )
+
+
+class TestObstructionBatchParity:
+    @given(topology(max_nodes=12))
+    def test_buildings(self, topo):
+        (tx_x, tx_y), rxs, _ = topo
+        model = BuildingObstruction(
+            [AxisRect(-50.0, -50.0, 60.0, 40.0)],
+            loss_per_building_db=28.0,
+        )
+        tx = Vec2(tx_x, tx_y)
+        xs = np.array([x for x, _ in rxs])
+        ys = np.array([y for _, y in rxs])
+        expected = np.array(
+            [model.extra_loss_db(tx, Vec2(x, y)) for x, y in rxs]
+        )
+        assert np.array_equal(model.extra_loss_db_batch(tx, xs, ys), expected)
+
+
+def _links_for(rxs):
+    links = [(0, i + 1) for i in range(len(rxs))]
+    from repro.radio.keyed import stable_hash64
+
+    hashes = np.empty(len(rxs), dtype=np.uint64)
+    for i, link in enumerate(links):
+        hashes[i] = stable_hash64(link)
+    return links, hashes
+
+
+class TestShadowingBatchParity:
+    @settings(deadline=None)
+    @given(topology())
+    def test_gudmundson(self, topo):
+        (tx_x, tx_y), rxs, seed = topo
+        model = GudmundsonShadowing(
+            np.random.default_rng(seed), sigma_db=5.0, decorrelation_distance_m=17.0
+        )
+        tx = Vec2(tx_x, tx_y)
+        links, hashes = _links_for(rxs)
+        xs = np.array([x for x, _ in rxs])
+        ys = np.array([y for _, y in rxs])
+        dists = np.array([tx.distance_to(Vec2(x, y)) for x, y in rxs])
+        batch = model.sample_db_batch(links, hashes, tx, xs, ys, dists)
+        reference = np.array(
+            [model.sample_db(link, tx, Vec2(x, y)) for link, (x, y) in zip(links, rxs)]
+        )
+        assert np.array_equal(batch, reference)
+        # Second pass hits the corner-block memo — still identical.
+        assert np.array_equal(
+            model.sample_db_batch(links, hashes, tx, xs, ys, dists), reference
+        )
+
+    @settings(deadline=None)
+    @given(topology(), st.floats(min_value=0.0, max_value=50.0, allow_nan=False))
+    def test_temporal_tx_with_hub(self, topo, time):
+        (tx_x, tx_y), rxs, seed = topo
+        model = TemporalTxShadowing(
+            np.random.default_rng(seed), sigma_db=4.0, tau_s=2.0, hub=0
+        )
+        tx = Vec2(tx_x, tx_y)
+        links, hashes = _links_for(rxs)
+        # Make some links hub-free so both process shapes are exercised.
+        links = [
+            link if i % 3 else (i + 1, i + 100) for i, link in enumerate(links)
+        ]
+        xs = np.array([x for x, _ in rxs])
+        ys = np.array([y for _, y in rxs])
+        dists = np.array([tx.distance_to(Vec2(x, y)) for x, y in rxs])
+        batch = model.sample_db_batch(links, hashes, tx, xs, ys, dists, time)
+        reference = np.array(
+            [
+                model.sample_db(link, tx, Vec2(x, y), time)
+                for link, (x, y) in zip(links, rxs)
+            ]
+        )
+        assert np.array_equal(batch, reference)
+
+    def test_temporal_tx_advances_like_scalar_over_time(self):
+        scalar = TemporalTxShadowing(
+            np.random.default_rng(3), sigma_db=4.0, tau_s=1.0, hub=None
+        )
+        batch = TemporalTxShadowing(
+            np.random.default_rng(3), sigma_db=4.0, tau_s=1.0, hub=None
+        )
+        rxs = [(10.0 * i, 0.0) for i in range(8)]
+        links, hashes = _links_for(rxs)
+        tx = Vec2(0.0, 0.0)
+        xs = np.array([x for x, _ in rxs])
+        ys = np.array([y for _, y in rxs])
+        dists = np.hypot(xs, ys)
+        # Interleaved queries at increasing times: the lazily advanced
+        # chains must stay in lockstep between the two instances.
+        for time in [0.0, 0.3, 1.7, 1.8, 6.0, 6.1, 30.0]:
+            reference = np.array(
+                [
+                    scalar.sample_db(link, tx, Vec2(x, y), time)
+                    for link, (x, y) in zip(links, rxs)
+                ]
+            )
+            got = batch.sample_db_batch(links, hashes, tx, xs, ys, dists, time)
+            assert np.array_equal(got, reference)
+
+    @settings(deadline=None)
+    @given(topology())
+    def test_composite(self, topo):
+        (tx_x, tx_y), rxs, seed = topo
+        model = CompositeShadowing(
+            [
+                GudmundsonShadowing(np.random.default_rng(seed), sigma_db=3.0),
+                TemporalTxShadowing(
+                    np.random.default_rng(seed + 1), sigma_db=2.0, hub=0
+                ),
+            ]
+        )
+        tx = Vec2(tx_x, tx_y)
+        links, hashes = _links_for(rxs)
+        xs = np.array([x for x, _ in rxs])
+        ys = np.array([y for _, y in rxs])
+        dists = np.array([tx.distance_to(Vec2(x, y)) for x, y in rxs])
+        batch = model.sample_db_batch(links, hashes, tx, xs, ys, dists)
+        reference = np.array(
+            [model.sample_db(link, tx, Vec2(x, y)) for link, (x, y) in zip(links, rxs)]
+        )
+        assert np.array_equal(batch, reference)
+
+
+class TestFadingBatchParity:
+    @given(
+        st.integers(min_value=0, max_value=2**31),
+        st.integers(min_value=1, max_value=10_000),
+        st.integers(min_value=1, max_value=40),
+    )
+    def test_rician(self, seed, tx_seq, n):
+        model = RicianFading(np.random.default_rng(seed), k_factor=4.0)
+        hashes = np.random.default_rng(seed + 1).integers(
+            0, 1 << 63, n
+        ).astype(np.uint64)
+        batch = model.sample_db_batch(hashes, tx_seq)
+        reference = np.array(
+            [model.sample_db((int(h), tx_seq)) for h in hashes.tolist()]
+        )
+        assert np.array_equal(batch, reference)
+
+    @given(
+        st.integers(min_value=0, max_value=2**31),
+        st.integers(min_value=1, max_value=10_000),
+    )
+    def test_rayleigh(self, seed, tx_seq):
+        model = RayleighFading(np.random.default_rng(seed))
+        hashes = np.random.default_rng(seed + 1).integers(
+            0, 1 << 63, 32
+        ).astype(np.uint64)
+        batch = model.sample_db_batch(hashes, tx_seq)
+        reference = np.array(
+            [model.sample_db((int(h), tx_seq)) for h in hashes.tolist()]
+        )
+        assert np.array_equal(batch, reference)
+
+
+class TestErrorModelBatchParity:
+    @given(
+        st.sampled_from(
+            ["dsss-1", "dsss-2", "dsss-5.5", "dsss-11", "ofdm-6", "ofdm-24", "ofdm-54"]
+        ),
+        st.lists(
+            st.floats(min_value=-60.0, max_value=60.0, allow_nan=False),
+            min_size=1,
+            max_size=40,
+        ),
+        st.integers(min_value=1, max_value=2000),
+    )
+    def test_frame_error_rate(self, rate_name, snrs, size):
+        rate = rate_by_name(rate_name)
+        arr = np.array(snrs)
+        batch = frame_error_rate_batch(rate, arr, size)
+        reference = np.array([frame_error_rate(rate, snr, size) for snr in snrs])
+        assert np.array_equal(batch, reference)
+
+
+def _full_channel(seed):
+    return Channel(
+        pathloss=LogDistancePathLoss(exponent=3.4, reference_loss_db=40.0),
+        shadowing=CompositeShadowing(
+            [
+                GudmundsonShadowing(np.random.default_rng(seed), sigma_db=4.0),
+                TemporalTxShadowing(
+                    np.random.default_rng(seed + 1), sigma_db=3.0, hub=0
+                ),
+            ]
+        ),
+        fading=RicianFading(np.random.default_rng(seed + 2), k_factor=4.0),
+        rng=np.random.default_rng(seed + 3),
+    )
+
+
+class TestChannelBatchParity:
+    """The satellite property pin: for random topologies and keys, the
+    batch kernel's output arrays equal the scalar reference lane for
+    lane — ``==``, not ``isclose``."""
+
+    @settings(deadline=None, max_examples=60)
+    @given(topology(), st.integers(min_value=1, max_value=100_000))
+    def test_sample_batch_equals_scalar_samples(self, topo, tx_seq):
+        (tx_x, tx_y), rxs, seed = topo
+        channel = _full_channel(seed)
+        tx = Vec2(tx_x, tx_y)
+        rx_ids = [i + 1 for i in range(len(rxs))]
+        xs = np.array([x for x, _ in rxs])
+        ys = np.array([y for _, y in rxs])
+        budget = channel.link_budget_batch(tx, xs, ys)
+        rx_power, mean_power = channel.sample_batch(
+            0, rx_ids, tx, xs, ys, 17.0, np.zeros(len(rxs)), 0.25, tx_seq, budget
+        )
+        for i, (x, y) in enumerate(rxs):
+            sample = channel.sample(
+                0, rx_ids[i], tx, Vec2(x, y), 17.0, 0.0, time=0.25, tx_seq=tx_seq
+            )
+            assert rx_power[i] == sample.rx_power_dbm
+            assert mean_power[i] == sample.mean_rx_power_dbm
+            assert budget[0][i] == sample.distance_m
+
+    @settings(deadline=None, max_examples=60)
+    @given(topology())
+    def test_link_budget_batch_equals_scalar(self, topo):
+        (tx_x, tx_y), rxs, seed = topo
+        channel = _full_channel(seed)
+        tx = Vec2(tx_x, tx_y)
+        xs = np.array([x for x, _ in rxs])
+        ys = np.array([y for _, y in rxs])
+        dists, losses = channel.link_budget_batch(tx, xs, ys)
+        for i, (x, y) in enumerate(rxs):
+            d, loss = channel.link_budget(tx, Vec2(x, y))
+            assert dists[i] == d
+            assert losses[i] == loss
+
+    @settings(deadline=None, max_examples=40)
+    @given(topology(), st.integers(min_value=1, max_value=100_000))
+    def test_broadcast_samples_equals_scalar_pipeline(self, topo, tx_seq):
+        """The whole kernel: cull + sample + sensitivity filter."""
+        (tx_x, tx_y), rxs, seed = topo
+        channel = _full_channel(seed)
+        tx = Vec2(tx_x, tx_y)
+        rx_ids = [i + 1 for i in range(len(rxs))]
+        xs = np.array([x for x, _ in rxs])
+        ys = np.array([y for _, y in rxs])
+        thresholds = np.full(len(rxs), -105.0)
+        headroom = 12.0
+        result = broadcast_samples(
+            channel, 0, rx_ids, tx, xs, ys, np.zeros(len(rxs)), thresholds,
+            17.0, headroom, 0.25, tx_seq,
+        )
+        kept = []
+        for i, (x, y) in enumerate(rxs):
+            budget = channel.link_budget(tx, Vec2(x, y))
+            reachable = 17.0 + 0.0 - budget[1] + headroom >= -105.0
+            if not reachable:
+                continue
+            sample = channel.sample(
+                0, rx_ids[i], tx, Vec2(x, y), 17.0, 0.0,
+                time=0.25, tx_seq=tx_seq, budget=budget,
+            )
+            if sample.mean_rx_power_dbm < -105.0:
+                continue
+            kept.append((i, sample))
+        assert result.kept.tolist() == [i for i, _ in kept]
+        assert result.rx_power_dbm.tolist() == [
+            s.rx_power_dbm for _, s in kept
+        ]
+        assert result.mean_rx_power_dbm.tolist() == [
+            s.mean_rx_power_dbm for _, s in kept
+        ]
+        assert result.distance_m.tolist() == [s.distance_m for _, s in kept]
+
+
+class TestSimpleModelsBatch:
+    def test_no_shadowing_and_no_fading_zero_lanes(self):
+        links, hashes = _links_for([(1.0, 2.0), (3.0, 4.0)])
+        xs = np.array([1.0, 3.0])
+        ys = np.array([2.0, 4.0])
+        assert np.array_equal(
+            NoShadowing().sample_db_batch(
+                links, hashes, Vec2(0, 0), xs, ys, np.hypot(xs, ys)
+            ),
+            np.zeros(2),
+        )
+        assert np.array_equal(NoFading().sample_db_batch(hashes, 7), np.zeros(2))

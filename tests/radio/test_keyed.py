@@ -67,3 +67,118 @@ class TestKeyedRandom:
         a = KeyedRandom.from_rng(np.random.default_rng(5))
         b = KeyedRandom.from_rng(np.random.default_rng(5))
         assert a.normal(1) == b.normal(1)
+
+
+class TestKeyedBatch:
+    """The vectorized batch variants must be bit-identical to the scalar
+    methods for every key — including full-64-bit link hashes, whose
+    ``word + GAMMA`` sums exercise the 65-bit carry the scalar code's
+    unmasked Python ints carry implicitly."""
+
+    def _keys(self, n=4096, seed=0):
+        rng = np.random.default_rng(seed)
+        hashes = rng.integers(0, 1 << 63, n, dtype=np.int64).astype(
+            np.uint64
+        ) * np.uint64(2) + rng.integers(0, 2, n, dtype=np.int64).astype(np.uint64)
+        signed = rng.integers(-(10**9), 10**9, n)
+        return hashes, signed
+
+    def test_words_batch_matches_scalar(self):
+        keyed = KeyedRandom(1234)
+        hashes, signed = self._keys()
+        words = keyed.words_batch([hashes, 17, signed], hashes.shape)
+        for i in (0, 1, 5, 77, 4095):
+            assert int(words[i]) == keyed._word(
+                (int(hashes[i]), 17, int(signed[i]))
+            )
+
+    def test_uniform_batch_matches_scalar(self):
+        keyed = KeyedRandom(9)
+        hashes, signed = self._keys(seed=1)
+        batch = keyed.uniform_batch([hashes, signed], hashes.shape)
+        reference = np.array(
+            [
+                keyed.uniform(int(h), int(k))
+                for h, k in zip(hashes.tolist(), signed.tolist())
+            ]
+        )
+        assert np.array_equal(batch, reference)
+
+    def test_normal_batch_matches_scalar(self):
+        keyed = KeyedRandom(10)
+        hashes, signed = self._keys(seed=2)
+        batch = keyed.normal_batch([hashes, 3, signed], hashes.shape)
+        reference = np.array(
+            [
+                keyed.normal(int(h), 3, int(k))
+                for h, k in zip(hashes.tolist(), signed.tolist())
+            ]
+        )
+        assert np.array_equal(batch, reference)
+
+    def test_normal_pair_batch_matches_scalar(self):
+        keyed = KeyedRandom(11)
+        hashes, _ = self._keys(n=2048, seed=3)
+        batch_re, batch_im = keyed.normal_pair_batch([hashes, 5], hashes.shape)
+        reference = [keyed.normal_pair(int(h), 5) for h in hashes.tolist()]
+        assert np.array_equal(batch_re, np.array([re for re, _ in reference]))
+        assert np.array_equal(batch_im, np.array([im for _, im in reference]))
+
+    def test_exponential_batch_matches_scalar(self):
+        keyed = KeyedRandom(12)
+        _, signed = self._keys(n=2048, seed=4)
+        batch = keyed.exponential_batch([signed, 1], signed.shape)
+        reference = np.array(
+            [keyed.exponential(int(k), 1) for k in signed.tolist()]
+        )
+        assert np.array_equal(batch, reference)
+
+    def test_2d_shapes_broadcast_columns(self):
+        keyed = KeyedRandom(13)
+        hashes, _ = self._keys(n=16, seed=5)
+        rows = np.arange(3, dtype=np.int64)[:, None]
+        words = keyed.words_batch([hashes, rows], (3, 16))
+        for r in range(3):
+            for c in (0, 7, 15):
+                assert int(words[r, c]) == keyed._word((int(hashes[c]), r))
+
+
+class TestLibmMaps:
+    """np SIMD transcendentals differ from libm in the last ulp; the maps
+    below are what keeps the batch kernel bit-identical."""
+
+    def test_libm_map_log_matches_math(self):
+        import math
+
+        from repro.radio.keyed import libm_map
+
+        values = np.random.default_rng(0).uniform(1e-12, 1e6, 10_000)
+        out = libm_map(math.log, values)
+        assert out.shape == values.shape
+        assert all(
+            a == math.log(b) for a, b in zip(out.tolist(), values.tolist())
+        )
+
+    def test_libm_map_preserves_2d_shape(self):
+        import math
+
+        from repro.radio.keyed import libm_map
+
+        values = np.random.default_rng(1).uniform(0.1, 10.0, (8, 5))
+        out = libm_map(math.log10, values)
+        assert out.shape == (8, 5)
+        assert out[3, 2] == math.log10(float(values[3, 2]))
+
+    def test_hypot_map_matches_math(self):
+        import math
+
+        from repro.radio.keyed import hypot_map
+
+        rng = np.random.default_rng(2)
+        dx = rng.uniform(-1e5, 1e5, 10_000)
+        dy = rng.uniform(-1e5, 1e5, 10_000)
+        out = hypot_map(dx, dy)
+        assert all(
+            h == math.hypot(a, b)
+            for h, a, b in zip(out.tolist(), dx.tolist(), dy.tolist())
+        )

@@ -1,11 +1,13 @@
-"""A/B pin: the reception fast path changes nothing but the wall clock.
+"""A/B pin: reception fast path and batch kernel change only wall clock.
 
-For every registered scenario the same small campaign is run twice —
-once with the medium's culling fast path (the default) and once forced
-onto the exhaustive reference path, which bounds *and samples* every
+For every registered scenario the same small campaign is run three ways —
+with the default fast path plus vectorized batch kernel, with the batch
+kernel disabled (PR 3's scalar fast path), and forced onto the fully
+scalar exhaustive reference path, which bounds *and samples* every
 attached interface.  Because all stochastic channel draws are keyed per
-``(link, transmission)``, the extra samples of the exhaustive path must
-not perturb anything: the stored summary rows have to match bit for bit.
+``(link, transmission)`` and the batch kernel reproduces the scalar
+float64 semantics exactly, the stored summary rows have to match bit for
+bit across all three.
 
 A scenario added to the registry without an entry here fails the
 coverage test below, so the pin cannot silently rot.
@@ -41,11 +43,14 @@ SMALL_CONFIGS = {
 }
 
 
-def run_rows(scenario: str, config, *, fast_path: bool):
-    radio = dataclasses.replace(config.radio, reception_fast_path=fast_path)
+def run_rows(scenario: str, config, *, fast_path: bool, batch: bool):
+    radio = dataclasses.replace(
+        config.radio, reception_fast_path=fast_path, reception_batch=batch
+    )
     config = dataclasses.replace(config, radio=radio)
     spec = CampaignSpec(
-        name=f"ab-{scenario}-{'fast' if fast_path else 'exhaustive'}",
+        name=f"ab-{scenario}-{'fast' if fast_path else 'exhaustive'}"
+        f"-{'batch' if batch else 'scalar'}",
         scenario=scenario,
         seed=config.seed,
         rounds=1,
@@ -61,8 +66,9 @@ def test_every_registered_scenario_is_covered():
 
 
 @pytest.mark.parametrize("scenario", sorted(SMALL_CONFIGS))
-def test_fast_path_rows_bit_identical(scenario):
+def test_fast_path_and_batch_rows_bit_identical(scenario):
     config = SMALL_CONFIGS[scenario]
-    fast = run_rows(scenario, config, fast_path=True)
-    exhaustive = run_rows(scenario, config, fast_path=False)
-    assert fast == exhaustive
+    batch_fast = run_rows(scenario, config, fast_path=True, batch=True)
+    scalar_fast = run_rows(scenario, config, fast_path=True, batch=False)
+    exhaustive = run_rows(scenario, config, fast_path=False, batch=False)
+    assert batch_fast == scalar_fast == exhaustive

@@ -1,0 +1,60 @@
+"""The CI bench-regression guard: compare logic and exit codes."""
+
+import importlib.util
+import json
+import pathlib
+
+_GUARD = pathlib.Path(__file__).parent.parent / "benchmarks" / "check_bench_regression.py"
+_spec = importlib.util.spec_from_file_location("check_bench_regression", _GUARD)
+guard = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(guard)
+
+
+def _write(path, entries):
+    path.write_text(json.dumps({"schema": 1, "entries": entries}))
+
+
+class TestCompare:
+    def test_within_tolerance_passes(self):
+        base = {"a": {"speedup": 4.0, "fast_s": 1.0}}
+        fresh = {"a": {"speedup": 3.5, "fast_s": 9.0}}  # timings ignored
+        assert guard.compare(base, fresh, 0.2) == []
+
+    def test_regression_detected(self):
+        base = {"a": {"speedup": 4.0}}
+        fresh = {"a": {"speedup": 2.0}}
+        (line,) = guard.compare(base, fresh, 0.2)
+        assert "a.speedup" in line
+
+    def test_all_speedup_like_keys_checked(self):
+        base = {"a": {"batch_speedup": 2.0, "n50_speedup": 1.5}}
+        fresh = {"a": {"batch_speedup": 1.0, "n50_speedup": 1.5}}
+        assert len(guard.compare(base, fresh, 0.2)) == 1
+
+    def test_new_and_dropped_entries_skipped(self):
+        base = {"gone": {"speedup": 9.0}, "kept": {"speedup": 2.0}}
+        fresh = {"new": {"speedup": 0.1}, "kept": {"speedup": 2.0}}
+        assert guard.compare(base, fresh, 0.2) == []
+
+
+class TestMain:
+    def test_pass_and_fail_exit_codes(self, tmp_path):
+        base = tmp_path / "base.json"
+        fresh = tmp_path / "fresh.json"
+        _write(base, {"a": {"speedup": 4.0}})
+        _write(fresh, {"a": {"speedup": 3.9}})
+        assert guard.main(["--baseline", str(base), "--fresh", str(fresh)]) == 0
+        _write(fresh, {"a": {"speedup": 1.0}})
+        assert guard.main(["--baseline", str(base), "--fresh", str(fresh)]) == 1
+
+    def test_disjoint_entries_error(self, tmp_path):
+        base = tmp_path / "base.json"
+        fresh = tmp_path / "fresh.json"
+        _write(base, {"a": {"speedup": 4.0}})
+        _write(fresh, {"b": {"speedup": 4.0}})
+        assert guard.main(["--baseline", str(base), "--fresh", str(fresh)]) == 2
+
+    def test_nan_or_null_fresh_value_is_a_regression(self):
+        base = {"a": {"speedup": 4.0}}
+        assert guard.compare(base, {"a": {"speedup": float("nan")}}, 0.2)
+        assert guard.compare(base, {"a": {"speedup": None}}, 0.2)

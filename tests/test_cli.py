@@ -45,3 +45,30 @@ class TestCommands:
         assert main(["highway", "--speeds", "80", "--rounds", "1"]) == 0
         out = capsys.readouterr().out
         assert "km/h" in out
+
+
+class TestProfileCommand:
+    def test_profile_runs_and_prints_hot_spots(self, capsys):
+        assert main([
+            "profile", "--scenario", "urban",
+            "--set", "round_duration_s=5", "--limit", "5",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "cumulative" in out
+        assert "simulator" in out
+
+    def test_profile_sort_and_seed_flags(self, capsys):
+        assert main([
+            "profile", "--scenario", "urban", "--seed", "7",
+            "--set", "round_duration_s=5", "--sort", "tottime",
+        ]) == 0
+        assert "tottime" in capsys.readouterr().out
+
+    def test_profile_rejects_malformed_set(self, capsys):
+        assert main([
+            "profile", "--scenario", "urban", "--set", "nonsense",
+        ]) == 2
+
+    def test_profile_rejects_unknown_scenario(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["profile", "--scenario", "nope"])
