@@ -8,7 +8,11 @@ any Python:
 * ``figures [--rounds N] [--flow CAR]`` — ASCII Figures 3–8 for one flow;
 * ``highway [--speeds KMH,KMH,…]`` — the drive-thru speed sweep;
 * ``multi-ap [--rounds N]`` — the §6 file-download study;
-* ``scenarios [--markdown]`` — the registered scenario plugins;
+* ``scenarios [--markdown|--doc]`` — the registered scenario plugins
+  (``--doc`` emits the full ``docs/SCENARIOS.md`` reference);
+* ``trace synth|info`` — generate a deterministic synthetic mobility
+  trace / summarise any supported trace file (see
+  :mod:`repro.mobility.traceio`);
 * ``campaign run|report`` — declarative, parallel, resumable campaigns
   over any registered scenario, its presets, or a spec file (see
   :mod:`repro.campaign` and :mod:`repro.scenarios`).
@@ -279,8 +283,73 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace_synth(args: argparse.Namespace) -> int:
+    """Generate a deterministic synthetic trace file.
+
+    The same parameters (and seed) always produce the identical file,
+    so CI and examples can regenerate their input instead of shipping
+    fixtures: ``repro trace synth --out t.csv`` then ``repro campaign
+    run --scenario trace --set trace_file=t.csv``.
+    """
+    from repro.mobility.traceio import dump_traces, synth_traces
+
+    try:
+        traces = synth_traces(
+            vehicles=args.vehicles,
+            duration_s=args.duration,
+            tick_s=args.tick,
+            seed=args.seed,
+            road_length_m=args.road_length,
+            mean_speed_ms=args.speed,
+            entry_gap_s=args.entry_gap,
+        )
+        dump_traces(traces, args.out, fmt=args.format)
+    except (ReproError, OSError) as exc:
+        print(f"trace synth: {exc}", file=sys.stderr)
+        return 2
+    summary = traces.summary()
+    print(
+        f"wrote {args.out} ({args.format}): {summary['vehicles']} vehicles, "
+        f"{summary['samples']} samples over {summary['duration_s']:.0f} s, "
+        f"mean speed {summary['mean_speed_ms']:.1f} m/s"
+    )
+    return 0
+
+
+def _cmd_trace_info(args: argparse.Namespace) -> int:
+    """Summarise a trace file (any supported format)."""
+    from repro.mobility.traceio import detect_format, load_traces
+
+    try:
+        fmt = args.format if args.format != "auto" else detect_format(args.file)
+        traces = load_traces(args.file, fmt=fmt, unit=args.unit)
+    except ReproError as exc:
+        print(f"trace info: {exc}", file=sys.stderr)
+        return 2
+    summary = traces.summary()
+    x_min, y_min, x_max, y_max = summary["bbox_m"]
+    print(f"format:     {fmt}")
+    print(f"vehicles:   {summary['vehicles']}")
+    print(f"samples:    {summary['samples']}")
+    print(
+        f"time:       [{summary['start_time_s']:.2f}, "
+        f"{summary['end_time_s']:.2f}] s ({summary['duration_s']:.2f} s)"
+    )
+    print(
+        f"bbox:       [{x_min:.1f}, {y_min:.1f}] – [{x_max:.1f}, {y_max:.1f}] m"
+    )
+    print(f"path total: {summary['total_path_m']:.0f} m")
+    print(f"mean speed: {summary['mean_speed_ms']:.1f} m/s")
+    return 0
+
+
 def _cmd_scenarios(args: argparse.Namespace) -> int:
     """List the registered scenario plugins (the extension surface)."""
+    if getattr(args, "doc", False):
+        from repro.scenarios.registry import scenario_reference_markdown
+
+        print(scenario_reference_markdown())
+        return 0
     if args.markdown:
         print(scenario_table_markdown())
         return 0
@@ -399,7 +468,49 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit the README scenario table (same metadata)",
     )
+    scenarios.add_argument(
+        "--doc",
+        action="store_true",
+        help="emit the full scenario reference (docs/SCENARIOS.md)",
+    )
     scenarios.set_defaults(func=_cmd_scenarios)
+
+    trace = sub.add_parser(
+        "trace", help="mobility-trace utilities (synthesize / inspect)"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+
+    synth = trace_sub.add_parser(
+        "synth", help="write a deterministic synthetic trace file"
+    )
+    synth.add_argument("--out", required=True, help="output file path")
+    synth.add_argument(
+        "--format",
+        choices=["csv", "sumo-fcd", "ns2"],
+        default="csv",
+        help="output format (default csv)",
+    )
+    synth.add_argument("--vehicles", type=int, default=8)
+    synth.add_argument("--duration", type=float, default=120.0, help="seconds")
+    synth.add_argument("--tick", type=float, default=1.0, help="sample tick, s")
+    synth.add_argument("--seed", type=int, default=97)
+    synth.add_argument("--road-length", type=float, default=2000.0, help="metres")
+    synth.add_argument("--speed", type=float, default=20.0, help="mean m/s")
+    synth.add_argument(
+        "--entry-gap", type=float, default=4.0, help="seconds between entries"
+    )
+    synth.set_defaults(func=_cmd_trace_synth)
+
+    info = trace_sub.add_parser("info", help="summarise a trace file")
+    info.add_argument("file", help="trace file (SUMO FCD XML / ns-2 setdest / CSV)")
+    info.add_argument(
+        "--format",
+        choices=["auto", "csv", "sumo-fcd", "ns2"],
+        default="auto",
+        help="input format (default: sniff)",
+    )
+    info.add_argument("--unit", default="m", help="coordinate unit (m, km, ft, …)")
+    info.set_defaults(func=_cmd_trace_info)
 
     campaign = sub.add_parser(
         "campaign", help="declarative, parallel, resumable campaigns"

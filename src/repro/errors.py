@@ -32,6 +32,17 @@ class MobilityError(ReproError):
     """A mobility model was asked for a state it cannot produce."""
 
 
+class TraceFormatError(MobilityError):
+    """A mobility trace file could not be parsed or validated.
+
+    Examples: malformed SUMO FCD XML, an ns-2 ``setdest`` command for a
+    node without an initial position, duplicate timestamps that disagree
+    on position, or an unknown length unit.  Subclasses
+    :class:`MobilityError` because a broken trace is, to every caller
+    above the parser, a mobility substrate that cannot be built.
+    """
+
+
 class RadioError(ReproError):
     """A PHY-layer computation received out-of-domain inputs."""
 

@@ -12,7 +12,11 @@ and corner behaviour.  This package substitutes:
   slow-downs, acceleration noise);
 * :func:`~repro.mobility.urban.urban_loop` — the Fig. 2 circuit;
 * :func:`~repro.mobility.highway.highway_scenario` — the Ott & Kutscher
-  drive-thru geometry used by the speed-sweep experiment.
+  drive-thru geometry used by the speed-sweep experiment;
+* :mod:`repro.mobility.traceio` — real-recording ingestion: SUMO FCD /
+  ns-2 ``setdest`` / CSV parsers normalizing into a :class:`TraceSet`
+  that drives :class:`TraceMobility`, plus a deterministic synthetic
+  generator.
 """
 
 from repro.mobility.base import MobilityModel, TraceMobility
@@ -22,6 +26,7 @@ from repro.mobility.profile import CurvatureSpeedProfile
 from repro.mobility.idm import DriverProfile, IdmParameters, simulate_platoon
 from repro.mobility.urban import UrbanTestbed, urban_loop
 from repro.mobility.highway import HighwayScenario, highway_scenario
+from repro.mobility.traceio import TraceSet, VehicleTrace, load_traces, synth_traces
 
 __all__ = [
     "CurvatureSpeedProfile",
@@ -32,8 +37,12 @@ __all__ = [
     "PathMobility",
     "StaticMobility",
     "TraceMobility",
+    "TraceSet",
     "UrbanTestbed",
+    "VehicleTrace",
     "highway_scenario",
+    "load_traces",
     "simulate_platoon",
+    "synth_traces",
     "urban_loop",
 ]

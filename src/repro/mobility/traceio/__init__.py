@@ -1,0 +1,112 @@
+"""Trace-driven mobility: real recordings as first-class workloads.
+
+Every published vehicular-mobility dataset comes in one of a handful of
+shapes; this package parses the common three and normalizes all of them
+into one :class:`TraceSet` (per-vehicle timestamped waypoints with
+validation, resampling, cropping, and unit conversion) that the
+``trace`` scenario turns into simulator mobility models:
+
+* :mod:`repro.mobility.traceio.sumo` — SUMO floating-car-data XML;
+* :mod:`repro.mobility.traceio.setdest` — ns-2 ``setdest`` movement files;
+* :mod:`repro.mobility.traceio.tabular` — timestamped CSV;
+* :mod:`repro.mobility.traceio.synth` — a deterministic synthetic
+  generator so tests/CI/benchmarks need no external files;
+* :mod:`repro.mobility.traceio.traceset` — the shared model and the
+  bridge onto :class:`~repro.mobility.base.TraceMobility` (including
+  the shared scene track that feeds the batch position path).
+
+:func:`load_traces` is the front door: it dispatches on an explicit
+format name or sniffs the file, and applies unit conversion uniformly.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TraceFormatError
+from repro.mobility.traceio.setdest import parse_setdest, write_setdest
+from repro.mobility.traceio.sumo import parse_sumo_fcd, write_sumo_fcd
+from repro.mobility.traceio.synth import synth_traces
+from repro.mobility.traceio.tabular import parse_csv_trace, write_csv_trace
+from repro.mobility.traceio.traceset import (
+    UNIT_SCALES,
+    TraceSet,
+    VehicleTrace,
+    unit_scale,
+)
+
+#: Format name → (parser, writer).  ``load_traces`` / ``dump_traces``
+#: dispatch through this table; ``auto`` sniffs (see ``detect_format``).
+FORMATS = {
+    "sumo-fcd": (parse_sumo_fcd, write_sumo_fcd),
+    "ns2": (parse_setdest, write_setdest),
+    "csv": (parse_csv_trace, write_csv_trace),
+}
+
+
+def detect_format(path) -> str:
+    """Sniff a trace file's format from its first meaningful line.
+
+    ``<`` opens XML (SUMO FCD); ``$`` opens a Tcl ``$node_``/``$ns_``
+    line (ns-2 setdest); anything else is taken as CSV.  Extension hints
+    (``.xml`` / ``.tcl`` / ``.csv``) are not trusted: recordings in the
+    wild are routinely misnamed.
+    """
+    try:
+        with open(path, "r", encoding="utf-8", errors="replace") as handle:
+            for line in handle:
+                stripped = line.strip()
+                if not stripped or stripped.startswith("#"):
+                    continue
+                if stripped.startswith("<"):
+                    return "sumo-fcd"
+                if stripped.startswith("$"):
+                    return "ns2"
+                return "csv"
+    except OSError as exc:
+        raise TraceFormatError(f"cannot read trace file: {exc}") from None
+    raise TraceFormatError(f"trace file {path!r} is empty")
+
+
+def load_traces(path, *, fmt: str = "auto", unit: str = "m") -> TraceSet:
+    """Parse *path* into a :class:`TraceSet`.
+
+    ``fmt`` is one of :data:`FORMATS` (or ``"auto"`` to sniff); ``unit``
+    converts coordinates to metres on the way in (see
+    :data:`~repro.mobility.traceio.traceset.UNIT_SCALES`).
+    """
+    name = detect_format(path) if fmt == "auto" else fmt
+    if name not in FORMATS:
+        raise TraceFormatError(
+            f"unknown trace format {name!r}; known: auto, "
+            f"{', '.join(sorted(FORMATS))}"
+        )
+    parser, _ = FORMATS[name]
+    return parser(path, unit=unit)
+
+
+def dump_traces(traces: TraceSet, path, *, fmt: str = "csv") -> None:
+    """Write *traces* to *path* in ``fmt`` (always metres)."""
+    if fmt not in FORMATS:
+        raise TraceFormatError(
+            f"unknown trace format {fmt!r}; known: {', '.join(sorted(FORMATS))}"
+        )
+    _, writer = FORMATS[fmt]
+    writer(traces, path)
+
+
+__all__ = [
+    "FORMATS",
+    "TraceSet",
+    "UNIT_SCALES",
+    "VehicleTrace",
+    "detect_format",
+    "dump_traces",
+    "load_traces",
+    "parse_csv_trace",
+    "parse_setdest",
+    "parse_sumo_fcd",
+    "synth_traces",
+    "unit_scale",
+    "write_csv_trace",
+    "write_setdest",
+    "write_sumo_fcd",
+]

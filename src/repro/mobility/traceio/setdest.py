@@ -1,0 +1,205 @@
+"""ns-2 ``setdest`` movement files — parser and writer.
+
+The classic ad-hoc-mobility format (CMU ``setdest`` tool, consumed by
+ns-2 Tcl scenarios)::
+
+    $node_(0) set X_ 150.0
+    $node_(0) set Y_ 93.98
+    $node_(0) set Z_ 0.0
+    $ns_ at 2.50 "$node_(0) setdest 250.0 93.98 20.0"
+
+A node idles at its initial ``X_``/``Y_`` position until a ``setdest``
+command fires, then moves toward the destination in a straight line at
+the given speed, idles on arrival, and so on.  The parser *reconstructs
+the waypoints* this implies: one sample at t = 0 (the initial
+position), one at each command instant (where the node actually is —
+a command may preempt an unfinished leg), and one at each arrival.
+``Z_`` lines are accepted and ignored (this substrate is 2-D).
+
+The writer emits one ``setdest`` command per trace segment with the
+speed that covers the segment in its time span, so write → parse
+round-trips up to float division (``distance / (distance / dt)``) —
+the round-trip tests compare with tolerances, unlike the exact CSV and
+SUMO round-trips.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from repro.errors import TraceFormatError
+from repro.mobility.traceio.traceset import TraceSet, VehicleTrace, unit_scale
+
+_INITIAL_RE = re.compile(
+    r'^\$node_\((?P<node>[^)]+)\)\s+set\s+(?P<axis>[XYZ])_?\s+(?P<value>\S+)$'
+)
+_SETDEST_RE = re.compile(
+    r'^\$ns_?\s+at\s+(?P<time>\S+)\s+'
+    r'"\$node_\((?P<node>[^)]+)\)\s+setdest\s+'
+    r'(?P<x>\S+)\s+(?P<y>\S+)\s+(?P<speed>\S+)"$'
+)
+
+
+def parse_setdest(source, *, unit: str = "m") -> TraceSet:
+    """Parse ns-2 ``setdest`` text (path, file object, or string)."""
+    scale = unit_scale(unit)
+    lines = _read_lines(source)
+    initial: dict[str, dict[str, float]] = {}
+    commands: dict[str, list[tuple[float, float, float, float]]] = {}
+    for number, line in enumerate(lines, start=1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        match = _INITIAL_RE.match(stripped)
+        if match:
+            value = _number(match["value"], number, "coordinate")
+            initial.setdefault(match["node"], {})[match["axis"]] = value * scale
+            continue
+        match = _SETDEST_RE.match(stripped)
+        if match:
+            time = _number(match["time"], number, "command time")
+            speed = _number(match["speed"], number, "speed") * scale
+            if time < 0.0:
+                raise TraceFormatError(
+                    f"setdest line {number}: negative command time {time!r}"
+                )
+            if speed <= 0.0:
+                raise TraceFormatError(
+                    f"setdest line {number}: speed must be positive, got {speed!r}"
+                )
+            commands.setdefault(match["node"], []).append(
+                (
+                    time,
+                    _number(match["x"], number, "x") * scale,
+                    _number(match["y"], number, "y") * scale,
+                    speed,
+                )
+            )
+            continue
+        raise TraceFormatError(
+            f"setdest line {number} is not an initial-position or "
+            f"setdest command: {stripped!r}"
+        )
+    if not initial and not commands:
+        raise TraceFormatError("setdest input contains no movement lines")
+    for node in commands:
+        if node not in initial:
+            raise TraceFormatError(
+                f"node {node!r} has setdest commands but no initial "
+                f"$node_({node}) set X_/Y_ position"
+            )
+    traces = []
+    for node, axes in sorted(initial.items()):
+        if "X" not in axes or "Y" not in axes:
+            raise TraceFormatError(
+                f"node {node!r} is missing an initial "
+                f"{'X' if 'X' not in axes else 'Y'}_ line"
+            )
+        traces.append(
+            _reconstruct(node, axes["X"], axes["Y"], sorted(commands.get(node, [])))
+        )
+    return TraceSet(traces)
+
+
+def _reconstruct(
+    node: str,
+    x0: float,
+    y0: float,
+    commands: list[tuple[float, float, float, float]],
+) -> VehicleTrace:
+    """Waypoints implied by a node's initial position and command list."""
+    samples: list[tuple[float, float, float]] = [(0.0, x0, y0)]
+    x, y = x0, y0
+    # The leg in flight: (start_t, start_x, start_y, dest_x, dest_y, arrival_t)
+    leg: tuple[float, float, float, float, float, float] | None = None
+    for time, dest_x, dest_y, speed in commands:
+        if leg is not None:
+            x, y = _leg_position(leg, time)
+            if time < leg[5]:
+                # Preempted mid-flight: record where the node turned.
+                samples.append((time, x, y))
+            else:
+                samples.append((leg[5], leg[3], leg[4]))
+                x, y = leg[3], leg[4]
+                if time > leg[5]:
+                    samples.append((time, x, y))
+        elif time > 0.0:
+            samples.append((time, x, y))
+        distance = math.hypot(dest_x - x, dest_y - y)
+        arrival = time + distance / speed
+        leg = (time, x, y, dest_x, dest_y, arrival)
+    if leg is not None and leg[5] > leg[0]:
+        samples.append((leg[5], leg[3], leg[4]))
+    return VehicleTrace.from_samples(node, samples)
+
+
+def _leg_position(
+    leg: tuple[float, float, float, float, float, float], time: float
+) -> tuple[float, float]:
+    start_t, start_x, start_y, dest_x, dest_y, arrival = leg
+    if time >= arrival:
+        return dest_x, dest_y
+    span = arrival - start_t
+    frac = (time - start_t) / span if span > 0.0 else 1.0
+    return (
+        start_x + (dest_x - start_x) * frac,
+        start_y + (dest_y - start_y) * frac,
+    )
+
+
+def write_setdest(traces: TraceSet, path) -> None:
+    """Write *traces* as ns-2 ``setdest`` commands (see module notes).
+
+    Command times are the trace's absolute times: the format anchors
+    every node's initial position at t = 0, so rebase the set
+    (:meth:`TraceSet.rebased`) before writing a recording that starts
+    at an offset — negative command times are rejected on parse.
+    """
+    out: list[str] = []
+    for trace in traces:
+        node = trace.vehicle_id
+        out.append(f"$node_({node}) set X_ {trace.xs[0]!r}")
+        out.append(f"$node_({node}) set Y_ {trace.ys[0]!r}")
+        out.append(f"$node_({node}) set Z_ 0.0")
+        for i in range(1, len(trace.times)):
+            dt = trace.times[i] - trace.times[i - 1]
+            distance = math.hypot(
+                trace.xs[i] - trace.xs[i - 1], trace.ys[i] - trace.ys[i - 1]
+            )
+            if distance == 0.0:
+                continue  # a dwell: the node simply idles until the next leg
+            speed = distance / dt
+            out.append(
+                f'$ns_ at {trace.times[i - 1]!r} '
+                f'"$node_({node}) setdest {trace.xs[i]!r} {trace.ys[i]!r} '
+                f'{speed!r}"'
+            )
+    text = "\n".join(out) + "\n"
+    if hasattr(path, "write"):
+        path.write(text)
+    else:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text)
+
+
+def _number(text: str, line: int, what: str) -> float:
+    try:
+        return float(text)
+    except ValueError:
+        raise TraceFormatError(
+            f"setdest line {line}: {what} is not a number: {text!r}"
+        ) from None
+
+
+def _read_lines(source) -> list[str]:
+    if hasattr(source, "read"):
+        return source.read().splitlines()
+    text = str(source)
+    if "\n" in text or text.strip().startswith("$"):
+        return text.splitlines()
+    try:
+        with open(text, "r", encoding="utf-8") as handle:
+            return handle.read().splitlines()
+    except OSError as exc:
+        raise TraceFormatError(f"cannot read setdest file: {exc}") from None

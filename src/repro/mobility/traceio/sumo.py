@@ -1,0 +1,107 @@
+"""SUMO floating-car-data (FCD) XML — parser and writer.
+
+The `SUMO fcd-export <https://sumo.dlr.de/docs/Simulation/Output/FCDOutput.html>`_
+format groups samples by timestep::
+
+    <fcd-export>
+      <timestep time="0.00">
+        <vehicle id="veh0" x="12.50" y="4.80" speed="13.9" angle="90"/>
+      </timestep>
+      ...
+    </fcd-export>
+
+Only ``id`` / ``x`` / ``y`` (and the timestep ``time``) are read; SUMO's
+extra attributes (speed, angle, lane, …) are ignored on input and not
+emitted on output.  Any element inside a timestep that carries the three
+attributes is accepted — SUMO writes ``<person>`` elements in the same
+shape.  Coordinates are converted to metres via the ``unit`` argument
+(SUMO itself always writes metres; the knob exists for foreign exports).
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from collections import defaultdict
+
+from repro.errors import TraceFormatError
+from repro.mobility.traceio.traceset import TraceSet, VehicleTrace, unit_scale
+
+
+def parse_sumo_fcd(path, *, unit: str = "m") -> TraceSet:
+    """Parse a SUMO FCD XML file (or path) into a :class:`TraceSet`."""
+    scale = unit_scale(unit)
+    try:
+        tree = ET.parse(path)
+    except ET.ParseError as exc:
+        raise TraceFormatError(f"malformed SUMO FCD XML: {exc}") from None
+    except OSError as exc:
+        raise TraceFormatError(f"cannot read SUMO FCD file: {exc}") from None
+    root = tree.getroot()
+    samples: dict[str, list[tuple[float, float, float]]] = defaultdict(list)
+    for timestep in root.iter("timestep"):
+        raw_time = timestep.get("time")
+        if raw_time is None:
+            raise TraceFormatError("SUMO FCD timestep without a time attribute")
+        time = _number(raw_time, "timestep time")
+        for element in timestep:
+            vehicle_id = element.get("id")
+            if vehicle_id is None:
+                raise TraceFormatError(
+                    f"SUMO FCD element <{element.tag}> at t={raw_time} "
+                    f"has no id attribute"
+                )
+            x = element.get("x")
+            y = element.get("y")
+            if x is None or y is None:
+                raise TraceFormatError(
+                    f"SUMO FCD vehicle {vehicle_id!r} at t={raw_time} "
+                    f"is missing x/y"
+                )
+            samples[vehicle_id].append(
+                (
+                    time,
+                    _number(x, f"x of {vehicle_id!r}") * scale,
+                    _number(y, f"y of {vehicle_id!r}") * scale,
+                )
+            )
+    if not samples:
+        raise TraceFormatError("SUMO FCD file contains no vehicle samples")
+    return TraceSet(
+        VehicleTrace.from_samples(vid, rows) for vid, rows in samples.items()
+    )
+
+
+def write_sumo_fcd(traces: TraceSet, path) -> None:
+    """Write *traces* as SUMO FCD XML.
+
+    Floats are emitted with ``repr`` (shortest round-tripping form), so
+    parse → write → parse is bit-exact — the property the format
+    round-trip tests pin.
+    """
+    by_time: dict[float, list[tuple[str, float, float]]] = defaultdict(list)
+    for trace in traces:
+        for t, x, y in zip(trace.times, trace.xs, trace.ys):
+            by_time[t].append((trace.vehicle_id, x, y))
+    root = ET.Element("fcd-export")
+    for time in sorted(by_time):
+        timestep = ET.SubElement(root, "timestep", {"time": repr(time)})
+        for vehicle_id, x, y in sorted(by_time[time]):
+            ET.SubElement(
+                timestep,
+                "vehicle",
+                {"id": vehicle_id, "x": repr(x), "y": repr(y)},
+            )
+    ET.indent(root)
+    text = ET.tostring(root, encoding="unicode", xml_declaration=True) + "\n"
+    if hasattr(path, "write"):
+        path.write(text)
+    else:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text)
+
+
+def _number(text: str, what: str) -> float:
+    try:
+        return float(text)
+    except ValueError:
+        raise TraceFormatError(f"SUMO FCD {what} is not a number: {text!r}") from None

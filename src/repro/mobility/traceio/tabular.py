@@ -1,0 +1,121 @@
+"""Timestamped-CSV traces — parser and writer.
+
+The plain interchange shape: one sample per row, a header naming the
+columns.  Column names are matched case-insensitively with the usual
+aliases (``time``/``t``/``timestep``, ``vehicle``/``id``/``vehicle_id``/
+``node``, ``x``, ``y``); extra columns (speed, lane, …) are ignored.
+Comment lines starting with ``#`` and blank lines are skipped.  The
+writer emits ``time,vehicle,x,y`` with ``repr`` floats, so CSV
+round-trips are bit-exact.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+
+from repro.errors import TraceFormatError
+from repro.mobility.traceio.traceset import TraceSet, VehicleTrace, unit_scale
+
+_TIME_NAMES = ("time", "t", "timestep", "time_s")
+_VEHICLE_NAMES = ("vehicle", "id", "vehicle_id", "veh", "node")
+_X_NAMES = ("x", "x_m", "pos_x")
+_Y_NAMES = ("y", "y_m", "pos_y")
+
+
+def parse_csv_trace(source, *, unit: str = "m") -> TraceSet:
+    """Parse timestamped CSV (path, file object, or string)."""
+    scale = unit_scale(unit)
+    handle, owned = _open(source)
+    try:
+        reader = csv.reader(handle)
+        header = None
+        columns: dict[str, int] = {}
+        samples: dict[str, list[tuple[float, float, float]]] = {}
+        for number, row in enumerate(reader, start=1):
+            if not row or (row[0].lstrip().startswith("#")):
+                continue
+            if header is None:
+                header = [cell.strip().lower() for cell in row]
+                columns = {
+                    "time": _find_column(header, _TIME_NAMES, "time"),
+                    "vehicle": _find_column(header, _VEHICLE_NAMES, "vehicle"),
+                    "x": _find_column(header, _X_NAMES, "x"),
+                    "y": _find_column(header, _Y_NAMES, "y"),
+                }
+                continue
+            if len(row) < len(header):
+                raise TraceFormatError(
+                    f"CSV row {number} has {len(row)} fields, "
+                    f"header has {len(header)}"
+                )
+            vehicle_id = row[columns["vehicle"]].strip()
+            if not vehicle_id:
+                raise TraceFormatError(f"CSV row {number} has an empty vehicle id")
+            samples.setdefault(vehicle_id, []).append(
+                (
+                    _number(row[columns["time"]], number, "time"),
+                    _number(row[columns["x"]], number, "x") * scale,
+                    _number(row[columns["y"]], number, "y") * scale,
+                )
+            )
+        if header is None:
+            raise TraceFormatError("CSV trace has no header row")
+        if not samples:
+            raise TraceFormatError("CSV trace has a header but no sample rows")
+        return TraceSet(
+            VehicleTrace.from_samples(vid, rows) for vid, rows in samples.items()
+        )
+    finally:
+        if owned:
+            handle.close()
+
+
+def write_csv_trace(traces: TraceSet, path) -> None:
+    """Write *traces* as ``time,vehicle,x,y`` rows, time-major order."""
+    rows: list[tuple[float, str, float, float]] = []
+    for trace in traces:
+        for t, x, y in zip(trace.times, trace.xs, trace.ys):
+            rows.append((t, trace.vehicle_id, x, y))
+    rows.sort(key=lambda r: (r[0], r[1]))
+    lines = ["time,vehicle,x,y"]
+    for t, vehicle_id, x, y in rows:
+        lines.append(f"{t!r},{vehicle_id},{x!r},{y!r}")
+    text = "\n".join(lines) + "\n"
+    if hasattr(path, "write"):
+        path.write(text)
+    else:
+        with open(path, "w", encoding="utf-8", newline="") as handle:
+            handle.write(text)
+
+
+def _open(source):
+    """(text handle, whether we own it) for a path, file object, or string."""
+    if hasattr(source, "read"):
+        return source, False
+    text = str(source)
+    if "\n" in text or not text.strip():
+        return io.StringIO(text), True
+    try:
+        return open(text, "r", encoding="utf-8", newline=""), True
+    except OSError as exc:
+        raise TraceFormatError(f"cannot read CSV trace: {exc}") from None
+
+
+def _find_column(header: list[str], names: tuple[str, ...], what: str) -> int:
+    for name in names:
+        if name in header:
+            return header.index(name)
+    raise TraceFormatError(
+        f"CSV trace header {header!r} has no {what} column "
+        f"(accepted names: {', '.join(names)})"
+    )
+
+
+def _number(text: str, row: int, what: str) -> float:
+    try:
+        return float(text)
+    except ValueError:
+        raise TraceFormatError(
+            f"CSV row {row}: {what} is not a number: {text.strip()!r}"
+        ) from None

@@ -1,0 +1,501 @@
+"""The normalized mobility-trace model every parser feeds.
+
+A :class:`VehicleTrace` is one vehicle's timestamped 2-D waypoints; a
+:class:`TraceSet` is a whole recording — the common shape that the SUMO
+FCD, ns-2 ``setdest``, and CSV parsers all normalize into, that the
+synthetic generator emits, and that the ``trace`` scenario turns into
+mobility models.  Normalization happens exactly once, at construction
+(:meth:`VehicleTrace.from_samples`): samples are sorted by time, exact
+duplicate samples merged, and contradictory duplicates (same instant,
+different position) rejected, so everything downstream can assume a
+clean, strictly-increasing time grid.
+
+Transformations (:meth:`TraceSet.resampled`, :meth:`TraceSet.cropped`,
+:meth:`TraceSet.scaled`, :meth:`TraceSet.rebased`) are pure — each
+returns a new set — which keeps the scenario config declarative: the
+same trace file plus the same knobs always yields the same mobility.
+
+The bridge to the simulator is :meth:`TraceSet.to_mobility`: every
+moving vehicle becomes a :class:`~repro.mobility.base.TraceMobility` on
+one *shared scene polyline* (all vehicle paths concatenated, each
+vehicle addressing only its own arc-length span).  Sharing one track
+gives every trace vehicle the same ``batch_key``, so the medium's batch
+reception kernel (PR 4) evaluates the whole population's positions in a
+single vectorized :meth:`TraceMobility.positions_at_time` pass —
+bit-identical to the scalar queries, as pinned by the mobility tests.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass
+
+from repro.errors import TraceFormatError
+from repro.geom import Polyline, Vec2
+from repro.mobility.base import MobilityModel, TraceMobility
+from repro.mobility.static import StaticMobility
+
+#: Length units a parser accepts, as metres-per-unit factors.  Traces in
+#: anything else must be pre-scaled by the caller (``scaled``).
+UNIT_SCALES: dict[str, float] = {
+    "m": 1.0,
+    "km": 1000.0,
+    "cm": 0.01,
+    "ft": 0.3048,
+    "mi": 1609.344,
+}
+
+
+def unit_scale(unit: str) -> float:
+    """Metres per *unit*; raises :class:`TraceFormatError` when unknown."""
+    try:
+        return UNIT_SCALES[unit]
+    except KeyError:
+        raise TraceFormatError(
+            f"unknown length unit {unit!r}; known: "
+            f"{', '.join(sorted(UNIT_SCALES))}"
+        ) from None
+
+
+def _finite(value: float, what: str) -> float:
+    if not math.isfinite(value):
+        raise TraceFormatError(f"{what} is not finite: {value!r}")
+    return value
+
+
+@dataclass(frozen=True)
+class VehicleTrace:
+    """One vehicle's trajectory: parallel ``times`` / ``xs`` / ``ys``.
+
+    Invariants (enforced at construction): at least one sample, equal
+    tuple lengths, strictly increasing times, all values finite.  Build
+    from raw parser output with :meth:`from_samples`, which sorts and
+    dedups first.
+    """
+
+    vehicle_id: str
+    times: tuple[float, ...]
+    xs: tuple[float, ...]
+    ys: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.times:
+            raise TraceFormatError(
+                f"vehicle {self.vehicle_id!r} has no samples"
+            )
+        if not (len(self.times) == len(self.xs) == len(self.ys)):
+            raise TraceFormatError(
+                f"vehicle {self.vehicle_id!r}: times/xs/ys lengths differ"
+            )
+        for t, x, y in zip(self.times, self.xs, self.ys):
+            _finite(t, f"vehicle {self.vehicle_id!r} time")
+            _finite(x, f"vehicle {self.vehicle_id!r} x")
+            _finite(y, f"vehicle {self.vehicle_id!r} y")
+        for a, b in zip(self.times, self.times[1:]):
+            if b <= a:
+                raise TraceFormatError(
+                    f"vehicle {self.vehicle_id!r}: times must be strictly "
+                    f"increasing (saw {a!r} then {b!r})"
+                )
+
+    @classmethod
+    def from_samples(
+        cls, vehicle_id: str, samples: Iterable[tuple[float, float, float]]
+    ) -> "VehicleTrace":
+        """Normalize raw ``(time, x, y)`` samples into a trace.
+
+        Samples are sorted by time (recordings interleaved by timestep —
+        SUMO FCD — or shuffled rows are fine); exact duplicates merge;
+        two samples at the same instant with *different* positions are
+        contradictory and rejected.
+        """
+        ordered = sorted(samples, key=lambda s: s[0])
+        if not ordered:
+            raise TraceFormatError(f"vehicle {vehicle_id!r} has no samples")
+        times: list[float] = []
+        xs: list[float] = []
+        ys: list[float] = []
+        for t, x, y in ordered:
+            if times and t == times[-1]:
+                if x == xs[-1] and y == ys[-1]:
+                    continue  # exact duplicate sample
+                raise TraceFormatError(
+                    f"vehicle {vehicle_id!r}: two samples at t={t!r} "
+                    f"disagree on position (({xs[-1]!r}, {ys[-1]!r}) vs "
+                    f"({x!r}, {y!r}))"
+                )
+            times.append(float(t))
+            xs.append(float(x))
+            ys.append(float(y))
+        return cls(vehicle_id, tuple(times), tuple(xs), tuple(ys))
+
+    # -- basic queries --------------------------------------------------------
+
+    @property
+    def start_time(self) -> float:
+        return self.times[0]
+
+    @property
+    def end_time(self) -> float:
+        return self.times[-1]
+
+    @property
+    def duration(self) -> float:
+        return self.end_time - self.start_time
+
+    def bounds(self) -> tuple[float, float, float, float]:
+        """``(x_min, y_min, x_max, y_max)`` over the samples."""
+        return min(self.xs), min(self.ys), max(self.xs), max(self.ys)
+
+    def path_length(self) -> float:
+        """Total distance travelled along the sampled waypoints."""
+        total = 0.0
+        for i in range(1, len(self.times)):
+            total += math.hypot(
+                self.xs[i] - self.xs[i - 1], self.ys[i] - self.ys[i - 1]
+            )
+        return total
+
+    def position_at(self, time: float) -> tuple[float, float]:
+        """Linear interpolation, clamped to the first/last sample."""
+        times = self.times
+        if time <= times[0]:
+            return self.xs[0], self.ys[0]
+        if time >= times[-1]:
+            return self.xs[-1], self.ys[-1]
+        import bisect
+
+        idx = bisect.bisect_right(times, time) - 1
+        frac = (time - times[idx]) / (times[idx + 1] - times[idx])
+        x = self.xs[idx] + (self.xs[idx + 1] - self.xs[idx]) * frac
+        y = self.ys[idx] + (self.ys[idx + 1] - self.ys[idx]) * frac
+        return x, y
+
+    def is_stationary(self) -> bool:
+        """Whether every sample sits at the same point."""
+        return all(
+            x == self.xs[0] and y == self.ys[0]
+            for x, y in zip(self.xs, self.ys)
+        )
+
+    # -- pure transformations -------------------------------------------------
+
+    def scaled(self, factor: float) -> "VehicleTrace":
+        """Coordinates multiplied by *factor* (unit conversion)."""
+        if factor <= 0.0 or not math.isfinite(factor):
+            raise TraceFormatError(f"scale factor must be positive, got {factor!r}")
+        if factor == 1.0:
+            return self
+        return VehicleTrace(
+            self.vehicle_id,
+            self.times,
+            tuple(x * factor for x in self.xs),
+            tuple(y * factor for y in self.ys),
+        )
+
+    def shifted(self, dt: float) -> "VehicleTrace":
+        """Times shifted by *dt* seconds."""
+        if dt == 0.0:
+            return self
+        return VehicleTrace(
+            self.vehicle_id,
+            tuple(t + dt for t in self.times),
+            self.xs,
+            self.ys,
+        )
+
+    def resampled(self, tick_s: float, *, origin: float | None = None) -> "VehicleTrace":
+        """Linear resampling onto the grid ``origin + k·tick_s``.
+
+        Only grid instants inside ``[start_time, end_time]`` are kept (a
+        trace never extrapolates); when no grid instant falls inside the
+        span, the first sample alone survives, so a short-lived vehicle
+        degrades to a stationary appearance rather than vanishing.
+        Resampling a trace already on the grid is the identity: at an
+        exact sample instant the interpolation weight is 0 and the
+        original float values pass through untouched.
+        """
+        if tick_s <= 0.0 or not math.isfinite(tick_s):
+            raise TraceFormatError(f"tick must be positive, got {tick_s!r}")
+        base = self.start_time if origin is None else origin
+        first = math.ceil((self.start_time - base) / tick_s - 1e-9)
+        samples: list[tuple[float, float, float]] = []
+        k = first
+        while True:
+            t = base + k * tick_s
+            if t > self.end_time + 1e-9 * tick_s:
+                break
+            t = min(max(t, self.start_time), self.end_time)
+            x, y = self.position_at(t)
+            samples.append((t, x, y))
+            k += 1
+        if not samples:
+            samples.append((self.start_time, self.xs[0], self.ys[0]))
+        return VehicleTrace.from_samples(self.vehicle_id, samples)
+
+    def cropped_time(self, t_min: float | None, t_max: float | None) -> "VehicleTrace | None":
+        """Samples within the window, or ``None`` when none survive."""
+        kept = [
+            (t, x, y)
+            for t, x, y in zip(self.times, self.xs, self.ys)
+            if (t_min is None or t >= t_min) and (t_max is None or t <= t_max)
+        ]
+        if not kept:
+            return None
+        return VehicleTrace.from_samples(self.vehicle_id, kept)
+
+    def cropped_bbox(
+        self,
+        x_min: float | None,
+        y_min: float | None,
+        x_max: float | None,
+        y_max: float | None,
+    ) -> "VehicleTrace | None":
+        """The longest contiguous in-box run of samples, or ``None``.
+
+        Keeping one contiguous run (not every in-box sample) matters:
+        a vehicle that leaves and re-enters the box must not teleport
+        across the gap, which is what stitching disjoint runs into one
+        trace would produce.
+        """
+
+        def inside(x: float, y: float) -> bool:
+            return (
+                (x_min is None or x >= x_min)
+                and (x_max is None or x <= x_max)
+                and (y_min is None or y >= y_min)
+                and (y_max is None or y <= y_max)
+            )
+
+        best: list[tuple[float, float, float]] = []
+        run: list[tuple[float, float, float]] = []
+        for t, x, y in zip(self.times, self.xs, self.ys):
+            if inside(x, y):
+                run.append((t, x, y))
+            else:
+                if len(run) > len(best):
+                    best = run
+                run = []
+        if len(run) > len(best):
+            best = run
+        if not best:
+            return None
+        return VehicleTrace.from_samples(self.vehicle_id, best)
+
+
+class TraceSet:
+    """A whole mobility recording: one :class:`VehicleTrace` per vehicle.
+
+    Vehicle order is the sorted id order everywhere (iteration, node-id
+    assignment in the ``trace`` scenario, the scene polyline), so a
+    parsed file always produces the same simulation wiring.
+    """
+
+    def __init__(self, vehicles: Mapping[str, VehicleTrace] | Iterable[VehicleTrace]) -> None:
+        if isinstance(vehicles, Mapping):
+            traces = list(vehicles.values())
+        else:
+            traces = list(vehicles)
+        if not traces:
+            raise TraceFormatError("a trace set needs at least one vehicle")
+        by_id: dict[str, VehicleTrace] = {}
+        for trace in traces:
+            if trace.vehicle_id in by_id:
+                raise TraceFormatError(
+                    f"duplicate vehicle id {trace.vehicle_id!r}"
+                )
+            by_id[trace.vehicle_id] = trace
+        self._vehicles = {vid: by_id[vid] for vid in sorted(by_id)}
+
+    # -- container protocol ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._vehicles)
+
+    def __iter__(self):
+        return iter(self._vehicles.values())
+
+    def __getitem__(self, vehicle_id: str) -> VehicleTrace:
+        return self._vehicles[vehicle_id]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TraceSet):
+            return NotImplemented
+        return self._vehicles == other._vehicles
+
+    def __repr__(self) -> str:
+        return (
+            f"TraceSet({len(self)} vehicles, "
+            f"t=[{self.start_time:g}, {self.end_time:g}])"
+        )
+
+    @property
+    def vehicle_ids(self) -> list[str]:
+        """Sorted vehicle ids."""
+        return list(self._vehicles)
+
+    # -- aggregate queries ----------------------------------------------------
+
+    @property
+    def start_time(self) -> float:
+        return min(t.start_time for t in self)
+
+    @property
+    def end_time(self) -> float:
+        return max(t.end_time for t in self)
+
+    @property
+    def duration(self) -> float:
+        return self.end_time - self.start_time
+
+    def bounds(self) -> tuple[float, float, float, float]:
+        """``(x_min, y_min, x_max, y_max)`` over every vehicle."""
+        boxes = [t.bounds() for t in self]
+        return (
+            min(b[0] for b in boxes),
+            min(b[1] for b in boxes),
+            max(b[2] for b in boxes),
+            max(b[3] for b in boxes),
+        )
+
+    def sample_count(self) -> int:
+        return sum(len(t.times) for t in self)
+
+    def summary(self) -> dict:
+        """Human/CLI-facing statistics (``repro trace info``)."""
+        x_min, y_min, x_max, y_max = self.bounds()
+        path = sum(t.path_length() for t in self)
+        moving_time = sum(t.duration for t in self)
+        return {
+            "vehicles": len(self),
+            "samples": self.sample_count(),
+            "start_time_s": self.start_time,
+            "end_time_s": self.end_time,
+            "duration_s": self.duration,
+            "bbox_m": [x_min, y_min, x_max, y_max],
+            "total_path_m": path,
+            "mean_speed_ms": path / moving_time if moving_time > 0.0 else 0.0,
+        }
+
+    # -- pure transformations -------------------------------------------------
+
+    def _replace(self, traces: Iterable[VehicleTrace | None]) -> "TraceSet":
+        kept = [t for t in traces if t is not None]
+        if not kept:
+            raise TraceFormatError("no vehicle survived the crop")
+        return TraceSet(kept)
+
+    def scaled(self, factor: float) -> "TraceSet":
+        """All coordinates multiplied by *factor*."""
+        return self._replace(t.scaled(factor) for t in self)
+
+    def rebased(self) -> "TraceSet":
+        """Times shifted so the earliest sample sits at t = 0.
+
+        Recordings often start at an absolute wall-clock or simulation
+        offset; the scenario layer always rebases so round time 0 is the
+        first trace instant.
+        """
+        return self._replace(t.shifted(-self.start_time) for t in self)
+
+    def resampled(self, tick_s: float) -> "TraceSet":
+        """Every vehicle resampled onto one shared grid.
+
+        The grid is anchored at the set's :attr:`start_time`, so two
+        vehicles sampled at the same instant stay sampled at the same
+        instant — the property the scenario's one-batched-mobility-query
+        -per-timestamp path benefits from.
+        """
+        origin = self.start_time
+        return self._replace(t.resampled(tick_s, origin=origin) for t in self)
+
+    def cropped(
+        self,
+        *,
+        t_min: float | None = None,
+        t_max: float | None = None,
+        x_min: float | None = None,
+        y_min: float | None = None,
+        x_max: float | None = None,
+        y_max: float | None = None,
+    ) -> "TraceSet":
+        """Time-window and/or bounding-box crop (see the vehicle methods)."""
+        traces: list[VehicleTrace | None] = []
+        for trace in self:
+            cropped: VehicleTrace | None = trace
+            if t_min is not None or t_max is not None:
+                cropped = cropped.cropped_time(t_min, t_max)
+            if cropped is not None and (
+                x_min is not None
+                or y_min is not None
+                or x_max is not None
+                or y_max is not None
+            ):
+                cropped = cropped.cropped_bbox(x_min, y_min, x_max, y_max)
+            traces.append(cropped)
+        return self._replace(traces)
+
+    # -- the bridge to the simulator ------------------------------------------
+
+    def to_mobility(self) -> dict[str, MobilityModel]:
+        """One mobility model per vehicle, sorted-id order.
+
+        Moving vehicles become :class:`TraceMobility` instances that all
+        share one *scene polyline*: every vehicle's (spatially deduped)
+        waypoints are concatenated into a single track, and each vehicle
+        addresses only its own arc-length span.  The joining segments
+        between two vehicles' paths are never traversed — no arc value
+        handed to :class:`TraceMobility` crosses a span boundary.
+        Sharing the track makes every trace vehicle report the same
+        ``batch_key``, which is what lets the medium's batch kernel
+        evaluate all their positions in one vectorized pass.
+
+        Vehicles with a single sample — or whose samples never move —
+        become :class:`StaticMobility` (there is no path to follow).
+        """
+        scene_points: list[Vec2] = []
+        # Arc length at each scene vertex, accumulated with the same
+        # Vec2.distance_to chain Polyline's constructor runs, so the arc
+        # values below are bit-identical to the track's internal table.
+        scene_arcs: list[float] = []
+        plans: list[tuple[str, tuple[float, ...], list[float]] | tuple[str, Vec2]] = []
+
+        for trace in self:
+            if len(trace.times) < 2 or trace.is_stationary():
+                plans.append((trace.vehicle_id, Vec2(trace.xs[0], trace.ys[0])))
+                continue
+            # Spatially dedup consecutive samples: a stationary dwell is
+            # several times mapping to one waypoint (a plateau in the
+            # arc-length trajectory), not a zero-length track segment.
+            sample_arcs: list[float] = []
+            for i, (x, y) in enumerate(zip(trace.xs, trace.ys)):
+                point = Vec2(x, y)
+                if sample_arcs and scene_points[-1].distance_to(point) == 0.0:
+                    sample_arcs.append(scene_arcs[-1])
+                    continue
+                if scene_points:
+                    step = scene_points[-1].distance_to(point)
+                    if i == 0 and step == 0.0:
+                        # This vehicle starts exactly where the previous
+                        # path ended: share the vertex.
+                        sample_arcs.append(scene_arcs[-1])
+                        continue
+                    scene_arcs.append(scene_arcs[-1] + step)
+                else:
+                    scene_arcs.append(0.0)
+                scene_points.append(point)
+                sample_arcs.append(scene_arcs[-1])
+            plans.append((trace.vehicle_id, trace.times, sample_arcs))
+
+        track = Polyline(scene_points) if len(scene_points) >= 2 else None
+        models: dict[str, MobilityModel] = {}
+        for plan in plans:
+            if len(plan) == 2:
+                vehicle_id, position = plan  # type: ignore[misc]
+                models[vehicle_id] = StaticMobility(position)
+            else:
+                vehicle_id, times, arcs = plan  # type: ignore[misc]
+                assert track is not None
+                models[vehicle_id] = TraceMobility(track, times, arcs)
+        return models

@@ -15,6 +15,53 @@ integer ops in pure Python.
 Seeding: a ``KeyedRandom`` is born from one draw off a named
 :class:`~repro.sim.random.RandomStreams` generator, so the whole keyed
 tree stays reproducible from the simulation's root seed.
+
+Which RNG key stream am I on?
+=============================
+
+Every stochastic value in the radio stack is a pure function of
+``(seed material, key tuple)``.  This table is the contract the
+bit-identity pins (PRs 3–4: exhaustive / fast-path / batch-kernel rows
+must match bit for bit) depend on — when adding a consumer, claim a key
+layout here and never reuse another component's:
+
+========================  =========================  ==========================================
+Component                 Seed material              Key tuple per draw
+========================  =========================  ==========================================
+Rician / Rayleigh fading  one draw off the           ``(link_hash, tx_seq)`` — one draw per
+                          ``"fading"`` stream        link per transmission
+Gudmundson shadowing      one draw off the           ``(link_hash, epoch, ix, iy, iz)`` — one
+                          ``"shadowing"`` stream     unit Gaussian per corner of the frozen
+                                                     lattice cell in (summed position,
+                                                     separation) space
+TemporalTx (OU chain)     one draw off the           ``(process_hash, epoch, k)`` — one
+                          ``"shadowing-common"``     innovation per tau/4 grid step ``k``;
+                          stream                     hub-anchored links share one process
+Frame-error Bernoulli     the ``"channel"`` stream   sequential (drawn only for frames that
+                                                     pass the power threshold, whose set is
+                                                     identical on every reception path)
+========================  =========================  ==========================================
+
+``link_hash`` is ``stable_hash64(Channel.link_key(tx, rx))`` — the
+*order-independent* link key, so A→B and B→A share one realisation
+(channel reciprocity) and the hash is stable across processes and
+campaign workers (Python's salted ``hash`` is never used).  ``tx_seq``
+is the medium's per-transmission counter; ``epoch`` increments on
+``reset()`` so reused model objects re-realise.  The scalar and batch
+(`*_batch`) methods of :class:`KeyedRandom` evaluate the *same* key
+tuples to the *same* float64 values — the batch kernel vectorizes the
+key lattice, never re-keys it.
+
+Two rules keep culling exact:
+
+1. **No sequential draws on a culled path.**  A component either keys
+   every draw (fading, shadowing) or draws sequentially *after* the
+   identical-on-every-path threshold decision (frame errors).  A
+   sequential draw before culling would shift the whole stream when a
+   candidate is skipped.
+2. **Key tuples are never position-dependent on mutable state.**  Keys
+   derive from link identity, transmission counters, and frozen lattice
+   indices — things equal on every reception path by construction.
 """
 
 from __future__ import annotations

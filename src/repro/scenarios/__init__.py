@@ -20,7 +20,8 @@ the built-in scenario set.
   back into :class:`SweepPoint` / :class:`DownloadSummary`;
 * :mod:`repro.scenarios.urban` / :mod:`~repro.scenarios.highway` /
   :mod:`~repro.scenarios.multi_ap` /
-  :mod:`~repro.scenarios.bidirectional` — the built-in scenarios.
+  :mod:`~repro.scenarios.bidirectional` /
+  :mod:`~repro.scenarios.trace` — the built-in scenarios.
 
 Importing this package registers the built-in set; the modules in
 :mod:`repro.experiments` re-export the same names for compatibility.
@@ -62,6 +63,7 @@ from repro.scenarios import urban as _urban  # noqa: E402  isort: skip
 from repro.scenarios import highway as _highway  # noqa: E402  isort: skip
 from repro.scenarios import multi_ap as _multi_ap  # noqa: E402  isort: skip
 from repro.scenarios import bidirectional as _bidirectional  # noqa: E402  isort: skip
+from repro.scenarios import trace as _trace  # noqa: E402  isort: skip
 
 __all__ = [
     "AP_NODE_ID",

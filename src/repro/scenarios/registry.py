@@ -11,7 +11,7 @@ report special cases, no CLI edits.
 
 Plugins register themselves at import time from their defining modules;
 importing :mod:`repro.scenarios` loads the built-in set (urban, highway,
-multi_ap, bidirectional).  Third-party plugins must live in an importable
+multi_ap, bidirectional, trace).  Third-party plugins must live in an importable
 module and register at its import: campaign workers on platforms without
 ``fork`` (the executor's ``spawn`` fallback) re-import rather than
 inherit the parent's registry, so a plugin registered only by a script's
@@ -171,3 +171,84 @@ def scenario_table_markdown() -> str:
             f"| `{plugin.name}` | {modes} | {presets} | {plugin.description} |"
         )
     return "\n".join(lines)
+
+
+def _flatten_config(data: dict, prefix: str = "") -> list[tuple[str, object]]:
+    """Nested config dict → sorted ``(dotted path, default)`` pairs."""
+    rows: list[tuple[str, object]] = []
+    for key, value in sorted(data.items()):
+        path = f"{prefix}{key}"
+        if isinstance(value, dict):
+            rows.extend(_flatten_config(value, prefix=f"{path}."))
+        else:
+            rows.append((path, value))
+    return rows
+
+
+def scenario_reference_markdown() -> str:
+    """The full scenario reference — the content of ``docs/SCENARIOS.md``.
+
+    Generated entirely from registry metadata (descriptions, modes,
+    presets) and each plugin's default configuration (every dotted
+    config path with its default — exactly the paths campaign grid
+    axes and ``--set`` accept), so the document cannot drift from the
+    code: ``repro scenarios --doc`` regenerates it and CI diffs the
+    committed file against the output.
+    """
+    import json
+
+    from repro.scenarios.configs import config_to_dict
+
+    lines = [
+        "<!-- Generated by `repro scenarios --doc`. Do not edit by hand:",
+        "     regenerate with `PYTHONPATH=src python -m repro scenarios --doc "
+        "> docs/SCENARIOS.md`",
+        "     (the CI docs job and tests/test_docs.py diff this file against "
+        "the generator). -->",
+        "",
+        "# Scenario reference",
+        "",
+        "Every scenario is a plugin in the `repro.scenarios` registry; the",
+        "campaign engine and CLI dispatch through it exclusively.  Run any",
+        "scenario with `repro campaign run --scenario <name>` (gridless",
+        "default configuration) or `--preset <preset>` (a shipped study);",
+        "override any config field below with `--set <path>=<value>` or a",
+        "campaign grid axis over the same dotted path.  See",
+        "[ARCHITECTURE.md](ARCHITECTURE.md) for where scenarios sit in the",
+        "stack.",
+        "",
+    ]
+    for plugin in all_scenarios():
+        config = plugin.default_config()
+        lines.append(f"## `{plugin.name}`")
+        lines.append("")
+        lines.append(f"{plugin.description}.")
+        lines.append("")
+        lines.append(
+            f"- **Config class:** `{plugin.config_cls.__module__}."
+            f"{plugin.config_cls.__name__}`"
+        )
+        lines.append(
+            f"- **Protocol modes:** {', '.join(f'`{m}`' for m in plugin.modes)}"
+        )
+        lines.append(
+            f"- **Summary shape:** `{plugin.summary_cls.__name__}`"
+        )
+        lines.append("")
+        if plugin.presets:
+            lines.append("**Presets**")
+            lines.append("")
+            for preset in plugin.presets:
+                lines.append(f"- `{preset.name}` — {preset.description}")
+            lines.append("")
+        lines.append("**Configuration fields** (dotted `--set` paths)")
+        lines.append("")
+        lines.append("| Path | Default |")
+        lines.append("| --- | --- |")
+        for path, default in _flatten_config(config_to_dict(config)):
+            lines.append(f"| `{path}` | `{json.dumps(default)}` |")
+        lines.append("")
+    # No trailing newline: ``print()`` (the CLI) adds exactly one, so
+    # ``repro scenarios --doc > docs/SCENARIOS.md`` ends with a single
+    # newline and the docs-sync test compares against ``… + "\n"``.
+    return "\n".join(lines).rstrip()

@@ -1,0 +1,323 @@
+"""Format parsers: SUMO FCD / ns-2 setdest / CSV → one TraceSet.
+
+The headline property (an acceptance criterion of the trace subsystem):
+the *same* two-vehicle motion written in all three formats parses into
+the same :class:`TraceSet` — exactly for CSV and SUMO, and to float
+tolerance for setdest (whose speeds encode segment times as divisions).
+"""
+
+import io
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TraceFormatError
+from repro.mobility.traceio import (
+    TraceSet,
+    VehicleTrace,
+    detect_format,
+    dump_traces,
+    load_traces,
+    parse_csv_trace,
+    parse_setdest,
+    parse_sumo_fcd,
+    synth_traces,
+    write_csv_trace,
+    write_setdest,
+    write_sumo_fcd,
+)
+
+# One reference motion: car "a" drives east 0→100 m over 10 s, car "b"
+# starts 50 m north at t=2 and drives 40 m east over 8 s.
+SUMO_FIXTURE = """<?xml version="1.0" encoding="UTF-8"?>
+<fcd-export>
+  <timestep time="0.0">
+    <vehicle id="a" x="0.0" y="0.0" speed="10.0" angle="90.0"/>
+  </timestep>
+  <timestep time="2.0">
+    <vehicle id="a" x="20.0" y="0.0"/>
+    <vehicle id="b" x="0.0" y="50.0"/>
+  </timestep>
+  <timestep time="10.0">
+    <vehicle id="a" x="100.0" y="0.0"/>
+    <vehicle id="b" x="40.0" y="50.0"/>
+  </timestep>
+</fcd-export>
+"""
+
+CSV_FIXTURE = """# the same motion, as CSV
+time,vehicle,x,y,speed
+0.0,a,0.0,0.0,10.0
+2.0,a,20.0,0.0,10.0
+2.0,b,0.0,50.0,5.0
+10.0,a,100.0,0.0,10.0
+10.0,b,40.0,50.0,5.0
+"""
+
+SETDEST_FIXTURE = """# the same motion, as ns-2 setdest
+$node_(a) set X_ 0.0
+$node_(a) set Y_ 0.0
+$node_(a) set Z_ 0.0
+$ns_ at 0.0 "$node_(a) setdest 100.0 0.0 10.0"
+$node_(b) set X_ 0.0
+$node_(b) set Y_ 50.0
+$node_(b) set Z_ 0.0
+$ns_ at 2.0 "$node_(b) setdest 40.0 50.0 5.0"
+"""
+
+
+def positions_equal(a: TraceSet, b: TraceSet, *, tol: float = 1e-9) -> bool:
+    if a.vehicle_ids != b.vehicle_ids:
+        return False
+    for trace in a:
+        other = b[trace.vehicle_id]
+        for t in sorted(set(trace.times) | set(other.times)):
+            xa, ya = trace.position_at(t)
+            xb, yb = other.position_at(t)
+            if math.hypot(xa - xb, ya - yb) > tol:
+                return False
+    return True
+
+
+class TestSameMotionAcrossFormats:
+    def test_sumo_and_csv_parse_identically(self):
+        sumo = parse_sumo_fcd(io.StringIO(SUMO_FIXTURE))
+        tabular = parse_csv_trace(CSV_FIXTURE)
+        assert sumo == tabular
+
+    def test_setdest_matches_to_tolerance(self):
+        sumo = parse_sumo_fcd(io.StringIO(SUMO_FIXTURE))
+        setdest = parse_setdest(SETDEST_FIXTURE)
+        assert positions_equal(sumo, setdest)
+
+    def test_all_three_drive_the_same_mobility(self):
+        sets = [
+            parse_sumo_fcd(io.StringIO(SUMO_FIXTURE)),
+            parse_csv_trace(CSV_FIXTURE),
+            parse_setdest(SETDEST_FIXTURE),
+        ]
+        positions = []
+        for ts in sets:
+            models = ts.to_mobility()
+            positions.append(
+                [
+                    (models["a"].position(t), models["b"].position(t))
+                    for t in (0.0, 3.0, 6.5, 10.0)
+                ]
+            )
+        for other in positions[1:]:
+            for (pa, pb), (qa, qb) in zip(positions[0], other):
+                assert pa.distance_to(qa) < 1e-9
+                assert pb.distance_to(qb) < 1e-9
+
+
+class TestSumo:
+    def test_interleaved_timesteps_sort_per_vehicle(self):
+        ts = parse_sumo_fcd(io.StringIO(SUMO_FIXTURE))
+        assert ts["a"].times == (0.0, 2.0, 10.0)
+        assert ts["b"].times == (2.0, 10.0)
+
+    def test_malformed_xml_rejected(self):
+        with pytest.raises(TraceFormatError, match="malformed SUMO FCD XML"):
+            parse_sumo_fcd(io.StringIO("<fcd-export><timestep"))
+
+    def test_missing_attributes_rejected(self):
+        with pytest.raises(TraceFormatError, match="no id attribute"):
+            parse_sumo_fcd(
+                io.StringIO('<f><timestep time="0"><vehicle x="0" y="0"/></timestep></f>')
+            )
+        with pytest.raises(TraceFormatError, match="missing x/y"):
+            parse_sumo_fcd(
+                io.StringIO('<f><timestep time="0"><vehicle id="a" x="0"/></timestep></f>')
+            )
+        with pytest.raises(TraceFormatError, match="without a time"):
+            parse_sumo_fcd(
+                io.StringIO('<f><timestep><vehicle id="a" x="0" y="0"/></timestep></f>')
+            )
+
+    def test_non_numeric_rejected(self):
+        with pytest.raises(TraceFormatError, match="not a number"):
+            parse_sumo_fcd(
+                io.StringIO(
+                    '<f><timestep time="0"><vehicle id="a" x="east" y="0"/></timestep></f>'
+                )
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(TraceFormatError, match="no vehicle samples"):
+            parse_sumo_fcd(io.StringIO("<fcd-export/>"))
+
+    def test_unit_conversion(self):
+        ts = parse_sumo_fcd(io.StringIO(SUMO_FIXTURE), unit="km")
+        assert ts["a"].xs[-1] == pytest.approx(100_000.0)
+
+    def test_write_parse_round_trip_exact(self):
+        ts = synth_traces(vehicles=4, duration_s=30.0, seed=13)
+        buffer = io.StringIO()
+        write_sumo_fcd(ts, buffer)
+        assert parse_sumo_fcd(io.StringIO(buffer.getvalue())) == ts
+
+
+class TestSetdest:
+    def test_initial_position_only_node_is_stationary(self):
+        ts = parse_setdest("$node_(p) set X_ 4.0\n$node_(p) set Y_ 5.0\n")
+        assert ts["p"].is_stationary()
+
+    def test_command_preempts_unfinished_leg(self):
+        # 100 m at 10 m/s from t=0, preempted at t=5 (x=50), sent back
+        text = (
+            "$node_(n) set X_ 0.0\n"
+            "$node_(n) set Y_ 0.0\n"
+            '$ns_ at 0.0 "$node_(n) setdest 100.0 0.0 10.0"\n'
+            '$ns_ at 5.0 "$node_(n) setdest 0.0 0.0 10.0"\n'
+        )
+        trace = parse_setdest(text)["n"]
+        assert trace.position_at(5.0) == pytest.approx((50.0, 0.0))
+        assert trace.position_at(10.0) == pytest.approx((0.0, 0.0))
+
+    def test_idle_gap_between_legs(self):
+        text = (
+            "$node_(n) set X_ 0.0\n"
+            "$node_(n) set Y_ 0.0\n"
+            '$ns_ at 0.0 "$node_(n) setdest 10.0 0.0 10.0"\n'
+            '$ns_ at 5.0 "$node_(n) setdest 20.0 0.0 10.0"\n'
+        )
+        trace = parse_setdest(text)["n"]
+        # arrives at x=10 at t=1, idles until t=5
+        assert trace.position_at(3.0) == pytest.approx((10.0, 0.0))
+
+    def test_malformed_line_rejected_with_line_number(self):
+        with pytest.raises(TraceFormatError, match="line 2"):
+            parse_setdest("$node_(n) set X_ 0.0\nthis is not a movement line\n")
+
+    def test_setdest_without_initial_position_rejected(self):
+        with pytest.raises(TraceFormatError, match="no initial"):
+            parse_setdest('$ns_ at 0.0 "$node_(n) setdest 1.0 2.0 3.0"\n')
+
+    def test_missing_y_rejected(self):
+        with pytest.raises(TraceFormatError, match="missing an initial Y_"):
+            parse_setdest("$node_(n) set X_ 0.0\n")
+
+    def test_nonpositive_speed_rejected(self):
+        with pytest.raises(TraceFormatError, match="speed must be positive"):
+            parse_setdest(
+                "$node_(n) set X_ 0.0\n$node_(n) set Y_ 0.0\n"
+                '$ns_ at 0.0 "$node_(n) setdest 1.0 0.0 0.0"\n'
+            )
+
+    def test_non_numeric_rejected(self):
+        with pytest.raises(TraceFormatError, match="not a number"):
+            parse_setdest(
+                "$node_(n) set X_ east\n$node_(n) set Y_ 0.0\n"
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(TraceFormatError, match="no movement lines"):
+            parse_setdest("# just a comment\n")
+
+    def test_write_parse_round_trip_positions(self):
+        ts = synth_traces(vehicles=4, duration_s=30.0, seed=13).rebased()
+        buffer = io.StringIO()
+        write_setdest(ts, buffer)
+        again = parse_setdest(buffer.getvalue())
+        assert positions_equal(ts, again, tol=1e-6)
+
+
+class TestCsv:
+    def test_column_aliases_and_case(self):
+        ts = parse_csv_trace("T,ID,X,Y\n0.0,v,1.0,2.0\n1.0,v,3.0,4.0\n")
+        assert ts["v"].xs == (1.0, 3.0)
+
+    def test_extra_columns_ignored(self):
+        ts = parse_csv_trace("time,vehicle,x,y,lane,speed\n0,v,1,2,0,9\n1,v,2,2,0,9\n")
+        assert ts["v"].times == (0.0, 1.0)
+
+    def test_missing_column_rejected(self):
+        with pytest.raises(TraceFormatError, match="no vehicle column"):
+            parse_csv_trace("time,x,y\n0,1,2\n")
+
+    def test_short_row_rejected(self):
+        with pytest.raises(TraceFormatError, match="row 2 has"):
+            parse_csv_trace("time,vehicle,x,y\n0,v\n")
+
+    def test_non_numeric_rejected(self):
+        with pytest.raises(TraceFormatError, match="not a number"):
+            parse_csv_trace("time,vehicle,x,y\n0,v,east,2\n")
+
+    def test_empty_vehicle_id_rejected(self):
+        with pytest.raises(TraceFormatError, match="empty vehicle id"):
+            parse_csv_trace("time,vehicle,x,y\n0,,1,2\n")
+
+    def test_no_header_rejected(self):
+        with pytest.raises(TraceFormatError, match="no header"):
+            parse_csv_trace("")
+
+    def test_header_without_rows_rejected(self):
+        with pytest.raises(TraceFormatError, match="no sample rows"):
+            parse_csv_trace("time,vehicle,x,y\n")
+
+    def test_unit_mismatch_is_loud_not_silent(self):
+        with pytest.raises(TraceFormatError, match="unknown length unit"):
+            parse_csv_trace("time,vehicle,x,y\n0,v,1,2\n", unit="feet")
+
+    def test_write_parse_round_trip_exact(self):
+        ts = synth_traces(vehicles=4, duration_s=30.0, seed=13)
+        buffer = io.StringIO()
+        write_csv_trace(ts, buffer)
+        assert parse_csv_trace(buffer.getvalue()) == ts
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        vehicles=st.integers(min_value=1, max_value=4),
+        data=st.data(),
+    )
+    def test_round_trip_arbitrary_floats_exact(self, vehicles, data):
+        """repr-based CSV writing round-trips any float bit-exactly."""
+        coords = st.floats(
+            allow_nan=False, allow_infinity=False, min_value=-1e12, max_value=1e12
+        )
+        traces = []
+        for v in range(vehicles):
+            n = data.draw(st.integers(min_value=1, max_value=6))
+            samples = [
+                (float(k), data.draw(coords), data.draw(coords)) for k in range(n)
+            ]
+            traces.append(VehicleTrace.from_samples(f"v{v}", samples))
+        ts = TraceSet(traces)
+        buffer = io.StringIO()
+        write_csv_trace(ts, buffer)
+        assert parse_csv_trace(buffer.getvalue()) == ts
+
+
+class TestDetectAndLoad(object):
+    def test_detects_all_three(self, tmp_path):
+        ts = synth_traces(vehicles=3, duration_s=20.0, seed=4).rebased()
+        paths = {}
+        for fmt, suffix in (("sumo-fcd", "a.dat"), ("ns2", "b.dat"), ("csv", "c.dat")):
+            path = tmp_path / suffix
+            dump_traces(ts, path, fmt=fmt)
+            paths[fmt] = path
+        for fmt, path in paths.items():
+            assert detect_format(path) == fmt
+            loaded = load_traces(path)
+            assert positions_equal(ts, loaded, tol=1e-6)
+
+    def test_unknown_format_rejected(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("time,vehicle,x,y\n0,v,1,2\n1,v,2,2\n")
+        with pytest.raises(TraceFormatError, match="unknown trace format"):
+            load_traces(path, fmt="gpx")
+        with pytest.raises(TraceFormatError, match="unknown trace format"):
+            dump_traces(synth_traces(vehicles=1), path, fmt="gpx")
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(TraceFormatError, match="is empty"):
+            detect_format(path)
+
+    def test_missing_file_rejected(self):
+        with pytest.raises(TraceFormatError, match="cannot read"):
+            detect_format("/nonexistent/trace.csv")

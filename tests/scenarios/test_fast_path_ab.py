@@ -26,6 +26,7 @@ from repro.experiments.multi_ap import MultiApConfig
 from repro.experiments.scenario import UrbanScenarioConfig
 from repro.scenarios.bidirectional import BidirectionalConfig
 from repro.scenarios.registry import scenario_names
+from repro.scenarios.trace import SynthTraceConfig, TraceScenarioConfig
 
 #: One cheap-but-representative configuration per registered scenario.
 SMALL_CONFIGS = {
@@ -40,6 +41,19 @@ SMALL_CONFIGS = {
         speed_ms=15.0,
     ),
     "bidirectional": BidirectionalConfig(rounds=1, oncoming_cars=2),
+    # Deep enough into the dark area that the REQUEST/coop-data recovery
+    # path runs (the pin must cover cooperation, not just streaming).
+    "trace": TraceScenarioConfig(
+        seed=31,
+        rounds=1,
+        synth=SynthTraceConfig(
+            vehicles=5,
+            duration_s=70.0,
+            road_length_m=1500.0,
+            mean_speed_ms=25.0,
+            entry_gap_s=2.0,
+        ),
+    ),
 }
 
 

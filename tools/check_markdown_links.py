@@ -1,0 +1,86 @@
+"""CI guard: every intra-repo markdown link must resolve.
+
+Usage::
+
+    python tools/check_markdown_links.py [root]
+
+Walks every ``*.md`` under *root* (default: the repository root, i.e.
+this file's parent's parent), extracts inline links and images
+(``[text](target)`` / ``![alt](target)``), and fails when a relative
+target does not exist on disk.  External schemes (``http(s)://``,
+``mailto:``) and pure in-page anchors (``#section``) are skipped;
+anchors on file targets are stripped (``FILE.md#section`` checks
+``FILE.md``).  Exit status: 0 all good, 1 broken links (listed), each
+as ``source.md: target``.
+
+Also importable — ``tests/test_docs.py`` runs the same check in tier-1,
+so a broken link fails locally before CI sees it.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+#: Directories never scanned (VCS internals, caches, generated stores).
+SKIP_DIRS = {".git", "__pycache__", ".pytest_cache", "campaigns", ".hypothesis", "node_modules"}
+
+#: ``[text](target)`` — target captured up to the closing paren (no
+#: nested parens in any link this repo writes).
+_LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+
+def markdown_files(root: pathlib.Path) -> list[pathlib.Path]:
+    """Every ``*.md`` under *root*, skipping :data:`SKIP_DIRS`."""
+    found = []
+    for path in sorted(root.rglob("*.md")):
+        if any(part in SKIP_DIRS for part in path.parts):
+            continue
+        found.append(path)
+    return found
+
+
+def links_in(path: pathlib.Path) -> list[str]:
+    """All inline link/image targets in *path*, in document order."""
+    text = path.read_text(encoding="utf-8")
+    # Fenced code blocks show link syntax as *examples*; don't check those.
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    return _LINK_RE.findall(text)
+
+
+def broken_links(root: pathlib.Path) -> list[tuple[pathlib.Path, str]]:
+    """``(source file, target)`` for every unresolvable relative link."""
+    broken = []
+    for path in markdown_files(root):
+        for target in links_in(path):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            file_part = target.split("#", 1)[0]
+            if not file_part:
+                continue
+            if file_part.startswith("/"):
+                resolved = root / file_part.lstrip("/")
+            else:
+                resolved = path.parent / file_part
+            if not resolved.exists():
+                broken.append((path, target))
+    return broken
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = sys.argv[1:] if argv is None else argv
+    root = pathlib.Path(args[0]) if args else pathlib.Path(__file__).resolve().parents[1]
+    bad = broken_links(root)
+    if bad:
+        print("check_markdown_links: broken intra-repo links:")
+        for path, target in bad:
+            print(f"  {path.relative_to(root)}: {target}")
+        return 1
+    count = len(markdown_files(root))
+    print(f"check_markdown_links: {count} markdown files, all links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
