@@ -249,6 +249,54 @@ def test_medium_broadcast_o_reachable_sparse(bench_json_sink):
     assert exhaustive / fast > 1.5
 
 
+def test_broadcast_storm_counter_snapshot(bench_json_sink):
+    """Observability satellite: the storm's shape, in counters.
+
+    One dense and one sparse storm under ``obs.instrumented()``, with
+    the medium/kernel counter snapshot recorded next to the wall-clock
+    numbers above — so the perf record says not just *how fast* but
+    *how much work*: events fired, candidates before/after the cull,
+    batch-vs-scalar broadcast split, batch lane distribution.  The
+    regression gate only compares ``*speedup*`` keys, so these are
+    informational (and tolerated by ``check_bench_regression.py``).
+    """
+    from repro import obs
+
+    def storm_snapshot(spacing_m: float) -> dict:
+        with obs.instrumented():
+            _broadcast_storm(
+                100, 200, fast_path=True, batch=True, spacing_m=spacing_m
+            )
+            snap = obs.registry().snapshot()
+        before = snap["medium.candidates_before_cull"]["value"]
+        after = snap["medium.candidates_after_cull"]["value"]
+        lanes = snap["medium.batch_lanes"]
+        return {
+            "events_fired": snap["sim.events_fired"]["value"],
+            "broadcasts": snap["medium.broadcasts"]["value"],
+            "batch_broadcasts": snap["medium.batch_broadcasts"]["value"],
+            "scalar_broadcasts": snap["medium.scalar_broadcasts"]["value"],
+            "candidates_before_cull": before,
+            "candidates_after_cull": after,
+            "cull_keep_pct": round(100.0 * after / before, 1) if before else 0.0,
+            "batch_lanes_mean": (
+                round(lanes["total"] / lanes["count"], 1) if lanes["count"] else 0.0
+            ),
+        }
+
+    dense = storm_snapshot(25.0)
+    sparse = storm_snapshot(60.0)
+    assert dense["broadcasts"] == sparse["broadcasts"] == 200
+    # Dense 25 m spacing is the batch regime; sparse keeps fewer
+    # neighbors per broadcast, so the cull must discard more.
+    assert dense["batch_broadcasts"] > 0
+    assert sparse["candidates_after_cull"] < dense["candidates_after_cull"]
+    bench_json_sink(
+        "medium.storm_counters",
+        {"nodes": 100, "broadcasts": 200, "dense": dense, "sparse": sparse},
+    )
+
+
 def test_hot_object_alloc_slots(benchmark, bench_json_sink):
     """The satellite pin: hot per-frame objects stay ``__slots__``-lean.
 

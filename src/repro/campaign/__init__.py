@@ -41,7 +41,7 @@ from repro.campaign.spec import (
     config_from_dict,
     config_to_dict,
 )
-from repro.campaign.store import JsonlStore, MemoryStore, ResultStore
+from repro.campaign.store import JsonlStore, MemoryStore, MetricsLog, ResultStore
 
 __all__ = [
     "CampaignRunStats",
@@ -51,6 +51,7 @@ __all__ = [
     "GridPoint",
     "JsonlStore",
     "MemoryStore",
+    "MetricsLog",
     "ProgressReporter",
     "ResultStore",
     "SweepPoint",

@@ -11,6 +11,16 @@ The worker function is a module-level single-task runner so it pickles
 into pool processes; each task resolves its scenario plugin from the
 registry, builds one round, runs it, and reduces it to the JSON row
 stored for reporting — no per-scenario code lives here.
+
+Campaign telemetry (``metrics=`` / ``repro campaign run --metrics``)
+rides the same dispatch: each executed task runs with the metrics
+registry enabled and reset, and its snapshot plus wall-clock duration
+streams into a :class:`~repro.campaign.store.MetricsLog` sidecar the
+moment the task finishes.  The snapshots never touch the result rows —
+wall-clock numbers are non-deterministic, result rows are the
+bit-identity surface — and instrumentation takes no RNG draws, so rows
+computed with metrics on equal rows computed with metrics off
+(``tests/scenarios/test_fast_path_ab.py`` pins this).
 """
 
 from __future__ import annotations
@@ -21,8 +31,9 @@ from dataclasses import dataclass
 
 from repro.campaign.progress import ProgressReporter
 from repro.campaign.spec import CampaignSpec, TaskSpec
-from repro.campaign.store import ResultStore
+from repro.campaign.store import MetricsLog, ResultStore
 from repro.errors import CampaignError
+from repro.obs import registry as metrics_registry
 from repro.scenarios import get_scenario
 
 
@@ -35,6 +46,23 @@ def execute_task(task: TaskSpec) -> dict:
 def _execute_keyed(task: TaskSpec) -> tuple[str, str, dict]:
     """Pool worker: identify the result so completion order can be free."""
     return task.task_id(), task.key(), execute_task(task)
+
+
+def _execute_instrumented(task: TaskSpec) -> tuple[str, str, dict, float, dict]:
+    """Run one task with the metrics registry on; returns row + snapshot.
+
+    Enable + reset happen here, in whichever process runs the task, so
+    the snapshot covers exactly one task whether it executed inline or
+    in a pool worker (fork inherits an enabled registry, spawn re-imports
+    a disabled one — enabling per task makes both correct).
+    """
+    registry = metrics_registry()
+    registry.enable()
+    registry.reset()
+    start = time.perf_counter()
+    row = execute_task(task)
+    elapsed_s = time.perf_counter() - start
+    return task.task_id(), task.key(), row, elapsed_s, registry.snapshot()
 
 
 @dataclass(frozen=True)
@@ -62,6 +90,7 @@ def run_campaign(
     *,
     workers: int = 1,
     progress: ProgressReporter | None = None,
+    metrics: MetricsLog | None = None,
 ) -> CampaignRunStats:
     """Execute every task of *spec* not already present in *store*.
 
@@ -79,6 +108,11 @@ def run_campaign(
         the fallback when only one task is pending.
     progress:
         Optional reporter ticked once per task (cached ones included).
+    metrics:
+        Optional telemetry sidecar: every executed task runs with the
+        metrics registry enabled and streams its snapshot here, plus a
+        final per-campaign summary record.  Cached tasks produce no
+        metrics (nothing ran).
     """
     if workers < 1:
         raise CampaignError("need at least one worker")
@@ -94,28 +128,53 @@ def run_campaign(
         else:
             pending.append(task)
 
-    if workers == 1 or len(pending) <= 1:
-        for task in pending:
-            store.put(task.task_id(), task.key(), execute_task(task))
-            if progress is not None:
-                progress.tick()
-    else:
-        ctx = _pool_context()
-        with ctx.Pool(processes=min(workers, len(pending))) as pool:
-            # Unordered: each row is persisted the moment its task
-            # finishes, so an interrupt behind a straggler never discards
-            # completed work the resumable store exists to preserve.
-            for task_id, key, row in pool.imap_unordered(
-                _execute_keyed, pending, chunksize=1
-            ):
-                store.put(task_id, key, row)
-                if progress is not None:
-                    progress.tick()
+    runner = _execute_keyed if metrics is None else _execute_instrumented
 
-    return CampaignRunStats(
+    def record(result) -> None:
+        if metrics is None:
+            task_id, key, row = result
+        else:
+            task_id, key, row, elapsed_s, snapshot = result
+            metrics.put_task(task_id, key, elapsed_s, snapshot)
+        store.put(task_id, key, row)
+        if progress is not None:
+            progress.tick()
+
+    # The instrumented runner enables the process-wide registry; remember
+    # the caller's state so an inline metrics run does not leak "enabled"
+    # into whatever the process does next.
+    was_enabled = metrics_registry().enabled
+    try:
+        if workers == 1 or len(pending) <= 1:
+            for task in pending:
+                record(runner(task))
+        else:
+            ctx = _pool_context()
+            with ctx.Pool(processes=min(workers, len(pending))) as pool:
+                # Unordered: each row is persisted the moment its task
+                # finishes, so an interrupt behind a straggler never discards
+                # completed work the resumable store exists to preserve.
+                for result in pool.imap_unordered(runner, pending, chunksize=1):
+                    record(result)
+    finally:
+        if metrics is not None and not was_enabled:
+            metrics_registry().disable()
+
+    stats = CampaignRunStats(
         total=len(tasks),
         executed=len(pending),
         cached=cached,
         workers=workers,
         elapsed_s=time.perf_counter() - start,
     )
+    if metrics is not None:
+        metrics.put_campaign({
+            "name": spec.name,
+            "scenario": spec.scenario,
+            "total": stats.total,
+            "executed": stats.executed,
+            "cached": stats.cached,
+            "workers": stats.workers,
+            "elapsed_s": stats.elapsed_s,
+        })
+    return stats

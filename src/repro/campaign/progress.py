@@ -42,6 +42,16 @@ class ProgressReporter:
         self._last_emit = float("-inf")
         self.done = 0
         self.cached = 0
+        # Execution-rate base: cache-hit replays are (near-)instant store
+        # lookups, while executions are full simulation rounds — one rate
+        # over both skews the ETA badly after a big cached prefix (the
+        # resume case: thousands of cached ticks during the store scan,
+        # then real work).  Cached ticks before the first execution push
+        # this base forward, so the execution rate — the one the ETA is
+        # computed from, since everything remaining is an execution —
+        # measures execution time only.
+        self._exec_base = self._start
+        self._exec_started = False
 
     @property
     def executed(self) -> int:
@@ -50,22 +60,34 @@ class ProgressReporter:
     def tick(self, *, cached: bool = False) -> None:
         """Record one finished task; maybe emit a progress line."""
         self.done += 1
+        now = self._clock()
         if cached:
             self.cached += 1
-        now = self._clock()
+            if not self._exec_started:
+                self._exec_base = now
+        else:
+            self._exec_started = True
         if self.done < self.total and now - self._last_emit < self.min_interval_s:
             return
         self._last_emit = now
         self._emit(now)
 
     def _emit(self, now: float) -> None:
-        elapsed = now - self._start
         parts = [f"{self.name}: {self.done}/{self.total} tasks"]
         if self.cached:
-            parts.append(f"({self.cached} cached)")
+            cache_window = (
+                self._exec_base if self._exec_started else now
+            ) - self._start
+            if cache_window > 0:
+                parts.append(
+                    f"({self.cached} cached @ {self.cached / cache_window:.0f}/s)"
+                )
+            else:
+                parts.append(f"({self.cached} cached)")
         executed = self.executed
-        if executed and elapsed > 0:
-            rate = executed / elapsed
+        exec_elapsed = now - self._exec_base
+        if executed and exec_elapsed > 0:
+            rate = executed / exec_elapsed
             parts.append(f"{rate:.1f}/s")
             remaining = self.total - self.done
             if remaining:

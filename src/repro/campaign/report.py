@@ -141,3 +141,31 @@ def download_summaries(
             f"got scenario {spec.scenario!r}"
         )
     return point_summaries(store, spec)
+
+
+def render_metrics_report(metrics, *, top: int = 12) -> str:
+    """The ``campaign report --metrics`` section: telemetry folded across
+    all executed tasks of a campaign's :class:`MetricsLog` sidecar.
+
+    Merges every per-task snapshot (type-driven, exact — see
+    :func:`repro.obs.registry.merge_snapshots`), then renders the same
+    breakdown ``repro stats`` prints for a single round, prefixed with
+    per-task wall-clock statistics and the slowest task.
+    """
+    from repro.obs import merge_snapshots
+    from repro.obs.export import render_stats_report
+
+    records = metrics.task_records()
+    if not records:
+        return "no per-task metrics recorded (run with --metrics)"
+    elapsed = [record["elapsed_s"] for record in records]
+    total_s = sum(elapsed)
+    slowest = max(records, key=lambda record: record["elapsed_s"])
+    lines = [
+        f"telemetry over {len(records)} executed task(s): "
+        f"{total_s:.2f} s total, {total_s / len(records):.2f} s/task mean, "
+        f"slowest {slowest['elapsed_s']:.2f} s (task {slowest['task_id'][:12]})",
+    ]
+    merged = merge_snapshots([record["metrics"] for record in records])
+    lines.append(render_stats_report(merged, elapsed_s=total_s, top=top))
+    return "\n".join(lines)

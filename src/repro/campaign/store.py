@@ -152,3 +152,99 @@ class JsonlStore(ResultStore):
     def rows(self) -> Iterator[tuple[str, dict]]:
         """(task_id, row) pairs currently held."""
         return iter(self._rows.items())
+
+
+class MetricsLog:
+    """Append-only JSONL sidecar of per-task metric snapshots.
+
+    Lives next to a result store (``<store>.jsonl.metrics``) and carries
+    the campaign telemetry stream: one ``{"kind": "task", ...}`` line per
+    *executed* task (cached replays produce no metrics) plus one
+    ``{"kind": "campaign", ...}`` summary line per ``run_campaign`` call.
+    Timing data is wall-clock and therefore non-deterministic, which is
+    exactly why it is kept out of the result rows — those feed the
+    bit-identity pins and the science tables.
+
+    Same durability posture as :class:`JsonlStore`: append+flush per
+    record, and a torn final line (interrupted run) is truncated away on
+    reopen rather than poisoning the file.
+    """
+
+    def __init__(self, path) -> None:
+        self.path = os.fspath(path)
+        self._records: list[dict] = []
+        self._handle = None
+        parent = os.path.dirname(self.path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        if os.path.exists(self.path):
+            self._load()
+
+    @staticmethod
+    def sidecar_path(store_path) -> str:
+        """The metrics path belonging to a result-store path."""
+        return f"{os.fspath(store_path)}.metrics"
+
+    def _load(self) -> None:
+        with open(self.path, "r", encoding="utf-8", newline="") as handle:
+            lines = handle.readlines()
+        consumed_bytes = 0
+        for index, line in enumerate(lines):
+            if line.strip():
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    if index == len(lines) - 1:
+                        os.truncate(self.path, consumed_bytes)
+                        return
+                    raise CampaignError(
+                        f"corrupt metrics log {self.path!r} at line "
+                        f"{index + 1}: {exc}"
+                    ) from None
+                self._records.append(record)
+            consumed_bytes += len(line.encode("utf-8"))
+
+    def _append(self, record: dict) -> None:
+        if self._handle is None:
+            self._handle = open(self.path, "a", encoding="utf-8")
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+        self._records.append(record)
+
+    def put_task(
+        self, task_id: str, key: str, elapsed_s: float, snapshot: dict
+    ) -> None:
+        """Record one executed task's metric snapshot."""
+        self._append({
+            "kind": "task",
+            "task_id": task_id,
+            "key": key,
+            "elapsed_s": elapsed_s,
+            "metrics": snapshot,
+        })
+
+    def put_campaign(self, summary: dict) -> None:
+        """Record one ``run_campaign`` call's summary line."""
+        self._append({"kind": "campaign", **summary})
+
+    def task_records(self) -> list[dict]:
+        """All per-task records currently held (newest last)."""
+        return [r for r in self._records if r.get("kind") == "task"]
+
+    def campaign_records(self) -> list[dict]:
+        """All campaign summary records currently held (newest last)."""
+        return [r for r in self._records if r.get("kind") == "campaign"]
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "MetricsLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

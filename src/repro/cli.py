@@ -15,7 +15,15 @@ any Python:
   :mod:`repro.mobility.traceio`);
 * ``campaign run|report`` — declarative, parallel, resumable campaigns
   over any registered scenario, its presets, or a spec file (see
-  :mod:`repro.campaign` and :mod:`repro.scenarios`).
+  :mod:`repro.campaign` and :mod:`repro.scenarios`); ``--metrics``
+  streams per-task telemetry into a JSONL sidecar and folds it back in
+  reports;
+* ``profile`` — cProfile one round or a whole campaign (aggregated),
+  optionally emitting a collapsed-stacks flamegraph file;
+* ``stats`` — one instrumented round, metrics breakdown with the top
+  event-kernel cost centers;
+* ``trace-viz`` — one instrumented round exported as Chrome
+  trace-event / Perfetto JSON (see ``docs/OBSERVABILITY.md``).
 
 Every scenario-shaped choice here — preset names, ``--scenario`` values,
 report table layouts — is enumerated from the scenario plugin registry,
@@ -41,6 +49,7 @@ from repro.analysis import (
 from repro.campaign import (
     CampaignSpec,
     JsonlStore,
+    MetricsLog,
     ProgressReporter,
     config_from_dict,
     config_to_dict,
@@ -251,16 +260,10 @@ def _print_campaign_report(spec: CampaignSpec, store: JsonlStore) -> None:
         print(plugin.report_line(summary))
 
 
-def _cmd_profile(args: argparse.Namespace) -> int:
-    """Run one scenario round under cProfile and print the hot spots.
-
-    Future perf PRs should start from this data rather than guessing:
-    ``repro profile --scenario multi_ap`` answers "where does a round
-    actually spend its time" in a few seconds.
-    """
-    import cProfile
+def _scenario_round_config(args: argparse.Namespace):
+    """``(plugin, config)`` for one round of ``--scenario`` with
+    ``--seed`` / ``--set`` applied (shared by profile/stats/trace-viz)."""
     import dataclasses
-    import pstats
 
     plugin = get_scenario(args.scenario)
     config = plugin.default_config()
@@ -269,17 +272,161 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     for override in args.set or []:
         path, sep, raw = override.partition("=")
         if not sep:
-            print(f"profile: --set expects PATH=VALUE, got {override!r}",
-                  file=sys.stderr)
-            return 2
+            raise CampaignError(f"--set expects PATH=VALUE, got {override!r}")
         config = apply_override(config, path.strip(), _parse_set_value(raw))
-    context = plugin.build_round(config, args.round)
+    return plugin, config
+
+
+def _frame_name(func: tuple) -> str:
+    """A flamegraph-safe frame label for a pstats function key."""
+    filename, _lineno, funcname = func
+    if filename in ("~", ""):
+        return funcname.strip("<>").replace(";", ":").replace(" ", "_")
+    import os.path
+
+    module = os.path.splitext(os.path.basename(filename))[0]
+    return f"{module}.{funcname}".replace(";", ":").replace(" ", "_")
+
+
+def _write_collapsed_stacks(stats, path: str) -> int:
+    """Write ``caller;callee microseconds`` lines for flamegraph tools.
+
+    cProfile keeps caller→callee edges, not full stacks, so this is the
+    edge-folded approximation: each line attributes a function's
+    self-time to its direct caller (two frames deep).  The totals equal
+    the profile's tottime, and ``flamegraph.pl`` / speedscope render it
+    directly.
+    """
+    lines = []
+    for func, (_cc, _nc, tt, _ct, callers) in stats.stats.items():
+        name = _frame_name(func)
+        if callers:
+            for caller, (_ccc, _cnc, caller_tt, _cct) in callers.items():
+                micros = int(round(caller_tt * 1e6))
+                if micros > 0:
+                    lines.append(f"{_frame_name(caller)};{name} {micros}")
+        else:
+            micros = int(round(tt * 1e6))
+            if micros > 0:
+                lines.append(f"{name} {micros}")
+    with open(path, "w", encoding="utf-8") as handle:
+        for line in sorted(lines):
+            handle.write(line + "\n")
+    return len(lines)
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """cProfile a scenario round — or a whole campaign — and print hot spots.
+
+    Future perf PRs should start from this data rather than guessing:
+    ``repro profile --scenario multi_ap`` answers "where does a round
+    actually spend its time" in a few seconds.  With ``--preset``,
+    ``--spec``, ``--rounds`` or ``--points`` the profiler aggregates
+    across every task of the resolved campaign (one profile, all
+    rounds), and ``--flamegraph FILE`` additionally writes a collapsed-
+    stacks file for flamegraph.pl / speedscope.
+    """
+    import cProfile
+    import pstats
+
+    from repro.campaign.executor import execute_task
+
+    campaign_mode = bool(
+        args.preset or args.spec or args.rounds is not None or args.points
+    )
     profiler = cProfile.Profile()
-    profiler.enable()
-    context.run()
-    profiler.disable()
+    try:
+        if campaign_mode:
+            spec = _campaign_spec(args)
+            tasks = spec.expand()
+            for task in tasks:
+                profiler.enable()
+                execute_task(task)
+                profiler.disable()
+            print(
+                f"profile: aggregated over {len(tasks)} task(s) of "
+                f"campaign {spec.name!r}"
+            )
+        else:
+            plugin, config = _scenario_round_config(args)
+            context = plugin.build_round(config, args.round)
+            profiler.enable()
+            context.run()
+            profiler.disable()
+    except ReproError as exc:
+        print(f"profile: {exc}", file=sys.stderr)
+        return 2
     stats = pstats.Stats(profiler, stream=sys.stdout)
     stats.sort_stats(args.sort).print_stats(args.limit)
+    if args.flamegraph:
+        count = _write_collapsed_stacks(stats, args.flamegraph)
+        print(f"wrote {args.flamegraph}: {count} collapsed-stack edges")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    """Run one instrumented round and print the metrics breakdown.
+
+    The event-kernel section names the top cost centers (callback label,
+    call count, cumulative wall time) — the evidence the ROADMAP's
+    "break the event-kernel ceiling" work plans against.
+    """
+    import time as _time
+
+    from repro import obs
+    from repro.obs.export import render_stats_report
+
+    try:
+        plugin, config = _scenario_round_config(args)
+        with obs.instrumented():
+            start = _time.perf_counter()
+            plugin.run_round(config, args.round)
+            elapsed_s = _time.perf_counter() - start
+            snapshot = obs.registry().snapshot()
+    except ReproError as exc:
+        print(f"stats: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps({"elapsed_s": elapsed_s, "metrics": snapshot},
+                         sort_keys=True))
+        return 0
+    print(
+        f"stats: one {args.scenario!r} round (round {args.round}) "
+        f"in {elapsed_s:.2f} s wall"
+    )
+    print(render_stats_report(snapshot, elapsed_s=elapsed_s, top=args.top))
+    return 0
+
+
+def _cmd_trace_viz(args: argparse.Namespace) -> int:
+    """Run one instrumented round and export a Perfetto trace JSON.
+
+    The file loads directly in https://ui.perfetto.dev and shows the
+    round → slot → broadcast → batch-kernel span hierarchy against wall
+    clock (see docs/OBSERVABILITY.md for how to read it).
+    """
+    from repro import obs
+    from repro.obs.export import write_chrome_trace
+
+    try:
+        plugin, config = _scenario_round_config(args)
+        with obs.instrumented(capacity=args.capacity) as tracer:
+            plugin.run_round(config, args.round)
+            tracer.finish()
+            document = write_chrome_trace(
+                tracer,
+                args.out,
+                metadata={"scenario": args.scenario, "round": args.round},
+            )
+    except (ReproError, OSError) as exc:
+        print(f"trace-viz: {exc}", file=sys.stderr)
+        return 2
+    spans = len(document["traceEvents"])
+    dropped = f", {tracer.dropped} dropped" if tracer.dropped else ""
+    print(
+        f"wrote {args.out}: {spans} spans{dropped} (validated); "
+        f"open in https://ui.perfetto.dev"
+    )
     return 0
 
 
@@ -366,17 +513,26 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
 
 
 def _cmd_campaign_run(args: argparse.Namespace) -> int:
+    import contextlib
+
     try:
         spec = _campaign_spec(args)
         if args.save_spec:
             spec.save(args.save_spec)
         store_path = args.store or _default_store_path(spec)
-        with JsonlStore(store_path) as store:
+        with contextlib.ExitStack() as stack:
+            store = stack.enter_context(JsonlStore(store_path))
+            metrics = None
+            if args.metrics:
+                metrics = stack.enter_context(
+                    MetricsLog(MetricsLog.sidecar_path(store_path))
+                )
             progress = ProgressReporter(
                 total=len(spec.expand()), name=spec.name, stream=sys.stderr
             )
             stats = run_campaign(
-                spec, store, workers=args.workers, progress=progress
+                spec, store, workers=args.workers, progress=progress,
+                metrics=metrics,
             )
             print(progress.summary(), file=sys.stderr)
             print(
@@ -384,6 +540,8 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
                 f"{stats.cached} cached on {stats.workers} worker(s) "
                 f"in {stats.elapsed_s:.1f} s; store: {store_path}"
             )
+            if metrics is not None:
+                print(f"metrics: {metrics.path}")
             _print_campaign_report(spec, store)
     except (ReproError, OSError) as exc:
         print(f"campaign: {exc}", file=sys.stderr)
@@ -397,6 +555,12 @@ def _cmd_campaign_report(args: argparse.Namespace) -> int:
         store_path = args.store or _default_store_path(spec)
         with JsonlStore(store_path) as store:
             _print_campaign_report(spec, store)
+        if args.metrics:
+            from repro.campaign.report import render_metrics_report
+
+            with MetricsLog(MetricsLog.sidecar_path(store_path)) as metrics:
+                print()
+                print(render_metrics_report(metrics))
     except (ReproError, OSError) as exc:
         print(f"campaign: {exc}", file=sys.stderr)
         return 2
@@ -435,7 +599,7 @@ def build_parser() -> argparse.ArgumentParser:
     multi_ap.set_defaults(func=_cmd_multi_ap)
 
     profile = sub.add_parser(
-        "profile", help="cProfile one scenario round (perf work starts here)"
+        "profile", help="cProfile a scenario round or campaign (perf work starts here)"
     )
     profile.add_argument(
         "--scenario",
@@ -443,8 +607,26 @@ def build_parser() -> argparse.ArgumentParser:
         default="urban",
         help="scenario to profile (default config, one round)",
     )
+    profile.add_argument(
+        "--preset",
+        choices=sorted(_campaign_presets()),
+        help="profile every task of this campaign preset (aggregated)",
+    )
+    profile.add_argument(
+        "--spec", help="profile every task of this CampaignSpec JSON file"
+    )
     profile.add_argument("--seed", type=int, default=None, help="override config seed")
     profile.add_argument("--round", type=int, default=0, help="round index to build")
+    profile.add_argument(
+        "--rounds",
+        type=int,
+        default=None,
+        help="campaign mode: profile this many rounds aggregated",
+    )
+    profile.add_argument(
+        "--points",
+        help="campaign mode: comma-separated grid labels to keep",
+    )
     profile.add_argument(
         "--sort",
         choices=["cumulative", "tottime", "calls"],
@@ -458,7 +640,64 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH=VALUE",
         help="override a config field, e.g. --set round_duration_s=10",
     )
+    profile.add_argument(
+        "--flamegraph",
+        metavar="FILE",
+        help="also write a collapsed-stacks file (flamegraph.pl / speedscope)",
+    )
     profile.set_defaults(func=_cmd_profile)
+
+    stats = sub.add_parser(
+        "stats", help="run one instrumented round and print the metrics breakdown"
+    )
+    stats.add_argument(
+        "--scenario",
+        choices=scenario_names(),
+        default="urban",
+        help="scenario to instrument (default config, one round)",
+    )
+    stats.add_argument("--seed", type=int, default=None, help="override config seed")
+    stats.add_argument("--round", type=int, default=0, help="round index to build")
+    stats.add_argument("--top", type=int, default=12, help="cost-center rows to print")
+    stats.add_argument(
+        "--set",
+        action="append",
+        metavar="PATH=VALUE",
+        help="override a config field, e.g. --set round_duration_s=10",
+    )
+    stats.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the raw metrics snapshot as JSON instead of the breakdown",
+    )
+    stats.set_defaults(func=_cmd_stats)
+
+    trace_viz = sub.add_parser(
+        "trace-viz",
+        help="run one instrumented round and export Perfetto trace JSON",
+    )
+    trace_viz.add_argument(
+        "--scenario",
+        choices=scenario_names(),
+        default="urban",
+        help="scenario to trace (default config, one round)",
+    )
+    trace_viz.add_argument("--out", required=True, help="output trace JSON path")
+    trace_viz.add_argument("--seed", type=int, default=None, help="override config seed")
+    trace_viz.add_argument("--round", type=int, default=0, help="round index to build")
+    trace_viz.add_argument(
+        "--capacity",
+        type=int,
+        default=100_000,
+        help="span ring-buffer size (oldest spans drop beyond this)",
+    )
+    trace_viz.add_argument(
+        "--set",
+        action="append",
+        metavar="PATH=VALUE",
+        help="override a config field, e.g. --set round_duration_s=10",
+    )
+    trace_viz.set_defaults(func=_cmd_trace_viz)
 
     scenarios = sub.add_parser(
         "scenarios", help="list the registered scenario plugins"
@@ -547,12 +786,22 @@ def build_parser() -> argparse.ArgumentParser:
     _spec_arguments(run)
     run.add_argument("--workers", type=int, default=1, help="worker processes")
     run.add_argument("--save-spec", help="also write the resolved spec JSON here")
+    run.add_argument(
+        "--metrics",
+        action="store_true",
+        help="stream per-task metric snapshots into <store>.metrics",
+    )
     run.set_defaults(func=_cmd_campaign_run)
 
     report = campaign_sub.add_parser(
         "report", help="aggregate an existing store (no simulation)"
     )
     _spec_arguments(report)
+    report.add_argument(
+        "--metrics",
+        action="store_true",
+        help="also fold and print the <store>.metrics telemetry sidecar",
+    )
     report.set_defaults(func=_cmd_campaign_report)
 
     return parser

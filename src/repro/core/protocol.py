@@ -36,6 +36,7 @@ from repro.mac.medium import RxInfo
 from repro.mac.timing import frame_airtime
 from repro.net.buffer import BufferEntry, PacketBuffer
 from repro.net.node import Node
+from repro.obs.probes import protocol_probes
 from repro.sim import Event, Interrupt, Process, Simulator
 
 
@@ -94,6 +95,10 @@ class CarqProtocol:
         self.table = CooperatorTable()
         self.coop_buffer = PacketBuffer(config.buffer_capacity)
         self.stats = CarqStats()
+        # Frame-level metrics (None while repro.obs is disabled).  The
+        # per-round science numbers stay in ``stats``; the probes feed the
+        # cross-round/cross-task telemetry stream.
+        self._obs = protocol_probes()
 
         self._started = False
         self._last_ap_time: float | None = None
@@ -171,6 +176,8 @@ class CarqProtocol:
         )
         self.node.iface.send(frame)
         self.stats.hellos_sent += 1
+        if self._obs is not None:
+            self._obs.hello_tx.value += 1
 
     # ------------------------------------------------------------ frame dispatch --
 
@@ -199,6 +206,8 @@ class CarqProtocol:
 
     def _on_hello(self, frame: HelloFrame, info: RxInfo) -> None:
         now = self.sim.now
+        if self._obs is not None:
+            self._obs.hello_rx.value += 1
         self.table.hear_hello(NodeId(frame.src), now, info.rx_power_dbm)
         if self.node.node_id in frame.cooperators:
             my_order = frame.cooperators.index(self.node.node_id)
@@ -219,6 +228,8 @@ class CarqProtocol:
                 self._maybe_restart_recovery()
 
     def _on_request(self, frame: RequestFrame, info: RxInfo) -> None:
+        if self._obs is not None:
+            self._obs.request_rx.value += 1
         requester = NodeId(frame.src)
         my_order = self.table.my_order_for(requester)
         if my_order is None:
@@ -233,6 +244,8 @@ class CarqProtocol:
 
     def _on_coop_data(self, frame: CoopDataFrame, info: RxInfo) -> None:
         now = self.sim.now
+        if self._obs is not None:
+            self._obs.coop_data_rx.value += 1
         key = (frame.flow_dst, frame.seq)
         self._overheard_responses[key] = now
         if frame.flow_dst == self.my_flow:
@@ -344,6 +357,8 @@ class CarqProtocol:
             self.node.iface.send(frame)
             self.stats.request_frames_sent += 1
             self.stats.seqs_requested += 1
+            if self._obs is not None:
+                self._obs.request_tx.value += 1
             yield self._response_window(1)
 
     def _request_batched(
@@ -365,6 +380,8 @@ class CarqProtocol:
             self.node.iface.send(frame)
             self.stats.request_frames_sent += 1
             self.stats.seqs_requested += len(chunk)
+            if self._obs is not None:
+                self._obs.request_tx.value += 1
             yield self._response_window(len(chunk))
 
     # ------------------------------------------------------------ responder side --
@@ -385,6 +402,8 @@ class CarqProtocol:
             overheard = self._overheard_responses.get((requester, seq))
             if overheard is not None and overheard >= request_time:
                 self.stats.responses_suppressed += 1
+                if self._obs is not None:
+                    self._obs.responses_suppressed.value += 1
                 continue
             frame = CoopDataFrame(
                 src=self.node.node_id,
@@ -396,6 +415,8 @@ class CarqProtocol:
             )
             self.node.iface.send(frame)
             self.stats.responses_sent += 1
+            if self._obs is not None:
+                self._obs.coop_data_tx.value += 1
             yield frame_airtime(entry.size_bytes, self.node.iface.config.rate) + (
                 self.config.request_guard_s
             )

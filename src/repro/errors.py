@@ -59,6 +59,15 @@ class AnalysisError(ReproError):
     """Post-processing was asked to analyse inconsistent trace data."""
 
 
+class ObsError(ReproError):
+    """The observability layer was used or configured incorrectly.
+
+    Examples: registering one metric name under two types, merging
+    histograms with different bucket bounds, closing a span that was
+    never opened, or exporting a malformed Chrome trace document.
+    """
+
+
 class CampaignError(ReproError):
     """A campaign spec, store, or execution request is invalid.
 

@@ -47,9 +47,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.errors import MacError
 from repro.mac.frames import Frame
 from repro.mac.timing import frame_airtime
+from repro.obs.probes import medium_probes
 from repro.radio.batch import broadcast_samples
 from repro.radio.channel import Channel, LinkSample
 from repro.radio.modulation import WifiRate
@@ -276,6 +278,11 @@ class Medium:
             NetworkInterface,
             tuple[typing.Hashable, float, float, object, object],
         ] = {}
+        # Observability snapshot (see repro.obs): probe bundle + tracer
+        # are captured here, so enable/install before building the medium.
+        # Both default to None, leaving the hot paths a single is-test.
+        self._obs = medium_probes()
+        self._spans = obs.tracer()
         self._tx_seq = 0
         self._index: _NeighborIndex | None = None
         self._index_version = 0
@@ -442,7 +449,17 @@ class Medium:
         tx_id = tx_iface.node_id
         candidates = self._candidates(tx_iface, tx_pos)
         finishing: list[tuple[NetworkInterface, _Arrival]] = []
-        if self._batch and len(candidates) >= self._batch_min_candidates:
+        use_batch = (
+            self._batch and len(candidates) >= self._batch_min_candidates
+        )
+        spans = self._spans
+        if spans is not None:
+            spans.begin(
+                "broadcast", cat="medium", sim_time=now, tx=str(tx_id),
+                candidates=len(candidates),
+                path="batch" if use_batch else "scalar",
+            )
+        if use_batch:
             self._receive_batch(
                 tx_iface, candidates, frame, rate, tx_pos, tx_power, tx_id,
                 now, end, tx_seq, finishing,
@@ -477,6 +494,10 @@ class Medium:
                     rx_iface, _Arrival(frame, rate, sample, now, end), finishing
                 )
 
+        if self._obs is not None:
+            self._obs.on_broadcast(len(candidates), len(finishing), use_batch)
+        if spans is not None:
+            spans.end(admitted=len(finishing))
         if finishing:
             # One frame-end event for the whole broadcast (the arrivals all
             # end at the same instant and carry consecutive ranks anyway).
@@ -573,11 +594,19 @@ class Medium:
             pos = rx_ifaces[i].position()
             xs[i] = pos.x
             ys[i] = pos.y
+        obs_probes = self._obs
+        if obs_probes is not None:
+            obs_probes.lanes.observe(index)
+        spans = self._spans
+        if spans is not None:
+            spans.begin("batch-kernel", cat="medium", lanes=index)
         result = broadcast_samples(
             self._channel, tx_id, rx_ids, tx_pos,
             xs, ys, gathered[:, 0], gathered[:, 1],
             tx_power, self._cull_headroom_db, now, tx_seq,
         )
+        if spans is not None:
+            spans.end(kept=len(result.kept))
         rx_power = result.rx_power_dbm.tolist()
         mean_power = result.mean_rx_power_dbm.tolist()
         distance = result.distance_m.tolist()
@@ -595,8 +624,12 @@ class Medium:
         self, finishing: list[tuple["NetworkInterface", _Arrival]]
     ) -> None:
         if self._batch and len(finishing) >= self._batch_min_candidates:
+            if self._obs is not None:
+                self._obs.frame_end_batch.value += 1
             self._finish_batch(finishing)
             return
+        if self._obs is not None:
+            self._obs.frame_end_scalar.value += 1
         for rx_iface, arrival in finishing:
             self._finish_arrival(rx_iface, arrival)
 

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
 from repro.mac.frames import NodeId
+from repro.obs.probes import buffer_probes
 
 
 @dataclass(frozen=True)
@@ -53,6 +54,8 @@ class PacketBuffer:
         self._per_flow: dict[NodeId, set[int]] = {}
         #: Number of entries evicted due to capacity pressure.
         self.evictions = 0
+        # Hit/miss/eviction telemetry (None while repro.obs is disabled).
+        self._obs = buffer_probes()
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -90,17 +93,31 @@ class PacketBuffer:
             evicted_key, _ = self._entries.popitem(last=False)
             self._index_remove(*evicted_key)
             self.evictions += 1
+            if self._obs is not None:
+                self._obs.evictions.value += 1
         self._entries[key] = entry
         self._index_add(entry.flow_dst, entry.seq)
         return True
 
     def has(self, flow_dst: NodeId, seq: int) -> bool:
         """Whether the packet is stored."""
-        return (flow_dst, seq) in self._entries
+        found = (flow_dst, seq) in self._entries
+        if self._obs is not None:
+            if found:
+                self._obs.hits.value += 1
+            else:
+                self._obs.misses.value += 1
+        return found
 
     def get(self, flow_dst: NodeId, seq: int) -> BufferEntry | None:
         """The stored entry, or ``None``."""
-        return self._entries.get((flow_dst, seq))
+        entry = self._entries.get((flow_dst, seq))
+        if self._obs is not None:
+            if entry is not None:
+                self._obs.hits.value += 1
+            else:
+                self._obs.misses.value += 1
+        return entry
 
     def discard(self, flow_dst: NodeId, seq: int) -> bool:
         """Remove a packet; returns whether it was present."""

@@ -9,6 +9,7 @@ from repro.mac.frames import NodeId
 from repro.mac.interface import NetworkInterface
 from repro.mac.medium import Medium
 from repro.mobility.base import MobilityModel
+from repro.obs.registry import registry as _metrics_registry
 from repro.radio.phy import RadioConfig
 from repro.sim import Simulator
 
@@ -45,6 +46,11 @@ class Node:
         self.sim = sim
         self.node_id = node_id
         self.name = name or f"node-{node_id}"
+        # Topology-size telemetry: one bump per node, construction-time
+        # only, so no probe bundle is worth holding onto here.
+        reg = _metrics_registry()
+        if reg.enabled:
+            reg.counter("net.nodes_built").value += 1
         self.mobility = mobility
         self.iface = NetworkInterface(
             sim,

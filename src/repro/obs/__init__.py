@@ -1,0 +1,126 @@
+"""Simulator observability: metrics registry, probes, span tracing.
+
+Three layers, strictly opt-in:
+
+* :mod:`repro.obs.registry` — a process-wide metrics registry (counters,
+  gauges, log-bucketed histograms, key→cost tables).  Disabled by
+  default; while disabled, every probe factory in
+  :mod:`repro.obs.probes` returns ``None`` and the instrumented hot
+  paths reduce to a single attribute load plus an ``is None`` test.
+* :mod:`repro.obs.spans` — a wall-clock span tracer with a bounded ring
+  buffer, exported as Chrome trace-event / Perfetto JSON by
+  :mod:`repro.obs.export` (``repro trace-viz``).
+* campaign telemetry — the executor snapshots the registry per task and
+  streams the snapshots into a JSONL sidecar next to the result store
+  (:class:`repro.campaign.store.MetricsLog`).
+
+The contract that keeps all of this safe to enable in science runs:
+instrumentation takes **no RNG draws** and never feeds back into the
+simulation — it only counts and reads the wall clock — so the 3-arm
+exhaustive/fast/batch A/B pin stays bit-identical with everything
+switched on (``tests/scenarios/test_fast_path_ab.py``).
+
+Because components capture their probe bundle at construction time,
+enable the registry (and install a tracer) *before* building a round::
+
+    from repro import obs
+
+    with obs.instrumented() as tracer:
+        row = plugin.run_round(config, round_index)
+    snapshot = obs.registry().snapshot()
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator
+
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Table,
+    merge_snapshots,
+    registry,
+)
+from repro.obs.spans import Span, SpanTracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "SpanTracer",
+    "Table",
+    "clear_tracer",
+    "disable",
+    "enable",
+    "enabled",
+    "install_tracer",
+    "instrumented",
+    "merge_snapshots",
+    "registry",
+    "tracer",
+]
+
+_TRACER: SpanTracer | None = None
+
+
+def enable() -> None:
+    """Switch the process-wide metrics registry on."""
+    registry().enable()
+
+
+def disable() -> None:
+    """Switch the process-wide metrics registry off."""
+    registry().disable()
+
+
+def enabled() -> bool:
+    """Whether the process-wide metrics registry is on."""
+    return registry().enabled
+
+
+def install_tracer(span_tracer: SpanTracer) -> SpanTracer:
+    """Make *span_tracer* the process-wide tracer and return it.
+
+    Components capture :func:`tracer` at construction, so install before
+    building the simulation that should be traced.
+    """
+    global _TRACER
+    _TRACER = span_tracer
+    return span_tracer
+
+
+def clear_tracer() -> None:
+    """Remove the process-wide tracer."""
+    global _TRACER
+    _TRACER = None
+
+
+def tracer() -> SpanTracer | None:
+    """The process-wide tracer, or ``None`` when tracing is off."""
+    return _TRACER
+
+
+@contextlib.contextmanager
+def instrumented(*, capacity: int = 100_000) -> Iterator[SpanTracer]:
+    """Enable metrics + tracing for a block, restoring prior state after.
+
+    Resets the registry on entry so the block's snapshot reflects only
+    the work inside it.  Yields the installed tracer.
+    """
+    reg = registry()
+    was_enabled = reg.enabled
+    previous_tracer = _TRACER
+    reg.enable()
+    reg.reset()
+    span_tracer = install_tracer(SpanTracer(capacity=capacity))
+    try:
+        yield span_tracer
+    finally:
+        install_tracer(previous_tracer) if previous_tracer is not None else clear_tracer()
+        if not was_enabled:
+            reg.disable()

@@ -1,0 +1,393 @@
+"""The process-wide metrics registry.
+
+Four metric primitives, all allocation-light and RNG-free:
+
+* :class:`Counter` — a monotonically increasing integer.  Hot sites
+  bump ``counter.value += n`` directly; there is deliberately no method
+  call on the per-event path.
+* :class:`Gauge` — tracks the last, extreme and mean of a sampled
+  level (queue depth, candidate-set size).
+* :class:`Histogram` — fixed log-spaced buckets.  Bucket bounds are a
+  pure function of ``(lo, hi, per_decade)``, so histograms created
+  independently (different workers, different rounds) merge exactly:
+  merging is element-wise addition of bucket counts, which is
+  associative and commutative by construction (the hypothesis property
+  tests pin this).
+* :class:`Table` — ``key → (count, total_seconds)``; the event-kernel
+  cost-center accounting (``repro stats``) is one of these keyed by
+  callback label.
+
+A :class:`MetricsRegistry` owns named metrics and an ``enabled`` flag.
+The flag gates *creation*, not recording: probe factories
+(:mod:`repro.obs.probes`) return ``None`` while disabled, so the
+instrumented components skip all metric work behind a single
+``is None`` test.  ``snapshot()`` renders everything to plain JSON for
+the campaign telemetry sidecar; :func:`merge_snapshots` folds snapshots
+from many tasks/workers back together.
+"""
+
+from __future__ import annotations
+
+import copy
+from bisect import bisect_left
+from typing import Any
+
+from repro.errors import ObsError
+
+
+class Counter:
+    """A monotonically increasing event count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        """Add *n* (hot sites bump :attr:`value` directly instead)."""
+        self.value += n
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """A sampled level: last / min / max / mean of the observed values."""
+
+    __slots__ = ("name", "last", "min", "max", "total", "samples")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.reset()
+
+    def reset(self) -> None:
+        self.last = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self.total = 0.0
+        self.samples = 0
+
+    def set(self, value: float) -> None:
+        self.last = value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        self.total += value
+        self.samples += 1
+
+    def mean(self) -> float:
+        return self.total / self.samples if self.samples else 0.0
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "type": "gauge",
+            "last": self.last,
+            "min": self.min if self.samples else 0.0,
+            "max": self.max if self.samples else 0.0,
+            "mean": self.mean(),
+            "samples": self.samples,
+        }
+
+
+def histogram_bounds(
+    lo: float, hi: float, per_decade: int
+) -> tuple[float, ...]:
+    """Log-spaced bucket upper bounds covering ``[lo, hi]``.
+
+    A pure function of its arguments: two histograms built with the same
+    parameters — in different processes, at different times — get
+    exactly the same bounds, which is what makes merging their bucket
+    counts meaningful.
+    """
+    if lo <= 0 or hi <= lo:
+        raise ObsError(f"need 0 < lo < hi, got lo={lo!r} hi={hi!r}")
+    if per_decade < 1:
+        raise ObsError(f"need per_decade >= 1, got {per_decade!r}")
+    bounds: list[float] = []
+    exponent = 0
+    while True:
+        bound = lo * 10.0 ** (exponent / per_decade)
+        bounds.append(bound)
+        if bound >= hi:
+            return tuple(bounds)
+        exponent += 1
+
+
+class Histogram:
+    """Fixed log-spaced buckets over ``[lo, hi]`` with flank buckets.
+
+    ``counts`` has ``len(bounds) + 1`` slots: value ``v`` lands in the
+    first bucket whose upper bound is ``>= v`` (``bisect_left``), and
+    anything above the last bound lands in the final overflow slot.
+    Merging two histograms with identical bounds is element-wise
+    addition plus min/max/total folding — associative and commutative,
+    pinned by the hypothesis property tests.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "count", "total", "min", "max")
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        lo: float = 1.0,
+        hi: float = 1e6,
+        per_decade: int = 3,
+    ) -> None:
+        self.name = name
+        self.bounds = histogram_bounds(lo, hi, per_decade)
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def reset(self) -> None:
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def bucket_index(self, value: float) -> int:
+        """Index of the bucket *value* falls in."""
+        return bisect_left(self.bounds, value)
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold *other* into this histogram (bounds must match)."""
+        if other.bounds != self.bounds:
+            raise ObsError(
+                f"histogram {self.name!r}: merging incompatible bucket bounds"
+            )
+        for i, n in enumerate(other.counts):
+            self.counts[i] += n
+        self.count += other.count
+        self.total += other.total
+        if other.min < self.min:
+            self.min = other.min
+        if other.max > self.max:
+            self.max = other.max
+
+    def quantile(self, q: float) -> float:
+        """Upper bound of the bucket holding the *q*-quantile sample.
+
+        A bucketed estimate (exact only up to bucket resolution); the
+        overflow bucket reports the observed maximum.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ObsError(f"quantile must be in [0, 1], got {q!r}")
+        if not self.count:
+            return 0.0
+        target = q * self.count
+        running = 0
+        for i, n in enumerate(self.counts):
+            running += n
+            if running >= target and n:
+                if i < len(self.bounds):
+                    return self.bounds[i]
+                return self.max
+        return self.max
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "type": "histogram",
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "count": self.count,
+            "total": self.total,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+        }
+
+
+class Table:
+    """``key → [count, total]`` accounting (event-kernel cost centers)."""
+
+    __slots__ = ("name", "rows")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.rows: dict[str, list[float]] = {}
+
+    def reset(self) -> None:
+        self.rows.clear()
+
+    def add(self, key: str, value: float) -> None:
+        row = self.rows.get(key)
+        if row is None:
+            self.rows[key] = [1, value]
+        else:
+            row[0] += 1
+            row[1] += value
+
+    def top(self, n: int, *, by: str = "total") -> list[tuple[str, int, float]]:
+        """``(key, count, total)`` rows sorted by *by* (``total``/``count``)."""
+        index = 1 if by == "total" else 0
+        ranked = sorted(
+            self.rows.items(), key=lambda item: item[1][index], reverse=True
+        )
+        return [(key, int(row[0]), row[1]) for key, row in ranked[:n]]
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "type": "table",
+            "rows": {
+                key: {"count": int(row[0]), "total": row[1]}
+                for key, row in sorted(self.rows.items())
+            },
+        }
+
+
+class MetricsRegistry:
+    """Owns named metrics plus the process-wide enable flag.
+
+    Metric accessors are get-or-create: the probe bundles in
+    :mod:`repro.obs.probes` can be built once per component without
+    worrying about registration order, and two components naming the
+    same metric share the object.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Any] = {}
+        self._enabled = False
+
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    def enable(self) -> None:
+        self._enabled = True
+
+    def disable(self) -> None:
+        self._enabled = False
+
+    def _get(self, name: str, cls: type, **kwargs: Any) -> Any:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = self._metrics[name] = cls(name, **kwargs)
+        elif type(metric) is not cls:
+            raise ObsError(
+                f"metric {name!r} already registered as "
+                f"{type(metric).__name__}, not {cls.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(
+        self,
+        name: str,
+        *,
+        lo: float = 1.0,
+        hi: float = 1e6,
+        per_decade: int = 3,
+    ) -> Histogram:
+        return self._get(name, Histogram, lo=lo, hi=hi, per_decade=per_decade)
+
+    def table(self, name: str) -> Table:
+        return self._get(name, Table)
+
+    def reset(self) -> None:
+        """Zero every metric, keeping the objects (probes hold references)."""
+        for metric in self._metrics.values():
+            metric.reset()
+
+    def clear(self) -> None:
+        """Drop every metric object (test isolation; probes go stale)."""
+        self._metrics.clear()
+
+    def snapshot(self) -> dict[str, Any]:
+        """All metrics as plain JSON, sorted by name."""
+        return {
+            name: self._metrics[name].snapshot()
+            for name in sorted(self._metrics)
+        }
+
+
+_REGISTRY = MetricsRegistry()
+
+
+def registry() -> MetricsRegistry:
+    """The process-wide registry instance."""
+    return _REGISTRY
+
+
+def _merge_into(merged: dict[str, Any], name: str, snap: dict[str, Any]) -> None:
+    kind = snap.get("type")
+    current = merged.get(name)
+    if current is None:
+        merged[name] = copy.deepcopy(snap)
+        return
+    if current.get("type") != kind:
+        raise ObsError(f"metric {name!r}: snapshots disagree on type")
+    if kind == "counter":
+        current["value"] += snap["value"]
+    elif kind == "gauge":
+        samples = snap["samples"]
+        if samples:
+            if not current["samples"]:
+                current["min"], current["max"] = snap["min"], snap["max"]
+            else:
+                current["min"] = min(current["min"], snap["min"])
+                current["max"] = max(current["max"], snap["max"])
+            current["samples"] += samples
+            # A merged gauge has no meaningful "last"; keep the mean exact.
+            total = current["mean"] * (current["samples"] - samples) + snap["mean"] * samples
+            current["mean"] = total / current["samples"]
+            current["last"] = snap["last"]
+    elif kind == "histogram":
+        if current["bounds"] != snap["bounds"]:
+            raise ObsError(f"metric {name!r}: snapshots disagree on bucket bounds")
+        current["counts"] = [a + b for a, b in zip(current["counts"], snap["counts"])]
+        if snap["count"]:
+            if not current["count"]:
+                current["min"], current["max"] = snap["min"], snap["max"]
+            else:
+                current["min"] = min(current["min"], snap["min"])
+                current["max"] = max(current["max"], snap["max"])
+        current["count"] += snap["count"]
+        current["total"] += snap["total"]
+    elif kind == "table":
+        rows = current["rows"]
+        for key, row in snap["rows"].items():
+            existing = rows.get(key)
+            if existing is None:
+                rows[key] = dict(row)
+            else:
+                existing["count"] += row["count"]
+                existing["total"] += row["total"]
+    else:
+        raise ObsError(f"metric {name!r}: unknown snapshot type {kind!r}")
+
+
+def merge_snapshots(snapshots: list[dict[str, Any]]) -> dict[str, Any]:
+    """Fold many :meth:`MetricsRegistry.snapshot` dicts into one.
+
+    Counters, histogram buckets and table rows add; gauge extremes fold
+    by min/max with an exact weighted mean.  The fold is type-driven
+    from the ``"type"`` field, so snapshots from different code versions
+    merge as long as the metric shapes agree.
+    """
+    merged: dict[str, Any] = {}
+    for snap in snapshots:
+        for name, metric_snap in snap.items():
+            _merge_into(merged, name, metric_snap)
+    return {name: merged[name] for name in sorted(merged)}

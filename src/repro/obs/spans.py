@@ -1,0 +1,126 @@
+"""Wall-clock span tracing with a bounded ring buffer.
+
+A :class:`SpanTracer` records nested begin/end intervals — round →
+slot → broadcast → batch-kernel in the simulator's case — against the
+wall clock (``time.perf_counter_ns``; spans measure where real time
+goes, not simulated time; the simulated instant rides along in the span
+args).  Completed spans land in a ``deque(maxlen=capacity)`` ring:
+a dense round can emit millions of spans, and the ring keeps the most
+recent *capacity* of them while counting what it dropped, so memory
+stays bounded without a config knob per scenario.
+
+Export to Chrome trace-event / Perfetto JSON lives in
+:mod:`repro.obs.export`; install a process-wide tracer with
+:func:`repro.obs.install_tracer` (or :func:`repro.obs.instrumented`)
+**before** constructing the simulator/medium — both capture the tracer
+at ``__init__``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import time
+from collections import deque
+from typing import Any, Iterator
+
+from repro.errors import ObsError
+
+
+class Span:
+    """One completed interval: name, category, timing, nesting depth."""
+
+    __slots__ = ("name", "cat", "start_ns", "dur_ns", "depth", "args")
+
+    def __init__(
+        self,
+        name: str,
+        cat: str,
+        start_ns: int,
+        dur_ns: int,
+        depth: int,
+        args: dict[str, Any] | None,
+    ) -> None:
+        self.name = name
+        self.cat = cat
+        self.start_ns = start_ns
+        self.dur_ns = dur_ns
+        self.depth = depth
+        self.args = args
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.name!r}, cat={self.cat!r}, "
+            f"dur={self.dur_ns / 1e6:.3f} ms, depth={self.depth})"
+        )
+
+
+class SpanTracer:
+    """Begin/end span recording into a bounded ring buffer.
+
+    Spans follow stack discipline: :meth:`end` always closes the
+    innermost open span.  Completed spans are kept in completion order
+    (children before their parent — the Chrome trace format orders by
+    timestamp itself, so export does not care).
+    """
+
+    def __init__(self, *, capacity: int = 100_000) -> None:
+        if capacity < 1:
+            raise ObsError(f"tracer capacity must be positive, got {capacity!r}")
+        self.capacity = capacity
+        self.origin_ns = time.perf_counter_ns()
+        #: Completed spans dropped because the ring was full.
+        self.dropped = 0
+        self._spans: deque[Span] = deque(maxlen=capacity)
+        self._stack: list[tuple[str, str, int, dict[str, Any] | None]] = []
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    @property
+    def open_depth(self) -> int:
+        """Number of currently open (unclosed) spans."""
+        return len(self._stack)
+
+    def begin(self, name: str, cat: str = "sim", **args: Any) -> None:
+        """Open a span; keyword arguments become Perfetto ``args``."""
+        self._stack.append(
+            (name, cat, time.perf_counter_ns(), args or None)
+        )
+
+    def end(self, **extra: Any) -> None:
+        """Close the innermost open span, merging *extra* into its args."""
+        end_ns = time.perf_counter_ns()
+        if not self._stack:
+            raise ObsError("SpanTracer.end() with no open span")
+        name, cat, start_ns, args = self._stack.pop()
+        if extra:
+            args = {**(args or {}), **extra}
+        if len(self._spans) == self.capacity:
+            self.dropped += 1
+        self._spans.append(
+            Span(name, cat, start_ns, end_ns - start_ns, len(self._stack), args)
+        )
+
+    @contextlib.contextmanager
+    def span(self, name: str, cat: str = "sim", **args: Any) -> Iterator[None]:
+        """``with tracer.span("round", scenario="urban"): ...``"""
+        self.begin(name, cat, **args)
+        try:
+            yield
+        finally:
+            self.end()
+
+    def finish(self) -> None:
+        """Close every span still open (export-time cleanup)."""
+        while self._stack:
+            self.end()
+
+    def spans(self) -> list[Span]:
+        """Completed spans in completion order (a copy)."""
+        return list(self._spans)
+
+    def clear(self) -> None:
+        """Drop all completed spans and the dropped-count."""
+        self._spans.clear()
+        self._stack.clear()
+        self.dropped = 0

@@ -92,10 +92,25 @@ class ScenarioPlugin:
     presets: tuple[ScenarioPreset, ...] = ()
 
     def run_round(self, config, round_index: int) -> dict:
-        """Build, execute, and reduce one round to its result row."""
-        ctx = self.build_round(config, round_index)
-        ctx.run()
-        return self.collect_row(ctx)
+        """Build, execute, and reduce one round to its result row.
+
+        When a span tracer is installed (see :mod:`repro.obs`) the whole
+        round — build, run, collect — is wrapped in a ``round`` span, the
+        root of the round → slot → broadcast → batch-kernel hierarchy.
+        """
+        from repro import obs
+
+        tracer = obs.tracer()
+        if tracer is None:
+            ctx = self.build_round(config, round_index)
+            ctx.run()
+            return self.collect_row(ctx)
+        with tracer.span(
+            "round", cat="campaign", scenario=self.name, round=round_index
+        ):
+            ctx = self.build_round(config, round_index)
+            ctx.run()
+            return self.collect_row(ctx)
 
     def default_config(self):
         """The scenario configuration with every field at its default."""

@@ -11,7 +11,13 @@ class Monitor:
 
     Components call :meth:`record`; analysis code reads :attr:`times`,
     :attr:`values` or the summary statistics.  Values must be numeric.
+
+    Scenarios allocate one monitor per node (plus per-flow collectors),
+    so the class is slotted like the other per-node hot objects — see
+    the ``kernel.hot_object_alloc`` bench and its memory test.
     """
+
+    __slots__ = ("name", "_times", "_values")
 
     def __init__(self, name: str = "") -> None:
         self.name = name

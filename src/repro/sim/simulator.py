@@ -3,9 +3,12 @@
 from __future__ import annotations
 
 from collections.abc import Callable, Generator
+from time import perf_counter
 from typing import Any
 
+from repro import obs
 from repro.errors import SimulationError
+from repro.obs.probes import kernel_probes
 from repro.sim.event import Event, Priority
 from repro.sim.process import Process
 from repro.sim.random import RandomStreams
@@ -41,6 +44,14 @@ class Simulator:
         self._running = False
         self._stopped = False
         self.streams = RandomStreams(seed)
+        # Observability is captured at construction (enable the registry /
+        # install the tracer *before* building the simulation).  With both
+        # off, the only per-event cost left is one attribute load plus an
+        # ``is``-test in step() — the ≤2% budget bench_obs.py pins.
+        self._obs = kernel_probes()
+        self._tracer = obs.tracer()
+        self._instrumented = self._obs is not None or self._tracer is not None
+        self._slot_time: float | None = None
 
     # -- clock -----------------------------------------------------------------
 
@@ -89,6 +100,8 @@ class Simulator:
         event = Event(time, priority, self._seq, callback, args)
         self._seq += 1
         self._queue.push(event)
+        if self._obs is not None:
+            self._obs.pushed.value += 1
         return event
 
     def cancel(self, event: Event) -> None:
@@ -99,7 +112,8 @@ class Simulator:
         :attr:`pending_events` would go negative and :meth:`run` could
         stop while live events remain.
         """
-        self._queue.cancel(event)
+        if self._queue.cancel(event) and self._obs is not None:
+            self._obs.cancelled.value += 1
 
     # -- processes ----------------------------------------------------------------
 
@@ -121,8 +135,31 @@ class Simulator:
             return False
         event = self._queue.pop()
         self._now = event.time
-        event.callback(*event.args)
+        if self._instrumented:
+            self._step_observed(event)
+        else:
+            event.callback(*event.args)
         return True
+
+    def _step_observed(self, event: Event) -> None:
+        """step() with metrics/tracing on: slot spans, cost centers."""
+        tracer = self._tracer
+        if tracer is not None and event.time != self._slot_time:
+            # A new simulated instant: close the previous slot span and
+            # open the next, so the Perfetto timeline shows how much wall
+            # clock each simulated instant costs.
+            if self._slot_time is not None:
+                tracer.end()
+            tracer.begin("slot", cat="kernel", sim_time=event.time)
+            self._slot_time = event.time
+        if self._obs is None:
+            event.callback(*event.args)
+            return
+        start = perf_counter()
+        event.callback(*event.args)
+        self._obs.record_fire(
+            event.callback, perf_counter() - start, len(self._queue)
+        )
 
     def run(self, until: float | None = None) -> None:
         """Run events until the queue drains or the clock passes *until*.
@@ -149,6 +186,9 @@ class Simulator:
                 self._now = until
         finally:
             self._running = False
+            if self._slot_time is not None:
+                self._tracer.end()
+                self._slot_time = None
 
     def stop(self) -> None:
         """Stop :meth:`run` after the current event callback returns."""

@@ -19,7 +19,17 @@ class TraceCollector:
     The query helpers below are the post-processing primitives the paper's
     evaluation needs: which data packets of which flow were transmitted,
     and which were captured at each car.
+
+    One collector lives on every traced medium and is touched on every
+    TX/RX, so it is slotted alongside the other hot-path objects.
     """
+
+    __slots__ = (
+        "tx_records",
+        "rx_records",
+        "_data_deliveries",
+        "_data_transmissions",
+    )
 
     def __init__(self) -> None:
         self.tx_records: list[TxRecord] = []

@@ -69,3 +69,74 @@ class TestProgressReporter:
         reporter.tick()
         clock.now = 65.0
         assert reporter.summary() == "camp: 2 executed, 1 cached of 3 tasks in 1:05"
+
+
+class TestExecutedVsCachedRates:
+    """The resume case: a near-instant cached prefix must not skew the ETA.
+
+    Cache-hit replays are store lookups (milliseconds); executions are
+    full simulation rounds (seconds).  The reporter keeps two rates —
+    everything remaining is an execution, so the ETA must come from the
+    execution rate alone.
+    """
+
+    def make(self, total, interval=0.0):
+        clock = FakeClock()
+        stream = io.StringIO()
+        reporter = ProgressReporter(
+            total, name="camp", stream=stream, min_interval_s=interval, clock=clock
+        )
+        return reporter, clock, stream
+
+    def test_cached_prefix_does_not_skew_eta(self):
+        # 2 cached ticks land in the first second, then executions take
+        # 10 s each.  Naive rate over the whole window would be
+        # 4 done / 21 s; the ETA must instead use 2 executed / 20 s
+        # = 0.1/s → 20 s for the 2 remaining tasks.
+        reporter, clock, stream = self.make(total=6)
+        clock.now = 0.5
+        reporter.tick(cached=True)
+        clock.now = 1.0
+        reporter.tick(cached=True)
+        clock.now = 11.0
+        reporter.tick()
+        clock.now = 21.0
+        reporter.tick()
+        assert "ETA 0:20" in stream.getvalue().splitlines()[-1]
+
+    def test_cached_rate_reported_separately(self):
+        reporter, clock, stream = self.make(total=6)
+        clock.now = 0.5
+        reporter.tick(cached=True)
+        clock.now = 1.0
+        reporter.tick(cached=True)
+        clock.now = 11.0
+        reporter.tick()
+        line = stream.getvalue().splitlines()[-1]
+        # Cached prefix: 2 replays over the 1 s before execution began.
+        assert "(2 cached @ 2/s)" in line
+        # Execution rate: 1 task over the 10 s since.
+        assert "0.1/s" in line
+
+    def test_all_cached_shows_no_eta(self):
+        reporter, clock, stream = self.make(total=4)
+        clock.now = 1.0
+        reporter.tick(cached=True)
+        reporter.tick(cached=True)
+        line = stream.getvalue().splitlines()[-1]
+        assert "ETA" not in line
+        assert "(2 cached @ 2/s)" in line
+
+    def test_cached_ticks_after_first_execution_keep_base(self):
+        # Interleaved cache hits mid-run (workers racing a warm store)
+        # must not move the execution-rate base once real work started.
+        reporter, clock, stream = self.make(total=8)
+        clock.now = 10.0
+        reporter.tick()            # execution: base stays at start (0.0)
+        clock.now = 12.0
+        reporter.tick(cached=True)
+        clock.now = 20.0
+        reporter.tick()
+        line = stream.getvalue().splitlines()[-1]
+        # 2 executed over 20 s from the original base → 0.1/s.
+        assert "0.1/s" in line

@@ -1,0 +1,96 @@
+"""Probe bundles: factory gating, labels, and end-to-end kernel counts."""
+
+from repro import obs
+from repro.obs.probes import (
+    buffer_probes,
+    callback_label,
+    kernel_probes,
+    medium_probes,
+    protocol_probes,
+)
+from repro.sim import Simulator
+
+
+class TestFactoryGating:
+    def test_disabled_registry_yields_none(self):
+        assert not obs.enabled()
+        assert kernel_probes() is None
+        assert medium_probes() is None
+        assert protocol_probes() is None
+        assert buffer_probes() is None
+
+    def test_enabled_registry_yields_bundles_sharing_metrics(self):
+        with obs.instrumented():
+            a, b = kernel_probes(), kernel_probes()
+            assert a is not b
+            assert a.pushed is b.pushed  # same registry object underneath
+
+
+class TestCallbackLabel:
+    def test_plain_function(self):
+        def frobnicate():
+            pass
+
+        assert callback_label(frobnicate).endswith("frobnicate")
+
+    def test_bound_method(self):
+        class Widget:
+            def poke(self):
+                pass
+
+        assert callback_label(Widget().poke).endswith("Widget.poke")
+
+    def test_process_resume_refined_to_generator_name(self):
+        sim = Simulator()
+
+        def _hello_loop():
+            yield 1.0
+
+        process = sim.process(_hello_loop())
+        assert callback_label(process._resume) == "process:_hello_loop"
+
+    def test_unlabellable_callable_falls_back_to_repr(self):
+        class Opaque:
+            def __call__(self):
+                pass
+
+        label = callback_label(Opaque())
+        assert "Opaque" in label
+
+
+class TestInstrumentedSimulator:
+    def test_counts_pushed_fired_cancelled(self):
+        with obs.instrumented():
+            sim = Simulator()
+            keep = [sim.schedule(float(i), lambda: None) for i in range(5)]
+            doomed = sim.schedule(9.0, lambda: None)
+            sim.cancel(doomed)
+            sim.cancel(doomed)  # idempotent: must not double-count
+            sim.run()
+            snap = obs.registry().snapshot()
+        assert snap["sim.events_pushed"]["value"] == 6
+        assert snap["sim.events_fired"]["value"] == len(keep)
+        assert snap["sim.events_cancelled"]["value"] == 1
+        assert snap["sim.cost_centers"]["rows"]  # lambdas were accounted
+
+    def test_disabled_simulator_records_nothing(self):
+        before = obs.registry().snapshot()
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert obs.registry().snapshot() == before
+
+    def test_tracer_only_round_gets_slot_spans(self):
+        # Tracing without metrics: the simulator still opens slot spans.
+        tracer = obs.install_tracer(obs.SpanTracer())
+        try:
+            sim = Simulator()
+            for i in range(3):
+                sim.schedule(float(i), lambda: None)
+            sim.run()
+        finally:
+            obs.clear_tracer()
+        slots = [s for s in tracer.spans() if s.name == "slot"]
+        assert len(slots) == 3
+        assert [s.args["sim_time"] for s in slots] == [0.0, 1.0, 2.0]
+        assert tracer.open_depth == 0  # run() closed the trailing slot

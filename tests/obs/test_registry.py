@@ -1,0 +1,276 @@
+"""Metrics registry: primitives, bucketing properties, snapshot merging."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ObsError
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Table,
+    histogram_bounds,
+    merge_snapshots,
+)
+
+values = st.floats(
+    min_value=1e-3, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+
+
+class TestCounter:
+    def test_inc_and_direct_bump(self):
+        c = Counter("c")
+        c.inc()
+        c.inc(4)
+        c.value += 2  # the hot-site idiom
+        assert c.value == 7
+
+    def test_reset_and_snapshot(self):
+        c = Counter("c")
+        c.inc(3)
+        assert c.snapshot() == {"type": "counter", "value": 3}
+        c.reset()
+        assert c.value == 0
+
+
+class TestGauge:
+    def test_tracks_extremes_and_mean(self):
+        g = Gauge("depth")
+        for v in (4.0, 10.0, 1.0):
+            g.set(v)
+        assert g.last == 1.0
+        assert g.min == 1.0
+        assert g.max == 10.0
+        assert g.mean() == 5.0
+
+    def test_empty_snapshot_has_finite_extremes(self):
+        snap = Gauge("depth").snapshot()
+        assert snap["min"] == 0.0 and snap["max"] == 0.0
+        assert snap["samples"] == 0
+
+
+class TestHistogramBounds:
+    def test_rejects_bad_ranges(self):
+        with pytest.raises(ObsError):
+            histogram_bounds(0.0, 10.0, 3)
+        with pytest.raises(ObsError):
+            histogram_bounds(10.0, 10.0, 3)
+        with pytest.raises(ObsError):
+            histogram_bounds(1.0, 10.0, 0)
+
+    @given(
+        lo=st.floats(min_value=1e-6, max_value=1e3),
+        decades=st.integers(min_value=1, max_value=6),
+        per_decade=st.integers(min_value=1, max_value=10),
+    )
+    def test_bounds_are_increasing_and_cover_hi(self, lo, decades, per_decade):
+        hi = lo * 10.0**decades
+        bounds = histogram_bounds(lo, hi, per_decade)
+        assert bounds[0] == lo
+        assert bounds[-1] >= hi
+        assert all(a < b for a, b in zip(bounds, bounds[1:]))
+
+    def test_pure_function_of_parameters(self):
+        # The merge contract rests on this: independently created
+        # histograms with the same parameters bucket identically.
+        assert histogram_bounds(1.0, 1e4, 3) == histogram_bounds(1.0, 1e4, 3)
+
+
+class TestHistogram:
+    @given(st.lists(values, min_size=1, max_size=100))
+    @settings(max_examples=100)
+    def test_every_value_lands_in_its_bucket(self, samples):
+        h = Histogram("h", lo=1.0, hi=1e6, per_decade=3)
+        for v in samples:
+            h.observe(v)
+            i = h.bucket_index(v)
+            # First bucket whose upper bound admits v; the final slot
+            # is the overflow bucket for values above every bound.
+            if i < len(h.bounds):
+                assert v <= h.bounds[i]
+            else:
+                assert v > h.bounds[-1]
+            if i > 0:
+                assert v > h.bounds[i - 1]
+        assert sum(h.counts) == h.count == len(samples)
+        assert h.min == min(samples)
+        assert h.max == max(samples)
+
+    def test_quantile_returns_bucket_bound(self):
+        h = Histogram("h", lo=1.0, hi=100.0, per_decade=1)  # bounds 1, 10, 100
+        for v in (1.0, 5.0, 50.0, 50.0):
+            h.observe(v)
+        assert h.quantile(0.5) == 10.0   # 2nd of 4 samples is in (1, 10]
+        assert h.quantile(1.0) == 100.0
+        with pytest.raises(ObsError):
+            h.quantile(1.5)
+
+    def test_quantile_overflow_bucket_reports_observed_max(self):
+        h = Histogram("h", lo=1.0, hi=10.0, per_decade=1)
+        h.observe(500.0)  # above every bound → overflow slot
+        assert h.quantile(1.0) == 500.0
+
+    def test_quantile_empty_is_zero(self):
+        assert Histogram("h").quantile(0.5) == 0.0
+
+    def test_merge_requires_matching_bounds(self):
+        a = Histogram("a", lo=1.0, hi=100.0, per_decade=1)
+        b = Histogram("b", lo=1.0, hi=100.0, per_decade=2)
+        with pytest.raises(ObsError):
+            a.merge(b)
+
+    @given(
+        st.lists(values, max_size=50),
+        st.lists(values, max_size=50),
+    )
+    @settings(max_examples=50)
+    def test_merge_equals_observing_everything(self, xs, ys):
+        merged = Histogram("m", lo=1.0, hi=1e6, per_decade=3)
+        direct = Histogram("d", lo=1.0, hi=1e6, per_decade=3)
+        other = Histogram("o", lo=1.0, hi=1e6, per_decade=3)
+        for v in xs:
+            merged.observe(v)
+            direct.observe(v)
+        for v in ys:
+            other.observe(v)
+            direct.observe(v)
+        merged.merge(other)
+        assert merged.counts == direct.counts
+        assert merged.count == direct.count
+        assert merged.min == direct.min and merged.max == direct.max
+
+
+class TestTable:
+    def test_accumulates_and_ranks(self):
+        t = Table("costs")
+        t.add("a", 1.0)
+        t.add("a", 3.0)
+        t.add("b", 10.0)
+        assert t.top(2) == [("b", 1, 10.0), ("a", 2, 4.0)]
+        assert t.top(1, by="count") == [("a", 2, 4.0)]
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_shares_objects(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+
+    def test_type_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ObsError, match="already registered"):
+            reg.gauge("x")
+
+    def test_reset_keeps_objects_clear_drops_them(self):
+        reg = MetricsRegistry()
+        c = reg.counter("x")
+        c.inc(5)
+        reg.reset()
+        assert c.value == 0
+        assert reg.counter("x") is c  # probes keep their references
+        reg.clear()
+        assert reg.counter("x") is not c
+
+    def test_snapshot_is_sorted_plain_json(self):
+        import json
+
+        reg = MetricsRegistry()
+        reg.counter("b").inc()
+        reg.gauge("a").set(2.0)
+        snap = reg.snapshot()
+        assert list(snap) == sorted(snap)
+        json.dumps(snap)  # must be JSON-serialisable as-is
+
+
+def _hist_snapshot(samples):
+    h = Histogram("h", lo=1.0, hi=1e6, per_decade=3)
+    for v in samples:
+        h.observe(v)
+    return {"h": h.snapshot()}
+
+
+class TestMergeSnapshots:
+    def test_counters_add(self):
+        a = {"c": {"type": "counter", "value": 2}}
+        b = {"c": {"type": "counter", "value": 3}}
+        assert merge_snapshots([a, b])["c"]["value"] == 5
+
+    def test_gauges_fold_extremes_and_exact_mean(self):
+        ga, gb = Gauge("g"), Gauge("g")
+        for v in (1.0, 3.0):
+            ga.set(v)
+        gb.set(8.0)
+        merged = merge_snapshots(
+            [{"g": ga.snapshot()}, {"g": gb.snapshot()}]
+        )["g"]
+        assert merged["min"] == 1.0 and merged["max"] == 8.0
+        assert merged["samples"] == 3
+        assert merged["mean"] == pytest.approx(4.0)
+
+    def test_tables_add_rowwise(self):
+        ta, tb = Table("t"), Table("t")
+        ta.add("x", 1.0)
+        tb.add("x", 2.0)
+        tb.add("y", 5.0)
+        merged = merge_snapshots(
+            [{"t": ta.snapshot()}, {"t": tb.snapshot()}]
+        )["t"]["rows"]
+        assert merged["x"] == {"count": 2, "total": 3.0}
+        assert merged["y"] == {"count": 1, "total": 5.0}
+
+    def test_type_disagreement_raises(self):
+        with pytest.raises(ObsError, match="disagree on type"):
+            merge_snapshots([
+                {"m": {"type": "counter", "value": 1}},
+                {"m": {"type": "gauge", "last": 0.0, "min": 0.0, "max": 0.0,
+                        "mean": 0.0, "samples": 0}},
+            ])
+
+    def test_bounds_disagreement_raises(self):
+        a = Histogram("h", lo=1.0, hi=100.0, per_decade=1)
+        b = Histogram("h", lo=1.0, hi=100.0, per_decade=3)
+        with pytest.raises(ObsError, match="bucket bounds"):
+            merge_snapshots([{"h": a.snapshot()}, {"h": b.snapshot()}])
+
+    def test_does_not_mutate_inputs(self):
+        a = _hist_snapshot([2.0, 30.0])
+        b = _hist_snapshot([400.0])
+        before = [dict(a["h"]), dict(b["h"])]
+        merge_snapshots([a, b])
+        assert a["h"] == before[0] and b["h"] == before[1]
+
+    @staticmethod
+    def _hists_equal(x, y):
+        # Bucket counts, extremes and bounds are exact under any merge
+        # order; the float running `total` is associative only up to
+        # rounding, so it gets an approx comparison.
+        for key in ("type", "bounds", "counts", "count", "min", "max"):
+            assert x[key] == y[key]
+        assert x["total"] == pytest.approx(y["total"], rel=1e-12, abs=1e-12)
+
+    @given(
+        st.lists(values, max_size=30),
+        st.lists(values, max_size=30),
+        st.lists(values, max_size=30),
+    )
+    @settings(max_examples=50)
+    def test_merge_is_associative(self, xs, ys, zs):
+        # The campaign fold depends on this: workers merge in completion
+        # order, which is nondeterministic, yet the report must not be.
+        a, b, c = _hist_snapshot(xs), _hist_snapshot(ys), _hist_snapshot(zs)
+        left = merge_snapshots([merge_snapshots([a, b]), c])["h"]
+        right = merge_snapshots([a, merge_snapshots([b, c])])["h"]
+        flat = merge_snapshots([a, b, c])["h"]
+        self._hists_equal(left, flat)
+        self._hists_equal(right, flat)
+
+    @given(st.lists(values, max_size=30), st.lists(values, max_size=30))
+    @settings(max_examples=50)
+    def test_histogram_merge_is_commutative(self, xs, ys):
+        a, b = _hist_snapshot(xs), _hist_snapshot(ys)
+        self._hists_equal(
+            merge_snapshots([a, b])["h"], merge_snapshots([b, a])["h"]
+        )

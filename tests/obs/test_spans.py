@@ -1,0 +1,110 @@
+"""Span tracer: stack discipline, ring-buffer bound, process-wide install."""
+
+import pytest
+
+from repro import obs
+from repro.errors import ObsError
+from repro.obs.spans import Span, SpanTracer
+
+
+class TestSpanTracer:
+    def test_begin_end_records_nested_depths(self):
+        t = SpanTracer()
+        t.begin("outer", cat="a")
+        t.begin("inner", cat="b")
+        t.end()
+        t.end()
+        inner, outer = t.spans()  # completion order: children first
+        assert (inner.name, inner.depth) == ("inner", 1)
+        assert (outer.name, outer.depth) == ("outer", 0)
+        assert inner.dur_ns >= 0 and outer.dur_ns >= inner.dur_ns
+        assert outer.start_ns <= inner.start_ns
+
+    def test_end_merges_extra_args(self):
+        t = SpanTracer()
+        t.begin("broadcast", candidates=12)
+        t.end(admitted=7)
+        (span,) = t.spans()
+        assert span.args == {"candidates": 12, "admitted": 7}
+
+    def test_end_without_begin_raises(self):
+        with pytest.raises(ObsError, match="no open span"):
+            SpanTracer().end()
+
+    def test_span_context_manager_closes_on_error(self):
+        t = SpanTracer()
+        with pytest.raises(RuntimeError):
+            with t.span("round"):
+                raise RuntimeError("boom")
+        assert t.open_depth == 0
+        assert len(t) == 1
+
+    def test_ring_buffer_keeps_newest_and_counts_dropped(self):
+        t = SpanTracer(capacity=3)
+        for i in range(5):
+            t.begin(f"s{i}")
+            t.end()
+        assert len(t) == 3
+        assert t.dropped == 2
+        assert [s.name for s in t.spans()] == ["s2", "s3", "s4"]
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ObsError):
+            SpanTracer(capacity=0)
+
+    def test_finish_closes_all_open_spans(self):
+        t = SpanTracer()
+        t.begin("round")
+        t.begin("slot")
+        t.finish()
+        assert t.open_depth == 0
+        assert [s.name for s in t.spans()] == ["slot", "round"]
+
+    def test_clear_resets_everything(self):
+        t = SpanTracer(capacity=1)
+        t.begin("a")
+        t.end()
+        t.begin("b")
+        t.end()
+        assert t.dropped == 1
+        t.clear()
+        assert len(t) == 0 and t.dropped == 0 and t.open_depth == 0
+
+    def test_span_is_slotted(self):
+        span = Span("s", "c", 0, 1, 0, None)
+        assert not hasattr(span, "__dict__")
+
+
+class TestProcessWideTracer:
+    def test_install_and_clear(self):
+        assert obs.tracer() is None
+        t = obs.install_tracer(SpanTracer())
+        try:
+            assert obs.tracer() is t
+        finally:
+            obs.clear_tracer()
+        assert obs.tracer() is None
+
+    def test_instrumented_restores_prior_state(self):
+        assert obs.tracer() is None
+        assert not obs.enabled()
+        with obs.instrumented(capacity=10) as t:
+            assert obs.tracer() is t
+            assert t.capacity == 10
+            assert obs.enabled()
+        assert obs.tracer() is None
+        assert not obs.enabled()
+
+    def test_instrumented_nests(self):
+        with obs.instrumented() as outer:
+            with obs.instrumented() as inner:
+                assert obs.tracer() is inner
+            assert obs.tracer() is outer
+            assert obs.enabled()
+        assert obs.tracer() is None
+
+    def test_instrumented_resets_counters_on_entry(self):
+        with obs.instrumented():
+            obs.registry().counter("leftover").inc(9)
+        with obs.instrumented():
+            assert obs.registry().counter("leftover").value == 0

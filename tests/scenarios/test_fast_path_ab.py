@@ -11,12 +11,18 @@ bit across all three.
 
 A scenario added to the registry without an entry here fails the
 coverage test below, so the pin cannot silently rot.
+
+The same arms are additionally re-run with the observability layer fully
+enabled (metrics registry + span tracer) and compared against the
+uninstrumented rows: instrumentation is contractually free of RNG draws
+and simulation feedback, so switching it on must not move a single bit.
 """
 
 import dataclasses
 
 import pytest
 
+from repro import obs
 from repro.campaign.executor import run_campaign
 from repro.campaign.report import point_summaries
 from repro.campaign.spec import CampaignSpec, config_to_dict
@@ -57,7 +63,10 @@ SMALL_CONFIGS = {
 }
 
 
-def run_rows(scenario: str, config, *, fast_path: bool, batch: bool):
+def run_rows(
+    scenario: str, config, *, fast_path: bool, batch: bool,
+    instrumented: bool = False,
+):
     radio = dataclasses.replace(
         config.radio, reception_fast_path=fast_path, reception_batch=batch
     )
@@ -71,8 +80,30 @@ def run_rows(scenario: str, config, *, fast_path: bool, batch: bool):
         base=config_to_dict(config),
     )
     store = MemoryStore()
-    run_campaign(spec, store, workers=1)
+    if instrumented:
+        with obs.instrumented() as tracer:
+            run_campaign(spec, store, workers=1)
+            # Guard against a silently dead pin: the instrumentation must
+            # actually have observed the round it claims not to perturb.
+            assert obs.registry().counter("sim.events_fired").value > 0
+        assert len(tracer.spans()) > 0
+    else:
+        run_campaign(spec, store, workers=1)
     return point_summaries(store, spec)
+
+
+#: Uninstrumented arm results shared between the two pins below, keyed by
+#: ``(scenario, fast_path, batch)`` — each plain arm runs exactly once.
+_PLAIN_ROWS: dict = {}
+
+
+def plain_rows(scenario: str, *, fast_path: bool, batch: bool):
+    key = (scenario, fast_path, batch)
+    if key not in _PLAIN_ROWS:
+        _PLAIN_ROWS[key] = run_rows(
+            scenario, SMALL_CONFIGS[scenario], fast_path=fast_path, batch=batch
+        )
+    return _PLAIN_ROWS[key]
 
 
 def test_every_registered_scenario_is_covered():
@@ -81,8 +112,30 @@ def test_every_registered_scenario_is_covered():
 
 @pytest.mark.parametrize("scenario", sorted(SMALL_CONFIGS))
 def test_fast_path_and_batch_rows_bit_identical(scenario):
-    config = SMALL_CONFIGS[scenario]
-    batch_fast = run_rows(scenario, config, fast_path=True, batch=True)
-    scalar_fast = run_rows(scenario, config, fast_path=True, batch=False)
-    exhaustive = run_rows(scenario, config, fast_path=False, batch=False)
+    batch_fast = plain_rows(scenario, fast_path=True, batch=True)
+    scalar_fast = plain_rows(scenario, fast_path=True, batch=False)
+    exhaustive = plain_rows(scenario, fast_path=False, batch=False)
     assert batch_fast == scalar_fast == exhaustive
+
+
+@pytest.mark.parametrize("scenario", sorted(SMALL_CONFIGS))
+@pytest.mark.parametrize(
+    "fast_path,batch",
+    [(True, True), (True, False), (False, False)],
+    ids=["batch", "fast", "exhaustive"],
+)
+def test_rows_unchanged_with_instrumentation_enabled(scenario, fast_path, batch):
+    """The observability non-perturbation contract, pinned per arm.
+
+    Metrics registry on, span tracer installed, every probe live — and
+    the stored summary rows still match the uninstrumented run bit for
+    bit, because instrumentation takes no RNG draws and never feeds back
+    into the simulation (see ``repro.obs``).
+    """
+    config = SMALL_CONFIGS[scenario]
+    instrumented = run_rows(
+        scenario, config, fast_path=fast_path, batch=batch, instrumented=True
+    )
+    assert instrumented == plain_rows(
+        scenario, fast_path=fast_path, batch=batch
+    )

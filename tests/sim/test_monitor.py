@@ -87,3 +87,25 @@ class TestStatistics:
         m.record(0.0, 1.0)
         with pytest.raises(ValueError):
             m.time_average()
+
+
+class TestSlots:
+    def test_monitor_has_no_instance_dict(self):
+        # One monitor per node in every scenario: slotted like the other
+        # per-node hot objects (see kernel.hot_object_alloc in BENCH).
+        assert not hasattr(Monitor("m"), "__dict__")
+
+    def test_monitor_is_smaller_than_dict_control(self):
+        import sys
+
+        class DictMonitor:  # same shape, no __slots__ — the control
+            def __init__(self, name=""):
+                self.name = name
+                self._times = []
+                self._values = []
+
+        slotted = Monitor("m")
+        control = DictMonitor("m")
+        assert sys.getsizeof(slotted) < (
+            sys.getsizeof(control) + sys.getsizeof(control.__dict__)
+        )

@@ -88,3 +88,26 @@ class TestAggregates:
         trace.on_rx(1.1, CAR1, data(2), LossCause.INTERFERENCE, 0.0, -85.0)
         assert trace.rx_records[0].delivered
         assert not trace.rx_records[1].delivered
+
+
+class TestSlots:
+    def test_collector_has_no_instance_dict(self):
+        # Touched on every TX/RX: slotted like the other hot-path objects.
+        assert not hasattr(TraceCollector(), "__dict__")
+
+    def test_collector_is_smaller_than_dict_control(self):
+        import sys
+        from collections import defaultdict
+
+        class DictCollector:  # same shape, no __slots__ — the control
+            def __init__(self):
+                self.tx_records = []
+                self.rx_records = []
+                self._data_deliveries = defaultdict(dict)
+                self._data_transmissions = defaultdict(dict)
+
+        slotted = TraceCollector()
+        control = DictCollector()
+        assert sys.getsizeof(slotted) < (
+            sys.getsizeof(control) + sys.getsizeof(control.__dict__)
+        )
