@@ -32,6 +32,7 @@ from repro.core.retransmission import (
     NoRetransmission,
     RetransmissionPolicy,
 )
+from repro.core.engine import ProtocolPool
 from repro.core.protocol import CarqProtocol, CarqStats
 from repro.core.vehicle import VehicleNode
 
@@ -42,6 +43,7 @@ __all__ = [
     "CarqConfig",
     "CarqProtocol",
     "CarqStats",
+    "ProtocolPool",
     "CooperatorSelection",
     "CooperatorTable",
     "FixedRetransmission",

@@ -98,8 +98,14 @@ class CooperatorTable:
         self._cooperating_for.pop(node, None)
 
     def cooperating_for(self) -> set[NodeId]:
-        """Nodes whose packets I must buffer."""
+        """Nodes whose packets I must buffer (a copy)."""
         return set(self._cooperating_for)
+
+    def is_partner(self, node: NodeId) -> bool:
+        """Whether I buffer packets for *node* — the hot-path membership
+        test (``cooperating_for`` builds a fresh set per call, which the
+        per-frame dispatch cannot afford)."""
+        return node in self._cooperating_for
 
     def my_order_for(self, node: NodeId) -> int | None:
         """My responder order in *node*'s list, or ``None``."""

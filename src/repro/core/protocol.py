@@ -71,6 +71,13 @@ class CarqProtocol:
         Protocol tunables (defaults = the paper's prototype).
     rng:
         Stream for HELLO jitter.
+    pool:
+        Optional :class:`~repro.core.engine.ProtocolPool`.  When given,
+        the pool takes over receive dispatch and the coverage watchdog
+        (struct-of-arrays deadlines, one sweep event per broadcast)
+        instead of a per-vehicle receive callback and timer events.
+        Protocol semantics are identical either way (pinned by the A/B
+        suite); the pool is purely an event-traffic optimisation.
     """
 
     def __init__(
@@ -80,9 +87,13 @@ class CarqProtocol:
         ap_ids: NodeId | typing.Iterable[NodeId],
         config: CarqConfig,
         rng: np.random.Generator,
+        pool: "typing.Any | None" = None,
     ) -> None:
         self.sim = sim
         self.node = node
+        #: The flow addressed to this vehicle (its own download).  A plain
+        #: attribute, not a property — it is read on every frame.
+        self.my_flow: NodeId = node.node_id
         if isinstance(ap_ids, int):
             self.ap_ids: frozenset[NodeId] = frozenset({NodeId(ap_ids)})
         else:
@@ -107,14 +118,12 @@ class CarqProtocol:
         # (flow, seq) → time a coop response was last overheard (suppression).
         self._overheard_responses: dict[tuple[NodeId, int], float] = {}
 
-        node.iface.add_receive_callback(self._on_frame)
+        if pool is not None:
+            pool.register(self)
+        else:
+            node.iface.add_receive_callback(self._on_frame)
 
     # ------------------------------------------------------------------ API --
-
-    @property
-    def my_flow(self) -> NodeId:
-        """The flow addressed to this vehicle (its own download)."""
-        return self.node.node_id
 
     def start(self) -> None:
         """Launch the HELLO beacon process.
@@ -195,11 +204,23 @@ class CarqProtocol:
     def _on_data(self, frame: DataFrame, info: RxInfo) -> None:
         if frame.src not in self.ap_ids:
             return
-        self._note_ap_activity()
-        now = self.sim.now
+        self._receive_ap_data(frame, self.sim.now)
+        self._arm_coverage_watchdog()
+
+    def _receive_ap_data(self, frame: DataFrame, now: float) -> None:
+        """Reception bookkeeping for one AP data frame.
+
+        The watchdog-free part of :meth:`_on_data`: the pooled path
+        (:class:`repro.core.engine.ProtocolPool`) calls this directly —
+        phase entry and the coverage deadline are handled by the pool's
+        struct-of-arrays sweep instead of per-vehicle timer events — so
+        the reception semantics exist exactly once.
+        """
+        self._last_ap_time = now
+        self._enter_reception()
         if frame.flow_dst == self.my_flow:
             self.state.record_direct(frame.seq, now)
-        elif frame.flow_dst in self.table.cooperating_for():
+        elif self.table.is_partner(frame.flow_dst):
             self.coop_buffer.add(
                 BufferEntry(frame.flow_dst, frame.seq, now, frame.size_bytes)
             )
@@ -253,7 +274,7 @@ class CarqProtocol:
                 self.stats.duplicate_recoveries += 1
         elif (
             self.config.buffer_overheard_responses
-            and frame.flow_dst in self.table.cooperating_for()
+            and self.table.is_partner(frame.flow_dst)
         ):
             self.coop_buffer.add(
                 BufferEntry(frame.flow_dst, frame.seq, now, frame.size_bytes)
@@ -261,13 +282,22 @@ class CarqProtocol:
 
     # ------------------------------------------------------------ coverage watchdog --
 
-    def _note_ap_activity(self) -> None:
-        self._last_ap_time = self.sim.now
+    def _enter_reception(self) -> None:
+        """AP contact: abort any recovery and enter the Reception phase.
+
+        The phase-transition half of hearing the AP, shared by the
+        legacy per-vehicle path and the pooled path; only *when the
+        watchdog fires* differs between the two (a per-vehicle timer
+        event here, the pool's deadline array there).
+        """
         if self.phase is Phase.RECOVERY and self._recovery_process is not None:
             if self._recovery_process.alive:
                 self._recovery_process.interrupt("ap-contact")
             self._recovery_process = None
         self.phase = Phase.RECEPTION
+
+    def _arm_coverage_watchdog(self) -> None:
+        """Legacy watchdog: one cancel + one schedule per AP reception."""
         if self._coverage_event is not None:
             self.sim.cancel(self._coverage_event)
         self._coverage_event = self.sim.schedule(
@@ -276,6 +306,13 @@ class CarqProtocol:
 
     def _coverage_timeout(self) -> None:
         self._coverage_event = None
+        self._coverage_expired()
+
+    def _coverage_expired(self) -> None:
+        """The watchdog verdict: no AP heard for the timeout → dark area.
+
+        Shared by the legacy timer event and the pool's coverage sweep.
+        """
         if self.phase is not Phase.RECEPTION:
             return
         self.phase = Phase.RECOVERY

@@ -10,7 +10,6 @@ testbed).
 
 from __future__ import annotations
 
-import typing
 from collections import deque
 from collections.abc import Callable
 
@@ -82,6 +81,10 @@ class NetworkInterface:
         self._queue: deque[tuple[Frame, WifiRate]] = deque()
         self._transmitting = False
         self._contending = False
+        # Contention-cycle state (valid while _contending): the timing
+        # grid of the head frame and the current contention window.
+        self._timing = None
+        self._cw = 0
         self._receive_callbacks: list[ReceiveCallback] = []
 
         # Counters for overhead accounting (epidemic-vs-C-ARQ experiment).
@@ -136,7 +139,10 @@ class NetworkInterface:
         self._queue.append((frame, rate if rate is not None else self.config.rate))
         if not self._contending and not self._transmitting:
             self._contending = True
-            self._sim.process(self._contend(), name=f"{self.name}.csma")
+            # Kick-off at the current instant (not inline): creation
+            # order must not leak into execution order, exactly as a
+            # process kick-off.
+            self._sim.schedule(0.0, self._start_cycle)
 
     def flush(self) -> int:
         """Drop all queued (not yet on-air) frames; returns how many."""
@@ -144,27 +150,55 @@ class NetworkInterface:
         self._queue.clear()
         return dropped
 
-    def _contend(self) -> typing.Generator[float, None, None]:
-        """CSMA/CA loop: drains the queue, one frame per contention cycle."""
-        try:
-            while self._queue:
-                frame, rate = self._queue[0]
-                timing = timing_for(rate)
-                cw = timing.cw_min
-                while True:
-                    backoff_slots = int(self._rng.integers(0, cw + 1))
-                    yield timing.difs_s + backoff_slots * timing.slot_s
-                    if not self._medium.busy(self):
-                        break
-                    cw = min(2 * cw + 1, timing.cw_max)
-                self._queue.popleft()
-                airtime = self._medium.transmit(self, frame, rate)
-                self._transmitting = True
-                self.frames_sent += 1
-                self.bytes_sent += frame.size_bytes
-                yield airtime
-                self._transmitting = False
-        finally:
+    # The CSMA/CA loop is a flat callback state machine rather than a
+    # generator process: contention is the hottest control flow in a
+    # dense scenario (one cycle per frame, several wake-ups per cycle),
+    # and the process machinery's per-resumption cost — generator send,
+    # yield-type dispatch, Process bookkeeping — dominated large-N
+    # profiles.  The callbacks schedule exactly the events the generator
+    # version yielded, in the same order with the same RNG draws, so
+    # event sequence numbers (and thus all downstream tie-breaking) are
+    # unchanged — pinned by the scenario golden tests.
+
+    def _start_cycle(self) -> None:
+        """Begin one contention cycle for the head frame (DIFS + back-off)."""
+        if not self._queue:  # flushed since the kick-off was scheduled
+            self._contending = False
+            return
+        timing = timing_for(self._queue[0][1])
+        self._timing = timing
+        self._cw = timing.cw_min
+        backoff_slots = int(self._rng.integers(0, self._cw + 1))
+        self._sim.schedule(
+            timing.difs_s + backoff_slots * timing.slot_s, self._backoff_done
+        )
+
+    def _backoff_done(self) -> None:
+        """Back-off expired: transmit if the medium is free, else redraw."""
+        timing = self._timing
+        if self._medium.busy(self):
+            self._cw = min(2 * self._cw + 1, timing.cw_max)
+            backoff_slots = int(self._rng.integers(0, self._cw + 1))
+            self._sim.schedule(
+                timing.difs_s + backoff_slots * timing.slot_s, self._backoff_done
+            )
+            return
+        frame, rate = self._queue.popleft()
+        airtime = self._medium.transmit(self, frame, rate)
+        self._transmitting = True
+        self.frames_sent += 1
+        self.bytes_sent += frame.size_bytes
+        self._sim.schedule(airtime, self._tx_done)
+
+    def _tx_done(self) -> None:
+        """Frame left the air: start the next cycle or go idle."""
+        self._transmitting = False
+        if self._queue:
+            # The generator version continued its loop within the same
+            # event callback; starting the next cycle inline keeps the
+            # RNG-draw and schedule order identical.
+            self._start_cycle()
+        else:
             self._contending = False
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -283,6 +283,10 @@ class Medium:
         # Both default to None, leaving the hot paths a single is-test.
         self._obs = medium_probes()
         self._spans = obs.tracer()
+        # Optional coalesced-delivery sink (see set_delivery_sink).
+        self._delivery_sink: typing.Callable[
+            [list[tuple["NetworkInterface", Frame, RxInfo]]], None
+        ] | None = None
         self._tx_seq = 0
         self._index: _NeighborIndex | None = None
         self._index_version = 0
@@ -319,6 +323,27 @@ class Medium:
     def set_trace(self, trace: typing.Any | None) -> None:
         """Install or replace the trace collector."""
         self._trace = trace
+
+    def set_delivery_sink(
+        self,
+        sink: typing.Callable[
+            [list[tuple["NetworkInterface", Frame, RxInfo]]], None
+        ] | None,
+    ) -> None:
+        """Install a coalesced protocol-delivery sink (or remove it).
+
+        Without a sink, each frame-end event hands every successful
+        reception to its interface one at a time.  With a sink, the
+        frame-end event collects all of a broadcast's deliveries —
+        ``(receiver interface, frame, rx info)``, in arrival order — and
+        hands the whole batch to *sink* in one call, so a pooled
+        protocol engine (:class:`repro.core.engine.ProtocolPool`) can
+        step every receiver in a single pass.  The sink takes over
+        interface bookkeeping (``frames_received``, receive callbacks)
+        for the receivers it manages and must fall back to
+        ``iface.deliver`` for the rest.
+        """
+        self._delivery_sink = sink
 
     def attach(self, iface: "NetworkInterface") -> None:
         """Register an interface.  Each interface joins exactly one medium.
@@ -623,27 +648,52 @@ class Medium:
     def _finish_transmission(
         self, finishing: list[tuple["NetworkInterface", _Arrival]]
     ) -> None:
+        """Frame end for one broadcast: classify all arrivals, deliver once.
+
+        Both classification paths collect the successful receptions into
+        one ``delivered`` list (arrival order) and dispatch at the end —
+        through the delivery sink as a single batched call when one is
+        installed, through ``iface.deliver`` per receiver otherwise.
+        Deferring delivery past classification is exact: channel draws
+        are keyed per (link, transmission) and protocol reactions only
+        schedule future events, so no classification can observe a
+        delivery's side effects either way.
+        """
+        delivered: list[tuple[NetworkInterface, Frame, RxInfo]] = []
         if self._batch and len(finishing) >= self._batch_min_candidates:
             if self._obs is not None:
                 self._obs.frame_end_batch.value += 1
-            self._finish_batch(finishing)
+            self._finish_batch(finishing, delivered)
+        else:
+            if self._obs is not None:
+                self._obs.frame_end_scalar.value += 1
+            for rx_iface, arrival in finishing:
+                self._finish_arrival(rx_iface, arrival, delivered)
+        if not delivered:
             return
         if self._obs is not None:
-            self._obs.frame_end_scalar.value += 1
-        for rx_iface, arrival in finishing:
-            self._finish_arrival(rx_iface, arrival)
+            self._obs.delivery_lanes.observe(len(delivered))
+        sink = self._delivery_sink
+        if sink is not None:
+            sink(delivered)
+        else:
+            for rx_iface, frame, info in delivered:
+                rx_iface.deliver(frame, info)
 
     def _finish_batch(
-        self, finishing: list[tuple["NetworkInterface", _Arrival]]
+        self,
+        finishing: list[tuple["NetworkInterface", _Arrival]],
+        delivered: list[tuple["NetworkInterface", Frame, RxInfo]],
     ) -> None:
         """Frame-end bookkeeping for a whole broadcast at once.
 
         All arrivals of one transmission share the frame and rate, so
         the SINR → frame-error-rate curve evaluates as one vectorized
-        pass; interference totals, loss causes, Bernoulli draws, trace
-        rows and deliveries still run per arrival in the scalar order,
-        which keeps the outcome stream bit-identical to
-        :meth:`_finish_arrival`.
+        pass; interference totals, loss causes, Bernoulli draws and
+        trace rows still run per arrival in the scalar order, which
+        keeps the outcome stream bit-identical to
+        :meth:`_finish_arrival`.  Successful receptions are appended to
+        *delivered* for the caller to dispatch.
         """
         n = len(finishing)
         snrs: list[float] = []
@@ -659,14 +709,14 @@ class Medium:
                 pending.append(i)
         if pending:
             first = finishing[pending[0]][1]
-            delivered = self._channel.frames_delivered_batch(
+            outcomes = self._channel.frames_delivered_batch(
                 [finishing[i][1].sample for i in pending],
                 first.rate,
                 first.frame,
                 np.array([npis[i] for i in pending]),
                 [finishing[i][0].node_id for i in pending],
             )
-            for i, ok in zip(pending, delivered):
+            for i, ok in zip(pending, outcomes):
                 causes[i] = _post_draw_cause(ok, finishing[i][1])
         now = self._sim.now
         trace = self._trace
@@ -679,10 +729,11 @@ class Medium:
                     arrival.sample.rx_power_dbm,
                 )
             if cause is LossCause.DELIVERED:
-                rx_iface.deliver(
+                delivered.append((
+                    rx_iface,
                     arrival.frame,
                     RxInfo(now, arrival.sample.rx_power_dbm, snrs[i]),
-                )
+                ))
 
     def _pre_classify(
         self, rx_iface: "NetworkInterface", arrival: _Arrival
@@ -716,7 +767,12 @@ class Medium:
             return noise_plus_interference, snr_db, LossCause.INTERFERENCE
         return noise_plus_interference, snr_db, None
 
-    def _finish_arrival(self, rx_iface: "NetworkInterface", arrival: _Arrival) -> None:
+    def _finish_arrival(
+        self,
+        rx_iface: "NetworkInterface",
+        arrival: _Arrival,
+        delivered: list[tuple["NetworkInterface", Frame, RxInfo]],
+    ) -> None:
         self._ongoing[rx_iface].remove(arrival)
         noise_plus_interference, snr_db, cause = self._pre_classify(
             rx_iface, arrival
@@ -739,10 +795,11 @@ class Medium:
                 arrival.sample.rx_power_dbm,
             )
         if cause is LossCause.DELIVERED:
-            rx_iface.deliver(
+            delivered.append((
+                rx_iface,
                 arrival.frame,
                 RxInfo(self._sim.now, arrival.sample.rx_power_dbm, snr_db),
-            )
+            ))
 
     # -- carrier sense ----------------------------------------------------------
 

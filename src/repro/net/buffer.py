@@ -52,6 +52,12 @@ class PacketBuffer:
         # flow destination → stored seqs of that flow (kept in lockstep
         # with _entries; empty sets are dropped so flows() stays exact).
         self._per_flow: dict[NodeId, set[int]] = {}
+        # flow destination → cached (min, max) stored seq, or None when
+        # a boundary element was removed and the bounds must be
+        # recomputed on the next flow_range query.  Every HELLO beacon
+        # advertises the range of every buffered flow, so the add path
+        # keeps this O(1) instead of min()+max() over the seq set.
+        self._flow_bounds: dict[NodeId, tuple[int, int] | None] = {}
         #: Number of entries evicted due to capacity pressure.
         self.evictions = 0
         # Hit/miss/eviction telemetry (None while repro.obs is disabled).
@@ -72,6 +78,15 @@ class PacketBuffer:
         seqs = self._per_flow.get(flow_dst)
         if seqs is None:
             seqs = self._per_flow[flow_dst] = set()
+            self._flow_bounds[flow_dst] = (seq, seq)
+        else:
+            bounds = self._flow_bounds[flow_dst]
+            if bounds is not None:
+                lo, hi = bounds
+                if seq < lo:
+                    self._flow_bounds[flow_dst] = (seq, hi)
+                elif seq > hi:
+                    self._flow_bounds[flow_dst] = (lo, seq)
         seqs.add(seq)
 
     def _index_remove(self, flow_dst: NodeId, seq: int) -> None:
@@ -79,6 +94,13 @@ class PacketBuffer:
         seqs.discard(seq)
         if not seqs:
             del self._per_flow[flow_dst]
+            del self._flow_bounds[flow_dst]
+            return
+        bounds = self._flow_bounds[flow_dst]
+        if bounds is not None and (seq == bounds[0] or seq == bounds[1]):
+            # A boundary left: mark dirty, recompute lazily on demand
+            # (interior removals keep the cached bounds exact).
+            self._flow_bounds[flow_dst] = None
 
     def add(self, entry: BufferEntry) -> bool:
         """Store an entry; returns ``False`` if it was already present.
@@ -132,11 +154,20 @@ class PacketBuffer:
         return set(seqs) if seqs is not None else set()
 
     def flow_range(self, flow_dst: NodeId) -> tuple[int, int] | None:
-        """``(min, max)`` stored sequence numbers of a flow, or ``None``."""
-        seqs = self._per_flow.get(flow_dst)
-        if not seqs:
-            return None
-        return (min(seqs), max(seqs))
+        """``(min, max)`` stored sequence numbers of a flow, or ``None``.
+
+        O(1) for the steady state (bounds are maintained incrementally
+        by the add path); only the first query after a boundary element
+        was discarded or evicted pays a recompute.
+        """
+        bounds = self._flow_bounds.get(flow_dst)
+        if bounds is None:
+            seqs = self._per_flow.get(flow_dst)
+            if not seqs:
+                return None
+            bounds = (min(seqs), max(seqs))
+            self._flow_bounds[flow_dst] = bounds
+        return bounds
 
     def flows(self) -> set[NodeId]:
         """All flow destinations with at least one stored packet."""
@@ -150,3 +181,4 @@ class PacketBuffer:
         """Drop everything (eviction counter is preserved)."""
         self._entries.clear()
         self._per_flow.clear()
+        self._flow_bounds.clear()

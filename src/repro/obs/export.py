@@ -158,6 +158,20 @@ def render_stats_report(
             f"  queue depth       max {_fmt_count(depth['max'])}, "
             f"mean {depth['mean']:.1f}"
         )
+    slots = snapshot.get("sim.wheel_slots")
+    overflow = snapshot.get("sim.wheel_overflow")
+    overflow_pushes = counter("sim.wheel_overflow_pushes")
+    known.update(("sim.wheel_slots", "sim.wheel_overflow"))
+    if (slots and slots.get("samples")) or overflow_pushes:
+        # Peaks, not the end-of-run level: the wheel is drained (near 0)
+        # by the time the snapshot is taken.
+        occupied = slots["max"] if slots else 0
+        deferred = overflow["max"] if overflow else 0
+        lines.append(
+            f"  wheel             {_fmt_count(occupied):>10} slots occupied peak, "
+            f"{_fmt_count(deferred)} beyond horizon peak "
+            f"({_fmt_count(overflow_pushes)} overflow pushes)"
+        )
     costs = snapshot.get("sim.cost_centers")
     known.add("sim.cost_centers")
     if costs and costs["rows"]:
@@ -200,12 +214,20 @@ def render_stats_report(
                 f"  batch lanes       mean {mean_lanes:.1f}, "
                 f"max {_fmt_count(lanes['max'])}"
             )
+        delivery = snapshot.get("medium.delivery_lanes")
+        known.add("medium.delivery_lanes")
+        if delivery and delivery["count"]:
+            mean_rx = delivery["total"] / delivery["count"]
+            lines.append(
+                f"  delivery lanes    mean {mean_rx:.1f} receivers per "
+                f"coalesced frame end, max {_fmt_count(delivery['max'])}"
+            )
     else:
         known.update((
             "medium.batch_broadcasts", "medium.scalar_broadcasts",
             "medium.candidates_before_cull", "medium.candidates_after_cull",
             "medium.batch_lanes", "medium.frame_end_batch",
-            "medium.frame_end_scalar",
+            "medium.frame_end_scalar", "medium.delivery_lanes",
         ))
 
     hello_tx = counter("proto.hello_tx")

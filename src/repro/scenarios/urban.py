@@ -29,6 +29,7 @@ from repro.scenarios import channels
 from repro.scenarios.common import (
     AP_NODE_ID,
     build_medium,
+    build_protocol_pool,
     car_ids as _car_ids,
     collect_matrices,
     frames_sent_by_node,
@@ -85,6 +86,18 @@ class RadioEnvironment:
     reception_batch: bool = True
     #: Worst-case shadowing boost (dB) granted by the reachability bound.
     cull_headroom_db: float = 12.0
+    #: Event scheduler of the simulation kernel: ``"wheel"`` (default)
+    #: runs the slot-wheel calendar queue, ``"heap"`` the legacy binary
+    #: heap.  Pop order is identical (pinned by the equivalence suite),
+    #: so this is purely a throughput knob kept for A/B cross-checks.
+    scheduler: str = "wheel"
+    #: Coalesced protocol delivery (see
+    #: :class:`repro.core.engine.ProtocolPool`): when true (default),
+    #: each broadcast's successful receptions step the C-ARQ protocols
+    #: as one batched pass with struct-of-arrays coverage watchdogs.
+    #: Turning it off restores the per-vehicle callback + timer path —
+    #: same results (A/B pinned), more event traffic.
+    batched_delivery: bool = True
 
     def ap_radio(self) -> RadioConfig:
         """PHY parameters of the access point."""
@@ -234,10 +247,13 @@ def build_urban_round(
     apples-to-apples: same seeds → same trajectories and same channel
     realisation structure.
     """
-    sim = Simulator(seed=round_seed(cfg.seed, round_index))
+    sim = Simulator(
+        seed=round_seed(cfg.seed, round_index), scheduler=cfg.radio.scheduler
+    )
     tb = testbed if testbed is not None else urban_loop()
     capture = TraceCollector()
     medium = build_medium(sim, build_channel(cfg, sim, tb), cfg.radio, trace=capture)
+    pool = build_protocol_pool(sim, medium, cfg.radio)
 
     mobilities = build_platoon_mobility(cfg, sim, tb)
     car_ids = cfg.car_ids()
@@ -260,6 +276,7 @@ def build_urban_round(
         cfg.radio.car_radio(),
         AP_NODE_ID,
         cfg.carq,
+        pool=pool,
     )
     ap.start()
     for car in cars.values():

@@ -34,7 +34,7 @@ class Event:
 
     __slots__ = (
         "time", "priority", "seq", "callback", "args",
-        "_key", "_cancelled", "_fired", "owner",
+        "_cancelled", "_fired", "owner",
     )
 
     def __init__(
@@ -46,13 +46,18 @@ class Event:
         args: tuple[Any, ...],
     ) -> None:
         self.time = time
+        # Stored as-is: IntEnum inherits int's C-level comparisons, so
+        # converting here would only slow down construction — the
+        # hottest allocation in the kernel.  Note the event itself holds
+        # no ordering tuple: the queues build one ``(time, priority,
+        # seq, event)`` entry per insertion instead, keeping the
+        # GC-tracked allocation count per scheduled event at two (the
+        # cyclic collector re-scans every pending entry each collection,
+        # which at 10⁵ pending events is a first-order cost).
         self.priority = priority
         self.seq = seq
         self.callback = callback
         self.args = args
-        # Precomputed: heap sifts compare each event O(log n) times, so
-        # building the key tuple per comparison dominates queue cost.
-        self._key = (time, int(priority), seq)
         self._cancelled = False
         self._fired = False
         #: The EventQueue holding this event (stamped by ``push``), so a
@@ -85,11 +90,13 @@ class Event:
             self._cancelled = True
 
     def sort_key(self) -> tuple[float, int, int]:
-        """The deterministic heap ordering key."""
-        return self._key
+        """The deterministic queue ordering key."""
+        return (self.time, self.priority, self.seq)
 
     def __lt__(self, other: "Event") -> bool:
-        return self._key < other._key
+        return (self.time, self.priority, self.seq) < (
+            other.time, other.priority, other.seq
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self._cancelled else "pending"

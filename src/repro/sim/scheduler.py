@@ -1,10 +1,61 @@
-"""The pending-event set: a binary heap with lazy deletion."""
+"""The pending-event set: heap and slot-wheel schedulers, one contract.
+
+Two interchangeable implementations share the ``(time, priority, seq)``
+total order and the live-count/cancel invariants:
+
+* :class:`EventQueue` — the original binary heap with lazy deletion,
+  kept as the reference arm (``Simulator(scheduler="heap")``);
+* :class:`~repro.sim.wheel.SlotWheelQueue` — the calendar queue keyed
+  on the MAC slot grid, the default (see :mod:`repro.sim.wheel`).
+
+:func:`make_event_queue` is the single construction point, and
+:func:`should_compact` the shared auto-compaction policy: a workload
+that cancels heavily (the MAC layer does when frames are suppressed,
+the protocol's coverage watchdog used to) triggers a rebuild once dead
+entries outnumber live ones 2:1.
+"""
 
 from __future__ import annotations
 
 import heapq
 
+from repro.errors import ConfigurationError
 from repro.sim.event import Event
+
+#: Auto-compact when dead entries exceed this multiple of live entries …
+COMPACT_DEAD_FACTOR = 2
+#: … but never below this many dead entries (rebuilding a tiny queue
+#: costs more than carrying a handful of corpses).
+COMPACT_MIN_DEAD = 64
+
+
+def should_compact(live: int, dead: int) -> bool:
+    """The shared lazy-deletion pressure valve, pinned by tests."""
+    return dead >= COMPACT_MIN_DEAD and dead > COMPACT_DEAD_FACTOR * live
+
+
+def make_event_queue(scheduler: str = "wheel", *, slot_s: float | None = None):
+    """Build the pending-event set the :class:`~repro.sim.Simulator` runs on.
+
+    Parameters
+    ----------
+    scheduler:
+        ``"wheel"`` (default) — the slot-wheel calendar queue;
+        ``"heap"`` — the legacy binary heap, kept as the bit-identical
+        reference arm for A/B pins and equivalence tests.
+    slot_s:
+        Bucket width for the wheel (default: the DSSS MAC slot).
+        Ignored by the heap.
+    """
+    if scheduler == "wheel":
+        from repro.sim.wheel import DEFAULT_SLOT_S, SlotWheelQueue
+
+        return SlotWheelQueue(slot_s if slot_s is not None else DEFAULT_SLOT_S)
+    if scheduler == "heap":
+        return EventQueue()
+    raise ConfigurationError(
+        f"unknown scheduler {scheduler!r}; choose 'wheel' or 'heap'"
+    )
 
 
 class EventQueue:
@@ -12,9 +63,10 @@ class EventQueue:
 
     Cancelled events stay in the heap and are skipped on pop — O(1)
     cancellation at the cost of occasional dead entries, the standard
-    lazy-deletion trade-off.  :meth:`compact` can be called to purge dead
-    entries if a workload cancels heavily (the MAC layer does when frames
-    are suppressed).
+    lazy-deletion trade-off.  :meth:`cancel` auto-compacts once dead
+    entries pile up past the :func:`should_compact` threshold; workloads
+    that cancel heavily (the MAC layer does when frames are suppressed)
+    may also call :meth:`compact` explicitly.
 
     Invariant: ``len(self)`` always equals the number of non-cancelled
     events currently in the heap (see :meth:`live_heap_count`).  All
@@ -25,13 +77,22 @@ class EventQueue:
     live count negative and stop a run while live events remain).
     """
 
+    kind = "heap"
+
     def __init__(self) -> None:
-        self._heap: list[Event] = []
+        # Entries are (time, priority, seq, event) tuples: heap sifts
+        # compare at C speed, and seq is globally unique so a comparison
+        # never reaches the event element.
+        self._heap: list[tuple[float, int, int, Event]] = []
         self._live = 0
 
     def __len__(self) -> int:
         """Number of *live* (non-cancelled) events."""
         return self._live
+
+    def physical_size(self) -> int:
+        """Entries currently held, live and (lazily deleted) dead alike."""
+        return len(self._heap)
 
     def __bool__(self) -> bool:
         return self._live > 0
@@ -48,8 +109,19 @@ class EventQueue:
         if event.owner is not None:
             raise ValueError(f"{event!r} is already queued")
         event.owner = self
-        heapq.heappush(self._heap, event)
+        heapq.heappush(self._heap, (event.time, event.priority, event.seq, event))
         self._live += 1
+
+    def push_new(self, time, priority, seq, callback, args) -> Event:
+        """Create an event and insert it — the fused scheduling hot path.
+
+        Same contract as :meth:`SlotWheelQueue.push_new`.
+        """
+        event = Event(time, priority, seq, callback, args)
+        event.owner = self
+        heapq.heappush(self._heap, (time, priority, seq, event))
+        self._live += 1
+        return event
 
     def pop(self) -> Event:
         """Remove and return the earliest live event, marking it fired.
@@ -60,10 +132,10 @@ class EventQueue:
             If the queue holds no live events.
         """
         while self._heap:
-            event = heapq.heappop(self._heap)
-            if not event.cancelled:
+            event = heapq.heappop(self._heap)[3]
+            if not event._cancelled:
                 self._live -= 1
-                event.mark_fired()
+                event._fired = True
                 return event
         raise IndexError("pop from empty EventQueue")
 
@@ -78,7 +150,44 @@ class EventQueue:
         self._discard_dead_head()
         if not self._heap:
             raise IndexError("peek on empty EventQueue")
-        return self._heap[0].time
+        return self._heap[0][0]
+
+    def serve(self, until: float | None = None):
+        """Yield live events in order, marking each fired — the drain loop.
+
+        Same contract as :meth:`SlotWheelQueue.serve`: one generator
+        resumption per event, stopping (without consuming) at the first
+        event past *until* when given.  The heap is re-read after every
+        yield — a consumer callback may swap it out via an auto-compact.
+        """
+        heappop = heapq.heappop
+        if until is None:
+            while True:
+                heap = self._heap
+                if not heap:
+                    return
+                event = heappop(heap)[3]
+                if event._cancelled:
+                    continue
+                self._live -= 1
+                event._fired = True
+                yield event
+        else:
+            while True:
+                heap = self._heap
+                if not heap:
+                    return
+                entry = heap[0]
+                event = entry[3]
+                if event._cancelled:
+                    heappop(heap)
+                    continue
+                if entry[0] > until:
+                    return
+                heappop(heap)
+                self._live -= 1
+                event._fired = True
+                yield event
 
     def cancel(self, event: Event) -> bool:
         """Cancel *event* if it is still a live entry of this queue.
@@ -93,11 +202,13 @@ class EventQueue:
             return False
         event.cancel()
         self._live -= 1
+        if should_compact(self._live, len(self._heap) - self._live):
+            self.compact()
         return True
 
     def compact(self) -> None:
         """Drop all cancelled entries and re-heapify."""
-        self._heap = [e for e in self._heap if not e.cancelled]
+        self._heap = [e for e in self._heap if not e[3]._cancelled]
         heapq.heapify(self._heap)
         # Dead entries carried no live count; the invariant is untouched,
         # but re-derive defensively so a prior external miscount heals.
@@ -110,15 +221,15 @@ class EventQueue:
         :meth:`cancel` afterwards is refused instead of driving the live
         count negative.
         """
-        for event in self._heap:
-            event.cancel()
+        for entry in self._heap:
+            entry[3].cancel()
         self._heap.clear()
         self._live = 0
 
     def live_heap_count(self) -> int:
         """O(n) count of non-cancelled heap entries (invariant check)."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        return sum(1 for e in self._heap if not e[3]._cancelled)
 
     def _discard_dead_head(self) -> None:
-        while self._heap and self._heap[0].cancelled:
+        while self._heap and self._heap[0][3]._cancelled:
             heapq.heappop(self._heap)

@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
+import gc
 from collections.abc import Callable, Generator
+from contextlib import contextmanager
 from time import perf_counter
 from typing import Any
 
@@ -12,7 +14,53 @@ from repro.obs.probes import kernel_probes
 from repro.sim.event import Event, Priority
 from repro.sim.process import Process
 from repro.sim.random import RandomStreams
-from repro.sim.scheduler import EventQueue
+from repro.sim.scheduler import make_event_queue
+
+# Depth of nested gc_paused() scopes, and whether the collector was
+# enabled when the outermost scope entered (so nesting restores exactly
+# the caller's state, once).
+_gc_pause_depth = 0
+_gc_was_enabled = False
+
+
+@contextmanager
+def gc_paused():
+    """Quiesce cyclic garbage collection while a pending set churns.
+
+    CPython's generational collector re-scans every tracked object each
+    collection; a simulation holding ~10⁵ pending events triggers full
+    collections that re-walk the entire (live) pending set and roughly
+    halve kernel throughput — pure overhead, since pending events are
+    reachable by construction.  Reference counting still reclaims the
+    acyclic event/frame churn immediately; cycles are swept once the
+    outermost scope exits.
+
+    :meth:`Simulator.run` wraps its event loop in this automatically,
+    which covers simulations that schedule from callbacks (all the
+    scenario builders).  Wrap bulk *pre-loading* phases — scheduling a
+    large batch before calling ``run()`` — explicitly:
+
+    >>> sim = Simulator(seed=1)
+    >>> with gc_paused():
+    ...     for i in range(3):
+    ...         _ = sim.schedule(float(i), lambda: None)
+    ...     sim.run()
+
+    Scopes nest (depth-counted); the collector is restored to its
+    original state when the outermost scope exits, even on error.
+    """
+    global _gc_pause_depth, _gc_was_enabled
+    if _gc_pause_depth == 0:
+        _gc_was_enabled = gc.isenabled()
+        if _gc_was_enabled:
+            gc.disable()
+    _gc_pause_depth += 1
+    try:
+        yield
+    finally:
+        _gc_pause_depth -= 1
+        if _gc_pause_depth == 0 and _gc_was_enabled:
+            gc.enable()
 
 
 class Simulator:
@@ -25,6 +73,15 @@ class Simulator:
         (still recorded, so runs can be replayed).
     start_time:
         Initial clock value in seconds.
+    scheduler:
+        Pending-event structure: ``"wheel"`` (default) runs the slot-wheel
+        calendar queue (:mod:`repro.sim.wheel`); ``"heap"`` the legacy
+        binary heap.  Pop order is identical — pinned by the Hypothesis
+        equivalence suite — so this is purely a throughput knob, kept so
+        A/B arms can cross-check the wheel against the reference.
+    wheel_slot_s:
+        Bucket width for the wheel scheduler (default: the DSSS MAC
+        slot); ignored by the heap.
 
     Examples
     --------
@@ -37,9 +94,24 @@ class Simulator:
     ['b', 'a']
     """
 
-    def __init__(self, *, seed: int | None = None, start_time: float = 0.0) -> None:
+    __slots__ = (
+        "_now", "_queue", "_push_new", "_seq", "_running", "_stopped",
+        "streams", "_obs", "_tracer", "_instrumented", "_slot_time",
+        "_overflow_reported", "__dict__",
+    )
+
+    def __init__(
+        self,
+        *,
+        seed: int | None = None,
+        start_time: float = 0.0,
+        scheduler: str = "wheel",
+        wheel_slot_s: float | None = None,
+    ) -> None:
         self._now = start_time
-        self._queue = EventQueue()
+        self._queue = make_event_queue(scheduler, slot_s=wheel_slot_s)
+        # Bound once: scheduling is the hottest call site in the kernel.
+        self._push_new = self._queue.push_new
         self._seq = 0
         self._running = False
         self._stopped = False
@@ -52,6 +124,9 @@ class Simulator:
         self._tracer = obs.tracer()
         self._instrumented = self._obs is not None or self._tracer is not None
         self._slot_time: float | None = None
+        # Overflow pushes already exported to the registry (the wheel
+        # counts unconditionally; the delta is copied out per fire).
+        self._overflow_reported = 0
 
     # -- clock -----------------------------------------------------------------
 
@@ -83,7 +158,16 @@ class Simulator:
         """
         if delay < 0.0:
             raise SimulationError(f"cannot schedule {delay!r} s into the past")
-        return self.schedule_at(self._now + delay, callback, *args, priority=priority)
+        # schedule_at inlined (minus its past-check, which a non-negative
+        # delay satisfies by construction): this is the kernel's hottest
+        # call site and the extra method hop costs ~10% of bench_kernel's
+        # event throughput.
+        seq = self._seq
+        self._seq = seq + 1
+        event = self._push_new(self._now + delay, priority, seq, callback, args)
+        if self._obs is not None:
+            self._obs.pushed.value += 1
+        return event
 
     def schedule_at(
         self,
@@ -97,9 +181,9 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at t={time!r}, clock already at t={self._now!r}"
             )
-        event = Event(time, priority, self._seq, callback, args)
-        self._seq += 1
-        self._queue.push(event)
+        seq = self._seq
+        self._seq = seq + 1
+        event = self._push_new(time, priority, seq, callback, args)
         if self._obs is not None:
             self._obs.pushed.value += 1
         return event
@@ -157,9 +241,17 @@ class Simulator:
             return
         start = perf_counter()
         event.callback(*event.args)
+        queue = self._queue
         self._obs.record_fire(
-            event.callback, perf_counter() - start, len(self._queue)
+            event.callback, perf_counter() - start, len(queue)
         )
+        if queue.kind == "wheel":
+            self._obs.wheel_slots.set(queue.occupied_slots())
+            self._obs.wheel_overflow.set(queue.overflow_len())
+            delta = queue.overflow_pushes - self._overflow_reported
+            if delta:
+                self._obs.overflow_pushed.value += delta
+                self._overflow_reported = queue.overflow_pushes
 
     def run(self, until: float | None = None) -> None:
         """Run events until the queue drains or the clock passes *until*.
@@ -168,24 +260,53 @@ class Simulator:
         if the last event fires earlier — mirroring ns-3's ``Stop`` time —
         so back-to-back ``run(until=...)`` calls tile time contiguously.
 
+        Cyclic garbage collection is paused for the duration of the loop
+        via :func:`gc_paused` (and restored on exit, even on error); see
+        that context manager for the rationale and for covering bulk
+        pre-loading phases as well.
+
         Raises
         ------
         SimulationError
             If called re-entrantly from within an event callback.
         """
+        global _gc_pause_depth, _gc_was_enabled
         if self._running:
             raise SimulationError("Simulator.run() is not re-entrant")
         self._running = True
         self._stopped = False
+        # gc_paused() inlined (enter): the context-manager protocol costs
+        # matter for scenario code calling run(until=...) in a tight loop.
+        if _gc_pause_depth == 0:
+            _gc_was_enabled = gc.isenabled()
+            if _gc_was_enabled:
+                gc.disable()
+        _gc_pause_depth += 1
         try:
-            while self._queue and not self._stopped:
-                if until is not None and self._queue.peek_time() > until:
-                    break
-                self.step()
+            queue = self._queue
+            if self._instrumented:
+                while queue and not self._stopped:
+                    if until is not None and queue.peek_time() > until:
+                        break
+                    self.step()
+            else:
+                # Uninstrumented drain: the queue's serve() generator
+                # replaces a peek_time/pop method pair per event with one
+                # generator resumption (bench_kernel pins the resulting
+                # events/s; bench_obs pins that instrumentation guards
+                # stay off this loop).
+                for event in queue.serve(until):
+                    self._now = event.time
+                    event.callback(*event.args)
+                    if self._stopped:
+                        break
             if until is not None and not self._stopped and self._now < until:
                 self._now = until
         finally:
             self._running = False
+            _gc_pause_depth -= 1
+            if _gc_pause_depth == 0 and _gc_was_enabled:
+                gc.enable()
             if self._slot_time is not None:
                 self._tracer.end()
                 self._slot_time = None

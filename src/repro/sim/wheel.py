@@ -1,0 +1,496 @@
+"""The slot-wheel scheduler: a calendar queue keyed on the MAC slot grid.
+
+Drop-in replacement for the binary-heap :class:`~repro.sim.scheduler.EventQueue`
+with the same total order ``(time, priority, seq)`` and the same
+live-count/cancel invariants, but a different cost profile.  The heap
+pays a Python-level ``Event.__lt__`` per sift comparison — O(log n) of
+them per push *and* pop — which caps the kernel around a couple hundred
+thousand events per second.  The wheel repackages every entry as a
+``(time, priority, seq, event)`` tuple — ``seq`` is globally unique, so
+a comparison never reaches the event element and always runs inside
+CPython's C tuple comparison — and replaces per-event heap sifts with
+per-*slot* and per-*window* work:
+
+* **near tier** — a dict of buckets keyed by absolute slot number
+  (``floor(time / slot_s)``, the MAC slot grid from
+  :mod:`repro.mac.timing`), plus a small int-heap of occupied slot
+  numbers.  Pushing into an existing bucket is one dict probe and a
+  ``list.append``; the int-heap is touched once per *distinct slot*, not
+  per event, so slot-aligned MAC workloads (back-off expiries, frame
+  ends) collapse to O(1) amortised pushes.
+* **serving window** — when the cursor drains, the next
+  ``window_slots`` worth of due entries (near buckets plus due overflow
+  entries) are gathered and sorted *once*, descending, so the next event
+  is always ``cursor[-1]`` and pop is O(1).  Events pushed into the
+  window while it is being served — timers armed for "now", same-instant
+  follow-ups — binary-insert into the cursor, preserving the exact total
+  order; causality (no scheduling into the past) keeps those insertions
+  near the serving end.
+* **overflow tier** — events beyond ``horizon_slots`` ahead of the
+  serving window (coverage watchdogs, HELLO periods, round-end
+  sentinels) are appended O(1) to a pending batch; each advance folds
+  the batch into a descending-sorted list (timsort is adaptive, so a
+  mostly-sorted tier re-sorts in near-linear time) and drains the due
+  window with one binary search plus a slice off the tail — O(due), not
+  O(due · log n) heap pops.
+
+Cancellation stays lazy exactly as in the heap queue: a cancelled entry
+is skipped when its window is served.  Both queues auto-compact when
+dead entries pile up past ``2 × live`` (see
+:func:`repro.sim.scheduler.should_compact`).
+
+Ordering equivalence with the heap queue is pinned by the Hypothesis
+suite in ``tests/sim/test_scheduler_equivalence.py``; the legacy heap
+stays selectable via ``Simulator(scheduler="heap")`` as the reference
+arm.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+
+from repro.sim.event import Event
+
+#: Default bucket width: the 802.11 DSSS MAC slot (20 µs) — the grid
+#: most kernel events (back-offs, DIFS expiries, frame ends) land on.
+#: Mirrored from :data:`repro.mac.timing.DSSS_TIMING` rather than
+#: imported (the MAC layer sits above the kernel); the value equality is
+#: pinned by a test.  Written as the same ``20 · 1e-6`` expression the
+#: MAC layer evaluates (``20e-6`` parses one ulp away) so the pin holds
+#: bitwise.
+DEFAULT_SLOT_S = 20 * 1e-6
+
+#: Slots gathered into one serving window (256 · 20 µs ≈ 5 ms): large
+#: enough to amortise the advance bookkeeping over many events, small
+#: enough that mid-window insertions stay cheap.
+DEFAULT_WINDOW_SLOTS = 256
+
+#: Slots the near tier spans ahead of the serving window before an event
+#: is routed to the overflow heap (4096 · 20 µs ≈ 82 ms by default —
+#: wide enough for every in-flight MAC timer, narrow enough that
+#: second-scale protocol timers stay out of the bucket dict).
+DEFAULT_HORIZON_SLOTS = 4096
+
+#: Slot number used for non-finite times (``inf`` sentinel events): far
+#: beyond any reachable slot, so they sit in the overflow tier until
+#: everything else has drained.
+_FAR_SLOT = 2**62
+
+# One global load instead of module + attribute on the push hot path.
+_floor = math.floor
+
+
+class SlotWheelQueue:
+    """Calendar queue over the MAC slot grid, heap-equivalent in order.
+
+    Invariant (same as :class:`~repro.sim.scheduler.EventQueue`):
+    ``len(self)`` always equals the number of non-cancelled entries held
+    across the cursor, the near buckets and the overflow tier
+    (:meth:`live_heap_count` re-derives it in O(n) for the tests), and
+    :meth:`cancel` is the only path that may decrement it for a
+    cancellation — refusing fired, already-cancelled and foreign
+    handles.
+
+    The ordering argument, for the record: the serving window covers the
+    slot range ``[base_slot, cursor_hi]`` and *owns every entry in it* —
+    ``_advance`` drains both tiers for the range, pushes into the range
+    binary-insert into the cursor (events cannot be scheduled into the
+    past, so nothing can be pushed below the range), and overflow
+    routing requires ``slot ≥ base_slot + horizon > cursor_hi``.  Hence
+    the cursor minimum is always the global minimum, and within the
+    window the sort on ``(time, priority, seq)`` keys reproduces the
+    heap's total order exactly.
+    """
+
+    kind = "wheel"
+
+    def __init__(
+        self,
+        slot_s: float = DEFAULT_SLOT_S,
+        *,
+        window_slots: int = DEFAULT_WINDOW_SLOTS,
+        horizon_slots: int = DEFAULT_HORIZON_SLOTS,
+    ) -> None:
+        if slot_s <= 0.0 or not math.isfinite(slot_s):
+            raise ValueError(f"slot width must be positive and finite, got {slot_s!r}")
+        if window_slots < 1:
+            raise ValueError(f"window must span at least 1 slot, got {window_slots!r}")
+        if horizon_slots < 2 * window_slots:
+            raise ValueError(
+                f"horizon ({horizon_slots}) must be at least twice the "
+                f"window ({window_slots}), or serving-window pushes could "
+                "be routed to the overflow tier"
+            )
+        self._slot_s = slot_s
+        self._inv_slot = 1.0 / slot_s
+        self._window = window_slots
+        self._horizon = horizon_slots
+        # slot number → list of (time, priority, seq, event) entries,
+        # unsorted until their window is served.
+        self._buckets: dict[int, list[tuple]] = {}
+        # Min-heap of occupied near-tier slot numbers (ints compare in C).
+        self._slot_heap: list[int] = []
+        # The window being served: entries sorted descending, so the next
+        # event is cursor[-1] and pop() is O(1).
+        self._cursor: list[tuple] = []
+        # Highest slot owned by the cursor (inclusive); None = no window.
+        self._cursor_hi: int | None = None
+        # Serving front; pushes ``horizon`` slots ahead go to overflow.
+        self._base_slot = 0
+        # Beyond-horizon entries: a descending-sorted tier (earliest key
+        # last, so draining slices off the tail) plus an unsorted pending
+        # batch folded in at the next advance.
+        self._overflow: list[tuple] = []
+        self._overflow_pending: list[tuple] = []
+        self._live = 0
+        self._dead = 0
+        #: Total entries ever routed to the overflow tier (plain int so
+        #: the obs layer can export it without a guard on this hot path).
+        self.overflow_pushes = 0
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def slot_s(self) -> float:
+        """Bucket width in seconds (the MAC slot grid)."""
+        return self._slot_s
+
+    def __len__(self) -> int:
+        """Number of *live* (non-cancelled) events."""
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def physical_size(self) -> int:
+        """Entries currently held, live and (lazily deleted) dead alike."""
+        return self._live + self._dead
+
+    def occupied_slots(self) -> int:
+        """Near-tier buckets holding entries, cursor included (density)."""
+        return len(self._buckets) + (1 if self._cursor else 0)
+
+    def overflow_len(self) -> int:
+        """Entries currently parked in the overflow tier."""
+        return len(self._overflow) + len(self._overflow_pending)
+
+    # -- core operations -------------------------------------------------------
+
+    def push(self, event: Event) -> None:
+        """Insert an event.
+
+        Raises
+        ------
+        ValueError
+            If the event already belongs to a queue (double-push would
+            double-count the live total).
+        """
+        if event.owner is not None:
+            raise ValueError(f"{event!r} is already queued")
+        event.owner = self
+        entry = (event.time, event.priority, event.seq, event)
+        self._insert(entry)
+        self._live += 1
+
+    def push_new(self, time, priority, seq, callback, args) -> Event:
+        """Create an event and insert it — the fused scheduling hot path.
+
+        Equivalent to ``Event(...)`` followed by :meth:`push`, minus one
+        call layer and the foreign-owner guard a freshly built event
+        cannot trip.  :meth:`~repro.sim.Simulator.schedule` routes
+        through this; :meth:`push` remains for re-queueing externally
+        built events.
+        """
+        event = Event(time, priority, seq, callback, args)
+        event.owner = self
+        try:
+            slot = _floor(time * self._inv_slot)
+        except (OverflowError, ValueError):  # inf / nan sentinel times
+            slot = _FAR_SLOT
+        cursor_hi = self._cursor_hi
+        if cursor_hi is not None and slot <= cursor_hi:
+            # The serving window: binary-insert into the descending
+            # cursor.  Causality (no scheduling into the past) puts the
+            # insertion point at or past the un-served suffix.
+            entry = (time, priority, seq, event)
+            cursor = self._cursor
+            lo, hi = 0, len(cursor)
+            while lo < hi:
+                mid = (lo + hi) // 2
+                if cursor[mid] > entry:
+                    lo = mid + 1
+                else:
+                    hi = mid
+            cursor.insert(lo, entry)
+        elif slot - self._base_slot >= self._horizon:
+            self._overflow_pending.append((time, priority, seq, event))
+            self.overflow_pushes += 1
+        else:
+            bucket = self._buckets.get(slot)
+            if bucket is None:
+                self._buckets[slot] = [(time, priority, seq, event)]
+                heapq.heappush(self._slot_heap, slot)
+            else:
+                bucket.append((time, priority, seq, event))
+        self._live += 1
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the earliest live event, marking it fired.
+
+        Raises
+        ------
+        IndexError
+            If the queue holds no live events.
+        """
+        while True:
+            cursor = self._cursor
+            while cursor:
+                event = cursor.pop()[3]
+                if event._cancelled:
+                    self._dead -= 1
+                    continue
+                self._live -= 1
+                event._fired = True
+                return event
+            if not self._advance():
+                raise IndexError("pop from empty EventQueue")
+
+    def peek_time(self) -> float:
+        """Timestamp of the earliest live event without removing it.
+
+        Raises
+        ------
+        IndexError
+            If the queue holds no live events.
+        """
+        while True:
+            cursor = self._cursor
+            while cursor:
+                event = cursor[-1][3]
+                if event._cancelled:
+                    cursor.pop()
+                    self._dead -= 1
+                    continue
+                return cursor[-1][0]
+            if not self._advance():
+                raise IndexError("peek on empty EventQueue")
+
+    def serve(self, until: float | None = None):
+        """Yield live events in order, marking each fired — the drain loop.
+
+        The :meth:`~repro.sim.Simulator.run` hot path: one generator
+        resumption per event instead of a ``peek_time`` + ``pop`` method
+        pair, with the cancelled-entry pruning done once.  With *until*,
+        stops (without consuming) at the first event past it.  The
+        cursor is re-read after every yield — a consumer callback may
+        push into it, or swap it out entirely via an auto-compact.
+        """
+        if until is None:
+            while True:
+                cursor = self._cursor
+                if not cursor:
+                    if not self._advance():
+                        return
+                    continue
+                event = cursor.pop()[3]
+                if event._cancelled:
+                    self._dead -= 1
+                    continue
+                self._live -= 1
+                event._fired = True
+                yield event
+        else:
+            while True:
+                cursor = self._cursor
+                if not cursor:
+                    if not self._advance():
+                        return
+                    continue
+                entry = cursor[-1]
+                event = entry[3]
+                if event._cancelled:
+                    cursor.pop()
+                    self._dead -= 1
+                    continue
+                if entry[0] > until:
+                    return
+                cursor.pop()
+                self._live -= 1
+                event._fired = True
+                yield event
+
+    def cancel(self, event: Event) -> bool:
+        """Cancel *event* if it is still a live entry of this queue.
+
+        Returns ``True`` when the event was live and is now cancelled;
+        ``False`` when there was nothing to do (already cancelled,
+        already fired, or never pushed to *this* queue).  Dead entries
+        linger until their window is served; when they outnumber live
+        entries past the shared auto-compact threshold the queue rebuilds
+        itself (see :func:`repro.sim.scheduler.should_compact`).
+        """
+        if event.cancelled or event.fired or event.owner is not self:
+            return False
+        event.cancel()
+        self._live -= 1
+        self._dead += 1
+        if should_compact(self._live, self._dead):
+            self.compact()
+        return True
+
+    def compact(self) -> None:
+        """Drop all cancelled entries and rebuild the tiers.
+
+        Survivors are re-seeded through the overflow tier; the next
+        :meth:`pop`/:meth:`peek_time` re-establishes a serving window
+        across both tiers, so ordering is untouched.
+        """
+        live = [entry for entry in self._iter_entries() if not entry[3]._cancelled]
+        live.sort(reverse=True)
+        self._overflow = live
+        self._overflow_pending = []
+        self._buckets = {}
+        self._slot_heap = []
+        self._cursor = []
+        # No serving window: pushes must not sidestep the re-seeded
+        # overflow until _advance re-establishes one.
+        self._cursor_hi = None
+        self._dead = 0
+        self._live = len(live)
+
+    def clear(self) -> None:
+        """Remove everything, resetting all cancellation bookkeeping.
+
+        Discarded events are marked cancelled so a stale handle passed to
+        :meth:`cancel` afterwards is refused instead of driving the live
+        count negative.
+        """
+        for entry in self._iter_entries():
+            entry[3].cancel()
+        self._buckets = {}
+        self._slot_heap = []
+        self._cursor = []
+        self._cursor_hi = None
+        self._overflow = []
+        self._overflow_pending = []
+        self._live = 0
+        self._dead = 0
+
+    def live_heap_count(self) -> int:
+        """O(n) count of non-cancelled entries (invariant check)."""
+        return sum(1 for entry in self._iter_entries() if not entry[3]._cancelled)
+
+    # -- internals -------------------------------------------------------------
+
+    def _insert(self, entry) -> None:
+        """Route one (time, priority, seq, event) entry to its tier.
+
+        Same routing as the inlined body of :meth:`push_new` (which
+        skips this call layer — it is the kernel's hottest path).
+        """
+        try:
+            slot = _floor(entry[0] * self._inv_slot)
+        except (OverflowError, ValueError):  # inf / nan sentinel times
+            slot = _FAR_SLOT
+        cursor_hi = self._cursor_hi
+        if cursor_hi is not None and slot <= cursor_hi:
+            cursor = self._cursor
+            lo, hi = 0, len(cursor)
+            while lo < hi:
+                mid = (lo + hi) // 2
+                if cursor[mid] > entry:
+                    lo = mid + 1
+                else:
+                    hi = mid
+            cursor.insert(lo, entry)
+        elif slot - self._base_slot >= self._horizon:
+            self._overflow_pending.append(entry)
+            self.overflow_pushes += 1
+        else:
+            bucket = self._buckets.get(slot)
+            if bucket is None:
+                self._buckets[slot] = [entry]
+                heapq.heappush(self._slot_heap, slot)
+            else:
+                bucket.append(entry)
+
+    def _iter_entries(self):
+        yield from self._cursor
+        for bucket in self._buckets.values():
+            yield from bucket
+        yield from self._overflow
+        yield from self._overflow_pending
+
+    def _advance(self) -> bool:
+        """Gather the next serving window into the cursor.
+
+        Picks the earliest occupied slot across both tiers, collects
+        every entry within ``window_slots`` of it (due overflow entries
+        included), and sorts the batch once.  Returns ``False`` when no
+        entries remain anywhere.
+        """
+        buckets = self._buckets
+        slot_heap = self._slot_heap
+        overflow = self._overflow
+        pending = self._overflow_pending
+        inv = self._inv_slot
+        floor = math.floor
+        if pending:
+            # Fold the unsorted batch into the sorted tier.  Timsort is
+            # adaptive: the existing descending run plus a short batch
+            # re-sorts in near-linear time.
+            overflow.extend(pending)
+            pending.clear()
+            overflow.sort(reverse=True)
+        # Drop slot-heap heads whose buckets were already consumed
+        # (defensive: the serve path removes both together).
+        while slot_heap and slot_heap[0] not in buckets:
+            heapq.heappop(slot_heap)
+        if overflow:
+            try:
+                head_slot = floor(overflow[-1][0] * inv)
+            except (OverflowError, ValueError):
+                head_slot = _FAR_SLOT
+            start = min(slot_heap[0], head_slot) if slot_heap else head_slot
+        elif slot_heap:
+            start = slot_heap[0]
+        else:
+            return False
+        end = start + self._window  # exclusive
+        # Drain due overflow entries: binary-search the descending tier
+        # for the first entry with slot < end, slice the tail off.  The
+        # slice is already descending-sorted — exactly the cursor order.
+        collect: list[tuple] = []
+        if overflow:
+            lo, hi = 0, len(overflow)
+            while lo < hi:
+                mid = (lo + hi) // 2
+                try:
+                    slot = floor(overflow[mid][0] * inv)
+                except (OverflowError, ValueError):
+                    slot = _FAR_SLOT
+                if slot >= end:
+                    lo = mid + 1
+                else:
+                    hi = mid
+            if lo < len(overflow):
+                collect = overflow[lo:]
+                del overflow[lo:]
+        sorted_prefix = len(collect)
+        while slot_heap and slot_heap[0] < end:
+            bucket = buckets.pop(heapq.heappop(slot_heap), None)
+            if bucket is not None:
+                collect.extend(bucket)
+        if len(collect) > sorted_prefix:
+            collect.sort(reverse=True)
+        self._cursor = collect
+        self._cursor_hi = end - 1
+        self._base_slot = start
+        return True
+
+
+# Imported late to avoid a cycle: scheduler.py exposes the factory that
+# builds this class and owns the shared auto-compact policy.
+from repro.sim.scheduler import should_compact  # noqa: E402

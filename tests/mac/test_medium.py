@@ -396,6 +396,41 @@ class TestBatchKernel:
         sim.run()
         assert any(r.cause is LossCause.DELIVERED for r in trace.rx_records)
 
+    def test_batch_frame_end_actually_delivers_to_interfaces(self):
+        """Regression: dense frame-ends must reach ``iface.deliver``.
+
+        The batch frame-end path (``len(finishing) ≥
+        batch_min_candidates``) classifies via trace-visible records,
+        so a bug that drops the *delivery dispatch* while still writing
+        trace rows is invisible to the record-comparison pins above.
+        Pin ``frames_received`` — the interface-side evidence — equal
+        between the batch and scalar arms on a dense topology.
+        """
+
+        def received_counts(*, batch):
+            trace = TraceCollector()
+            sim, medium, ifaces = make_net(
+                [Vec2(12.0 * i, 0.0) for i in range(12)], trace=trace
+            )
+            medium._batch = batch
+            rate = rate_by_name("dsss-11")
+            for k in range(10):
+                tx = ifaces[k % 3]
+                frame = data_frame(tx.node_id, ifaces[-1].node_id, seq=k)
+                sim.schedule(k * 2e-3, medium.transmit, tx, frame, rate)
+            sim.run()
+            delivered_rows = sum(
+                1 for r in trace.rx_records if r.cause is LossCause.DELIVERED
+            )
+            return [i.frames_received for i in ifaces], delivered_rows
+
+        batch_counts, batch_rows = received_counts(batch=True)
+        scalar_counts, scalar_rows = received_counts(batch=False)
+        assert batch_rows == scalar_rows > 0
+        assert batch_counts == scalar_counts
+        # The interface counters must agree with the trace's verdicts.
+        assert sum(batch_counts) == batch_rows
+
     def test_batched_mobility_groups_match_per_candidate_queries(self):
         # Interfaces built with a shared-track PathMobility go through
         # the grouped position query; result must equal the plain

@@ -1,0 +1,266 @@
+"""Slot-wheel scheduler: tier routing, invariants, pinned policy knobs."""
+
+import gc
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mac.timing import DSSS_TIMING
+from repro.sim import Simulator, gc_paused
+from repro.sim.event import Event, Priority
+from repro.sim.scheduler import (
+    COMPACT_DEAD_FACTOR,
+    COMPACT_MIN_DEAD,
+    EventQueue,
+    make_event_queue,
+    should_compact,
+)
+from repro.sim.wheel import (
+    DEFAULT_HORIZON_SLOTS,
+    DEFAULT_SLOT_S,
+    DEFAULT_WINDOW_SLOTS,
+    SlotWheelQueue,
+)
+
+
+def make_event(time, priority=Priority.NORMAL, seq=0):
+    return Event(time, priority, seq, lambda: None, ())
+
+
+class TestSlotGrid:
+    def test_default_slot_matches_dsss_mac_slot(self):
+        """The wheel's bucket width IS the 802.11 DSSS slot.
+
+        wheel.py mirrors the constant instead of importing it (the kernel
+        sits below the MAC layer); this pin keeps the two in sync.
+        """
+        assert DEFAULT_SLOT_S == DSSS_TIMING.slot_s
+
+    def test_factory_builds_each_kind(self):
+        assert make_event_queue("wheel").kind == "wheel"
+        assert make_event_queue("heap").kind == "heap"
+
+    def test_factory_rejects_unknown(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            make_event_queue("splay-tree")
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            SlotWheelQueue(0.0)
+        with pytest.raises(ValueError):
+            SlotWheelQueue(DEFAULT_SLOT_S, window_slots=0)
+        with pytest.raises(ValueError):
+            # Horizon under 2× window could route serving-window pushes
+            # to the overflow tier.
+            SlotWheelQueue(DEFAULT_SLOT_S, window_slots=64, horizon_slots=100)
+
+
+class TestOverflowRouting:
+    def test_beyond_horizon_parks_in_overflow(self):
+        q = SlotWheelQueue(1.0, window_slots=4, horizon_slots=8)
+        q.push(make_event(100.0, seq=0))  # slot 100 ≥ horizon 8
+        assert q.overflow_len() == 1
+        assert q.overflow_pushes == 1
+
+    def test_near_tier_events_skip_overflow(self):
+        q = SlotWheelQueue(1.0, window_slots=4, horizon_slots=8)
+        q.push(make_event(3.0, seq=0))
+        assert q.overflow_len() == 0
+        assert q.overflow_pushes == 0
+        assert q.occupied_slots() == 1
+
+    def test_overflow_drains_in_global_order(self):
+        q = SlotWheelQueue(1.0, window_slots=4, horizon_slots=8)
+        q.push(make_event(100.0, seq=0))  # overflow
+        q.push(make_event(2.0, seq=1))   # near
+        q.push(make_event(50.0, seq=2))  # overflow
+        assert [q.pop().time for _ in range(3)] == [2.0, 50.0, 100.0]
+
+    def test_inf_sentinel_drains_last(self):
+        q = SlotWheelQueue(1.0, window_slots=4, horizon_slots=8)
+        q.push(make_event(float("inf"), seq=0))
+        q.push(make_event(5.0, seq=1))
+        assert q.overflow_len() >= 1
+        assert q.pop().time == 5.0
+        assert q.pop().time == float("inf")
+
+    def test_push_into_serving_window_keeps_order(self):
+        """Same-instant follow-ups binary-insert into the live cursor."""
+        sim = Simulator(scheduler="wheel")
+        log = []
+
+        def chain(tag):
+            log.append(tag)
+            if tag == "a":
+                sim.schedule(0.0, chain, "b")  # now, mid-window
+
+        sim.schedule(1.0, chain, "a")
+        sim.schedule(1.0, log.append, "c")
+        sim.run()
+        # seq order: a(0), c(1), then b(2) appended at the same instant.
+        assert log == ["a", "c", "b"]
+
+
+class TestAutoCompactPolicy:
+    """Pin the shared lazy-deletion pressure valve, knob by knob."""
+
+    def test_threshold_constants(self):
+        assert COMPACT_MIN_DEAD == 64
+        assert COMPACT_DEAD_FACTOR == 2
+
+    def test_should_compact_truth_table(self):
+        # Below the floor: never, regardless of ratio.
+        assert not should_compact(0, COMPACT_MIN_DEAD - 1)
+        # At the floor: only when dead strictly exceed 2× live.
+        assert should_compact(31, 64)      # 64 > 62
+        assert not should_compact(32, 64)  # 64 == 2·32, not strict
+        assert should_compact(0, 64)
+        assert not should_compact(1000, 64)
+
+    @pytest.mark.parametrize("kind", ["wheel", "heap"])
+    def test_cancel_pressure_triggers_physical_compaction(self, kind):
+        """Cancelling past the threshold sheds the corpses automatically."""
+        q = make_event_queue(kind)
+        events = [make_event(float(i + 1), seq=i) for i in range(100)]
+        for event in events:
+            q.push(event)
+        # Out of 100 entries, the threshold (dead ≥ 64 and dead > 2·live)
+        # first holds at the 67th cancel (67 > 2·33): compaction fires
+        # there, leaving only the two corpses cancelled afterwards.
+        for event in events[:69]:
+            q.cancel(event)
+        assert len(q) == 31
+        assert q.physical_size() == 33
+        assert q.live_heap_count() == 31
+
+    @pytest.mark.parametrize("kind", ["wheel", "heap"])
+    def test_below_floor_keeps_corpses(self, kind):
+        """A handful of dead entries is cheaper to carry than to sweep."""
+        q = make_event_queue(kind)
+        events = [make_event(float(i + 1), seq=i) for i in range(20)]
+        for event in events:
+            q.push(event)
+        for event in events[:10]:
+            q.cancel(event)
+        assert len(q) == 10
+        assert q.physical_size() == 20  # dead=10 < COMPACT_MIN_DEAD
+
+    def test_wheel_compact_preserves_order(self):
+        q = SlotWheelQueue(1.0, window_slots=4, horizon_slots=8)
+        keep = [make_event(t, seq=i) for i, t in enumerate((3.0, 1.0, 50.0))]
+        drop = make_event(2.0, seq=99)
+        for event in (*keep, drop):
+            q.push(event)
+        q.cancel(drop)
+        q.compact()
+        assert len(q) == 3
+        assert [q.pop().time for _ in range(3)] == [1.0, 3.0, 50.0]
+
+
+class TestWheelInvariant:
+    """``len(queue)`` always equals the live entries across all tiers."""
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(
+                    ["push", "pop", "cancel", "cancel_fired", "compact", "clear"]
+                ),
+                st.floats(min_value=0.0, max_value=1e3),
+            ),
+            max_size=120,
+        )
+    )
+    def test_len_always_matches_live_entries(self, ops):
+        q = SlotWheelQueue(1.0, window_slots=4, horizon_slots=8)
+        seq = 0
+        pending = []
+        fired = []
+        for op, time in ops:
+            if op == "push":
+                event = make_event(time, seq=seq)
+                seq += 1
+                q.push(event)
+                pending.append(event)
+            elif op == "pop" and q:
+                event = q.pop()
+                assert event.fired
+                pending.remove(event)
+                fired.append(event)
+            elif op == "cancel" and pending:
+                q.cancel(pending[0])
+                q.cancel(pending[0])  # double-cancel must count once
+            elif op == "cancel_fired" and fired:
+                assert not q.cancel(fired[0])
+            elif op == "compact":
+                q.compact()
+            elif op == "clear":
+                q.clear()
+                pending.clear()
+            assert len(q) == q.live_heap_count()
+            assert len(q) >= 0
+
+    def test_cancel_of_foreign_event_is_refused(self):
+        mine = SlotWheelQueue(1.0, window_slots=4, horizon_slots=8)
+        other = EventQueue()
+        event = make_event(1.0, seq=0)
+        other.push(event)
+        mine.push(make_event(2.0, seq=1))
+        assert not mine.cancel(event)
+        assert len(mine) == 1 == mine.live_heap_count()
+
+    def test_double_push_rejected(self):
+        q = SlotWheelQueue()
+        event = make_event(1.0)
+        q.push(event)
+        with pytest.raises(ValueError):
+            q.push(event)
+        assert len(q) == 1
+
+    def test_defaults_are_sane(self):
+        assert DEFAULT_HORIZON_SLOTS >= 2 * DEFAULT_WINDOW_SLOTS
+
+
+class TestGcPaused:
+    """The kernel's GC quiescing scope: nesting, restore, error paths."""
+
+    def test_pauses_and_restores(self):
+        assert gc.isenabled()
+        with gc_paused():
+            assert not gc.isenabled()
+        assert gc.isenabled()
+
+    def test_nested_scopes_restore_once(self):
+        with gc_paused():
+            with gc_paused():
+                assert not gc.isenabled()
+            # Inner exit must NOT re-enable: the outer scope still holds.
+            assert not gc.isenabled()
+        assert gc.isenabled()
+
+    def test_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with gc_paused():
+                raise RuntimeError("boom")
+        assert gc.isenabled()
+
+    def test_respects_externally_disabled_gc(self):
+        gc.disable()
+        try:
+            with gc_paused():
+                assert not gc.isenabled()
+            # Caller had it off: exiting must not turn it on behind them.
+            assert not gc.isenabled()
+        finally:
+            gc.enable()
+
+    def test_run_nests_inside_explicit_scope(self):
+        """run() inlines the same refcounted enter/exit."""
+        with gc_paused():
+            sim = Simulator(seed=1)
+            sim.schedule(1.0, lambda: None)
+            sim.run()
+            assert not gc.isenabled()  # outer scope still holds
+        assert gc.isenabled()
