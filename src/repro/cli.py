@@ -567,6 +567,14 @@ def _cmd_campaign_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    # Imported lazily: the linter is tooling, not simulation, and the
+    # other subcommands should not pay for loading it.
+    from repro.lint import runner
+
+    return runner.main(args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -803,6 +811,61 @@ def build_parser() -> argparse.ArgumentParser:
         help="also fold and print the <store>.metrics telemetry sidecar",
     )
     report.set_defaults(func=_cmd_campaign_report)
+
+    lint = sub.add_parser(
+        "lint",
+        help="run reprolint (AST determinism & hot-path discipline checks)",
+        description=(
+            "Static checks for this repo's load-bearing invariants: "
+            "keyed randomness, libm-routed kernels, guarded probes, "
+            "flattened hot paths, slotted layouts. See docs/LINTING.md."
+        ),
+    )
+    lint.add_argument(
+        "paths", nargs="+", help="files or directories to lint"
+    )
+    lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    lint.add_argument(
+        "--select",
+        action="append",
+        metavar="PREFIX",
+        help="only report codes matching PREFIX (repeatable, e.g. RPL1)",
+    )
+    lint.add_argument(
+        "--ignore",
+        action="append",
+        metavar="PREFIX",
+        help="suppress codes matching PREFIX (repeatable)",
+    )
+    lint.add_argument(
+        "--baseline",
+        metavar="PATH",
+        help="baseline file (default: tools/lint_baseline.json if present)",
+    )
+    lint.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="rewrite the baseline from current findings (refuses growth)",
+    )
+    lint.add_argument(
+        "--allow-growth",
+        action="store_true",
+        help="permit --write-baseline to add new entries",
+    )
+    lint.add_argument(
+        "--stats",
+        action="store_true",
+        help="emit per-rule hit counts as an obs metrics snapshot (JSON)",
+    )
+    lint.add_argument(
+        "-v", "--verbose", action="store_true", help="also list waived findings"
+    )
+    lint.set_defaults(func=_cmd_lint)
 
     return parser
 

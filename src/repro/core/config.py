@@ -11,7 +11,7 @@ if typing.TYPE_CHECKING:  # pragma: no cover
     from repro.core.selection import CooperatorSelection
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True, frozen=True)
 class CarqConfig:
     """All tunables of the vehicle-side protocol.
 

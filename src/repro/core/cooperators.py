@@ -15,7 +15,7 @@ from dataclasses import dataclass
 from repro.mac.frames import NodeId
 
 
-@dataclass
+@dataclass(slots=True)
 class _CooperatorEntry:
     node: NodeId
     last_heard: float
@@ -30,6 +30,8 @@ class CooperatorTable:
     prototype behaves: the cooperator list in outgoing HELLOs "indicates
     the order in which cooperators should act" (§3.2).
     """
+
+    __slots__ = ("_my_cooperators", "_cooperating_for",)
 
     def __init__(self) -> None:
         self._my_cooperators: list[_CooperatorEntry] = []

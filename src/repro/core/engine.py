@@ -53,6 +53,8 @@ class ProtocolPool:
     delivery sink to activate the batched path.
     """
 
+    __slots__ = ("_sim", "_protocols", "_by_iface", "_deadline", "_timeout",)
+
     def __init__(self, sim: Simulator) -> None:
         self._sim = sim
         self._protocols: list[CarqProtocol] = []

@@ -40,7 +40,7 @@ from repro.obs.probes import protocol_probes
 from repro.sim import Event, Interrupt, Process, Simulator
 
 
-@dataclass
+@dataclass(slots=True)
 class CarqStats:
     """Protocol activity counters for one vehicle and one round."""
 
@@ -79,6 +79,26 @@ class CarqProtocol:
         Protocol semantics are identical either way (pinned by the A/B
         suite); the pool is purely an event-traffic optimisation.
     """
+
+    __slots__ = (
+        "sim",
+        "node",
+        "my_flow",
+        "config",
+        "_rng",
+        "phase",
+        "state",
+        "table",
+        "coop_buffer",
+        "stats",
+        "_obs",
+        "_started",
+        "_last_ap_time",
+        "_coverage_event",
+        "_recovery_process",
+        "_overheard_responses",
+        "ap_ids",
+    )
 
     def __init__(
         self,

@@ -26,6 +26,8 @@ from repro.mac.frames import NodeId
 class RetransmissionPolicy(abc.ABC):
     """Interface: how many copies of each data packet the AP transmits."""
 
+    __slots__ = ()
+
     @abc.abstractmethod
     def copies_for(self, flow_dst: NodeId, seq: int) -> int:
         """Total transmit count (≥ 1) for the given packet."""
@@ -34,12 +36,16 @@ class RetransmissionPolicy(abc.ABC):
 class NoRetransmission(RetransmissionPolicy):
     """Exactly one transmission per packet — the paper's prototype."""
 
+    __slots__ = ()
+
     def copies_for(self, flow_dst: NodeId, seq: int) -> int:
         return 1
 
 
 class FixedRetransmission(RetransmissionPolicy):
     """A constant number of copies per packet."""
+
+    __slots__ = ("copies",)
 
     def __init__(self, copies: int) -> None:
         if copies < 1:
@@ -62,6 +68,8 @@ class AdaptiveRetransmission(RetransmissionPolicy):
         scenario wires this to the vehicles' tables; a deployed system
         would learn it from uplink HELLO summaries).
     """
+
+    __slots__ = ("base_copies", "_cooperator_count_fn",)
 
     def __init__(
         self,

@@ -28,6 +28,8 @@ from repro.mac.frames import NodeId
 class CooperatorSelection(abc.ABC):
     """Interface: pick which heard neighbours to enlist as cooperators."""
 
+    __slots__ = ()
+
     @abc.abstractmethod
     def select(
         self, table: CooperatorTable, candidates: tuple[NodeId, ...]
@@ -38,6 +40,8 @@ class CooperatorSelection(abc.ABC):
 class AllNeighbors(CooperatorSelection):
     """Use every one-hop neighbour (the paper's prototype behaviour)."""
 
+    __slots__ = ()
+
     def select(
         self, table: CooperatorTable, candidates: tuple[NodeId, ...]
     ) -> tuple[NodeId, ...]:
@@ -46,6 +50,8 @@ class AllNeighbors(CooperatorSelection):
 
 class BestK(CooperatorSelection):
     """Keep the *k* candidates with the strongest mean HELLO RSSI."""
+
+    __slots__ = ("k",)
 
     def __init__(self, k: int) -> None:
         if k <= 0:
@@ -68,6 +74,8 @@ class BestK(CooperatorSelection):
 
 class RandomK(CooperatorSelection):
     """Keep a uniformly random subset of size *k* (control strategy)."""
+
+    __slots__ = ("k", "_rng",)
 
     def __init__(self, k: int, rng: np.random.Generator) -> None:
         if k <= 0:

@@ -19,7 +19,7 @@ class Phase(enum.Enum):
     RECOVERY = "recovery"
 
 
-@dataclass
+@dataclass(slots=True)
 class FlowReceptionState:
     """What a vehicle knows about its *own* download flow.
 

@@ -30,6 +30,8 @@ class VehicleNode(Node):
         :class:`~repro.core.protocol.CarqProtocol`).
     """
 
+    __slots__ = ("protocol",)
+
     def __init__(
         self,
         sim: Simulator,

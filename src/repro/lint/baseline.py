@@ -1,0 +1,136 @@
+"""The committed findings baseline: grandfathered debt, explicitly.
+
+``tools/lint_baseline.json`` holds findings that predate a rule and are
+accepted for now.  Entries are keyed by ``(module, code, context)`` —
+the *logical* module path (``mac/medium.py``) plus the enclosing
+qualname — not line numbers, so unrelated edits above a grandfathered
+site don't churn the file.  Each key carries a count: the baseline
+absorbs at most that many matching findings, so new instances of an old
+sin in the same function still fail.
+
+The updater (``repro lint --write-baseline``) refuses to *grow* the
+baseline unless ``--allow-growth`` is passed: silently baselining new
+findings would defeat the gate.  Stale entries (nothing matches them
+any more) fail the check too — shrink is mandatory, via a rewrite.
+
+Policy note (ISSUE 8): ``src/repro`` itself ships with an **empty**
+baseline — every finding there is either fixed or carries an inline
+``lint-ok`` waiver with a written reason.  The baseline exists for
+future rules landing against a large tree.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Any
+
+from repro.errors import ReproError
+from repro.lint.framework import Finding, logical_path
+
+_VERSION = 1
+
+#: ``(module-key, code, context)`` — the identity of a baselined finding.
+BaselineKey = tuple[str, str, str]
+
+
+class BaselineError(ReproError):
+    """Malformed baseline file or refused update."""
+
+
+def finding_key(finding: Finding) -> BaselineKey:
+    """Stable identity for baseline matching (line numbers excluded)."""
+    module = logical_path(finding.path) or finding.path
+    return (module, finding.code, finding.context)
+
+
+def load_baseline(path: str | Path) -> Counter[BaselineKey]:
+    """Parse a baseline file into match budgets per key."""
+    try:
+        document = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise BaselineError(f"cannot read baseline {path}: {exc}") from exc
+    if not isinstance(document, dict) or document.get("version") != _VERSION:
+        raise BaselineError(
+            f"baseline {path}: expected {{'version': {_VERSION}, 'entries': […]}}"
+        )
+    budgets: Counter[BaselineKey] = Counter()
+    for entry in document.get("entries", []):
+        try:
+            key = (entry["module"], entry["code"], entry["context"])
+            count = int(entry.get("count", 1))
+        except (TypeError, KeyError) as exc:
+            raise BaselineError(f"baseline {path}: malformed entry {entry!r}") from exc
+        budgets[key] += count
+    return budgets
+
+
+def apply_baseline(
+    findings: list[Finding], budgets: Counter[BaselineKey]
+) -> tuple[list[Finding], list[Finding], list[BaselineKey]]:
+    """Split findings into ``(reported, baselined)`` plus stale keys.
+
+    Matching consumes the per-key budget in source order; findings beyond
+    the budget are reported.  Keys with budget left over are *stale* —
+    the debt was paid down and the baseline must be rewritten.
+    """
+    remaining = Counter(budgets)
+    reported: list[Finding] = []
+    baselined: list[Finding] = []
+    for finding in sorted(findings, key=Finding.sort_key):
+        key = finding_key(finding)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            baselined.append(finding)
+        else:
+            reported.append(finding)
+    stale = sorted(key for key, count in remaining.items() if count > 0)
+    return reported, baselined, stale
+
+
+def render_baseline(findings: list[Finding]) -> dict[str, Any]:
+    """The JSON document that would baseline exactly *findings*."""
+    counts: Counter[BaselineKey] = Counter(
+        finding_key(finding) for finding in findings
+    )
+    entries = [
+        {"module": module, "code": code, "context": context, "count": count}
+        for (module, code, context), count in sorted(counts.items())
+    ]
+    return {"version": _VERSION, "entries": entries}
+
+
+def write_baseline(
+    path: str | Path,
+    findings: list[Finding],
+    *,
+    allow_growth: bool = False,
+) -> dict[str, Any]:
+    """Rewrite the baseline from *findings*; refuse silent growth.
+
+    Growth = any key whose new count exceeds its count in the existing
+    file (or that is absent from it).  Shrink always succeeds.
+    """
+    path = Path(path)
+    document = render_baseline(findings)
+    if path.exists() and not allow_growth:
+        old = load_baseline(path)
+        new: Counter[BaselineKey] = Counter()
+        for entry in document["entries"]:
+            new[(entry["module"], entry["code"], entry["context"])] = entry["count"]
+        grown = sorted(key for key in new if new[key] > old.get(key, 0))
+        if grown:
+            listed = ", ".join(
+                f"{module}:{code}:{context}" for module, code, context in grown[:8]
+            )
+            raise BaselineError(
+                f"refusing to grow the baseline silently ({len(grown)} new "
+                f"key(s): {listed}{'…' if len(grown) > 8 else ''}); fix or "
+                f"waive the findings, or pass --allow-growth"
+            )
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return document

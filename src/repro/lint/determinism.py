@@ -1,0 +1,192 @@
+"""RPL1xx — determinism: no ambient randomness, clocks, or hash-order.
+
+The reproduction's load-bearing guarantee is bit-identical replay: every
+stochastic draw is keyed per ``(link, transmission)`` or spawned from the
+named :class:`repro.sim.random.RandomStreams` tree, so culling, batching
+and sharding cannot perturb any other draw.  One stray
+``np.random.default_rng()`` in a hot module silently breaks that
+contract for every scenario — and the runtime A/B pins only catch it
+when the perturbed draw happens to change a pinned row.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.framework import (
+    DETERMINISM_PACKAGES,
+    RNG_SEAMS,
+    Finding,
+    ModuleContext,
+    Rule,
+    canonical_call,
+    import_aliases,
+    in_packages,
+    register,
+)
+
+#: Canonical dotted prefixes that mint ambient nondeterminism.  A name
+#: matches when it equals an entry or extends it past a dot.
+_NONDETERMINISTIC = (
+    "random.",          # the stdlib module, any function
+    "numpy.random.",    # default_rng, seed, direct distributions
+    "secrets.",
+    "time.time",
+    "time.time_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+    "uuid.uuid1",
+    "uuid.uuid4",
+    "os.urandom",
+)
+# Deliberately NOT listed: ``time.perf_counter``/``perf_counter_ns`` —
+# wall-clock *measurement* (obs cost centers, campaign timing) never
+# feeds simulation state, so it cannot perturb a realisation.
+
+
+def _matches_deny(canonical: str) -> bool:
+    for entry in _NONDETERMINISTIC:
+        if entry.endswith("."):
+            if canonical.startswith(entry):
+                return True
+        elif canonical == entry or canonical.startswith(entry + "."):
+            return True
+    return False
+
+
+def _scoped(module: ModuleContext) -> bool:
+    return (
+        in_packages(module.logical, DETERMINISM_PACKAGES)
+        and module.logical not in RNG_SEAMS
+    )
+
+
+@register
+class AmbientRandomnessRule(Rule):
+    code = "RPL101"
+    name = "no ambient RNG or wall clock in deterministic modules"
+    rationale = (
+        "All stochastic draws must come through the keyed seams "
+        "(`sim/random.py`, `radio/keyed.py`, `mobility/traceio/synth.py`): "
+        "`random.*`, `np.random.*`, `time.time()`, `datetime.now()` etc. "
+        "in sim/mac/net/core/radio/mobility modules break bit-identical "
+        "replay in ways the runtime A/B pins can miss."
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        if module.tree is None or not _scoped(module):
+            return
+        aliases = import_aliases(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            canonical = canonical_call(node, aliases)
+            if canonical is not None and _matches_deny(canonical):
+                yield self.finding(
+                    module,
+                    node,
+                    f"call to {canonical}() mints ambient nondeterminism; "
+                    f"draw through RandomStreams / radio.keyed instead",
+                )
+
+
+@register
+class IdentityOrderingRule(Rule):
+    code = "RPL102"
+    name = "no id() inside sort or hash keys"
+    rationale = (
+        "`id()` is the CPython allocation address: using it in a sort key "
+        "or hash makes iteration/tie-break order vary run to run, which "
+        "perturbs event order and therefore every downstream draw."
+    )
+
+    _ORDERING = frozenset({"sorted", "min", "max"})
+
+    def _has_id_call(self, node: ast.AST) -> ast.Call | None:
+        for child in ast.walk(node):
+            if (
+                isinstance(child, ast.Call)
+                and isinstance(child.func, ast.Name)
+                and child.func.id == "id"
+            ):
+                return child
+        return None
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        if module.tree is None or not _scoped(module):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            is_ordering = (
+                isinstance(node.func, ast.Name)
+                and node.func.id in self._ORDERING
+            ) or (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr == "sort"
+            )
+            if is_ordering:
+                for keyword in node.keywords:
+                    if keyword.arg == "key":
+                        hit = self._has_id_call(keyword.value)
+                        if hit is not None:
+                            yield self.finding(
+                                module,
+                                hit,
+                                "id() in a sort key orders by allocation "
+                                "address — use a stable field instead",
+                            )
+            elif isinstance(node.func, ast.Name) and node.func.id == "hash":
+                for arg in node.args:
+                    hit = self._has_id_call(arg)
+                    if hit is not None:
+                        yield self.finding(
+                            module,
+                            hit,
+                            "hash(id(…)) varies per process — hash a stable "
+                            "key instead",
+                        )
+
+
+@register
+class SetIterationRule(Rule):
+    code = "RPL103"
+    name = "no iteration over bare set values"
+    rationale = (
+        "Set iteration order depends on element hashes (and, for strings, "
+        "on PYTHONHASHSEED): feeding it into event scheduling or any "
+        "RNG-consuming loop makes replay order nondeterministic. Wrap the "
+        "set in sorted(…) with a stable key."
+    )
+
+    def _bare_set(self, node: ast.expr) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in ("set", "frozenset")
+        )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        if module.tree is None or not _scoped(module):
+            return
+        for node in ast.walk(module.tree):
+            iters: list[ast.expr] = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters.append(node.iter)
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+            ):
+                iters.extend(gen.iter for gen in node.generators)
+            for it in iters:
+                if self._bare_set(it):
+                    yield self.finding(
+                        module,
+                        it,
+                        "iterating a bare set has hash-dependent order; "
+                        "wrap in sorted(…) before it feeds scheduling",
+                    )

@@ -1,0 +1,80 @@
+"""RPL2xx — batch-kernel discipline: the last-ulp libm contract.
+
+PR 4's vectorized channel kernel is bit-identical to the scalar
+reference only because every transcendental evaluates through libm *per
+element* (``repro.radio.keyed.libm_map`` and friends): NumPy 2.x
+dispatches SIMD kernels for ``log``/``log10``/``exp``/``hypot``/
+``power``/``cos``/``sin`` whose results differ from libm in the last
+ulp, and a single direct ufunc call in a radio module silently breaks
+the exhaustive/fast/batch A/B pin on exactly the hardware CI does not
+run on.  IEEE-exact ufuncs (``sqrt``, ``floor``, arithmetic,
+comparisons) are correctly rounded everywhere and stay allowed.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.framework import (
+    KERNEL_PACKAGE,
+    KERNEL_SEAM,
+    Finding,
+    ModuleContext,
+    Rule,
+    canonical_call,
+    import_aliases,
+    register,
+)
+
+#: NumPy ufuncs whose vectorized kernels are *not* correctly rounded on
+#: every SIMD dispatch target (the bit-identity hazard set).
+_TRANSCENDENTALS = frozenset({
+    "log", "log2", "log10", "log1p",
+    "exp", "exp2", "expm1",
+    "hypot", "power", "float_power",
+    "cos", "sin", "tan",
+    "arccos", "arcsin", "arctan", "arctan2",
+    "sinh", "cosh", "tanh", "arcsinh", "arccosh", "arctanh",
+    "cbrt",
+})
+
+
+@register
+class LibmRoutingRule(Rule):
+    code = "RPL201"
+    name = "NumPy transcendentals in radio modules must route through libm"
+    rationale = (
+        "`np.log/log10/exp/hypot/power/…` dispatch SIMD kernels that differ "
+        "from libm in the last ulp, breaking the scalar/batch bit-identity "
+        "contract (PR 4). In `radio/` modules, call "
+        "`repro.radio.keyed.libm_map(math.fn, …)` (or the keyed batch "
+        "helpers) instead; IEEE-exact ufuncs (`np.sqrt`, `np.floor`, "
+        "arithmetic) are fine."
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        logical = module.logical
+        if (
+            module.tree is None
+            or logical is None
+            or not logical.startswith(KERNEL_PACKAGE + "/")
+            or logical == KERNEL_SEAM
+        ):
+            return
+        aliases = import_aliases(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            canonical = canonical_call(node, aliases)
+            if canonical is None or not canonical.startswith("numpy."):
+                continue
+            fn = canonical.removeprefix("numpy.")
+            if fn in _TRANSCENDENTALS:
+                yield self.finding(
+                    module,
+                    node,
+                    f"np.{fn}() is not last-ulp-identical to libm under "
+                    f"SIMD dispatch; route through keyed.libm_map "
+                    f"(math.{fn} per element)",
+                )

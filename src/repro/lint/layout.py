@@ -1,0 +1,117 @@
+"""RPL5xx — layout: hot-package classes carry ``__slots__``.
+
+Frames, events, buffer entries and link samples are instantiated
+millions of times per campaign: a ``__dict__`` per instance costs ~96
+bytes and a dict lookup per attribute access.  PR 4/PR 6 measured the
+win (``LinkSample`` 152 → 56 bytes); this rule keeps every class in
+sim/mac/net/core/radio slotted unless it is structurally exempt (enums,
+exceptions, NamedTuples, Protocols — where slots are meaningless or
+handled by the metaclass).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.framework import (
+    HOT_PACKAGES,
+    Finding,
+    ModuleContext,
+    Rule,
+    dotted_name,
+    in_packages,
+    register,
+)
+
+#: Base-class names (last dotted component) that make ``__slots__``
+#: meaningless or metaclass-managed.
+_EXEMPT_BASES = frozenset({
+    "Enum", "IntEnum", "StrEnum", "Flag", "IntFlag", "ReprEnum",
+    "Exception", "BaseException",
+    "NamedTuple", "TypedDict", "Protocol", "Generic", "type",
+})
+_EXEMPT_BASE_SUFFIXES = ("Error", "Exception", "Warning")
+
+
+def _base_exempt(base: ast.expr) -> bool:
+    dotted = dotted_name(base)
+    if dotted is None:
+        # Subscripted bases (Generic[T], Protocol[T]) and calls.
+        if isinstance(base, ast.Subscript):
+            return _base_exempt(base.value)
+        return False
+    last = dotted.split(".")[-1]
+    return last in _EXEMPT_BASES or last.endswith(_EXEMPT_BASE_SUFFIXES)
+
+
+def _dataclass_decorator(node: ast.ClassDef) -> ast.expr | ast.Call | None:
+    for dec in node.decorator_list:
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        dotted = dotted_name(target)
+        if dotted is not None and dotted.split(".")[-1] == "dataclass":
+            return dec
+    return None
+
+
+def _has_slots_kw(dec: ast.expr) -> bool:
+    if not isinstance(dec, ast.Call):
+        return False
+    for kw in dec.keywords:
+        if kw.arg == "slots" and isinstance(kw.value, ast.Constant):
+            return bool(kw.value.value)
+    return False
+
+
+def _declares_slots(node: ast.ClassDef) -> bool:
+    for stmt in node.body:
+        targets: list[ast.expr] = []
+        if isinstance(stmt, ast.Assign):
+            targets = stmt.targets
+        elif isinstance(stmt, ast.AnnAssign):
+            targets = [stmt.target]
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "__slots__":
+                return True
+    return False
+
+
+@register
+class SlotsRule(Rule):
+    code = "RPL501"
+    name = "hot-package classes declare __slots__"
+    rationale = (
+        "Per-instance __dict__ costs memory and a dict probe per "
+        "attribute access on paths executed millions of times per round. "
+        "Classes in sim/mac/net/core/radio declare __slots__ (plain "
+        "classes) or slots=True (dataclasses); enums, exceptions, "
+        "NamedTuples and Protocols are exempt. Base classes use "
+        "__slots__ = () so subclass slots stay effective."
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        if module.tree is None or not in_packages(module.logical, HOT_PACKAGES):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if any(_base_exempt(base) for base in node.bases):
+                continue
+            if any(kw.arg == "metaclass" for kw in node.keywords):
+                continue
+            dec = _dataclass_decorator(node)
+            if dec is not None:
+                if not _has_slots_kw(dec):
+                    yield self.finding(
+                        module,
+                        node,
+                        f"dataclass {node.name} in a hot package lacks "
+                        f"slots=True",
+                    )
+            elif not _declares_slots(node):
+                yield self.finding(
+                    module,
+                    node,
+                    f"class {node.name} in a hot package lacks __slots__ "
+                    f"(use __slots__ = () on pure base classes)",
+                )

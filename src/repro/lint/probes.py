@@ -1,0 +1,304 @@
+"""RPL3xx — probe discipline: every hot site is one guarded attr access.
+
+The observability contract (PR 6): probe factories
+(``kernel_probes()``, ``medium_probes()``, …) return ``None`` while the
+registry is disabled, so instrumented components pay one attribute load
+plus an ``is None`` test per hot site — the ≤2% disabled-overhead
+budget ``benchmarks/bench_obs.py`` pins.  An *unguarded* probe use
+either crashes the uninstrumented path outright (``None.value``) or, if
+a probe object leaks in from import time, silently records into a stale
+registry.  Both rules here are purely structural:
+
+* ``RPL301`` — a probe-bundle attribute (assigned from a ``*_probes()``
+  factory) is dereferenced outside an ``is not None`` guard;
+* ``RPL302`` — a probe bundle is created at import time (module or
+  class scope), freezing the enabled/disabled decision before any
+  campaign can flip it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.framework import (
+    Finding,
+    ModuleContext,
+    Rule,
+    dotted_name,
+    register,
+)
+
+#: A reference to a probe bundle: ``("attr", "_obs")`` for ``self._obs``,
+#: ``("name", "probes")`` for a local alias.
+_Ref = tuple[str, str]
+
+
+def _is_probe_factory(call: ast.expr) -> bool:
+    """Calls like ``medium_probes()`` / ``obs.probes.kernel_probes()``."""
+    if not isinstance(call, ast.Call):
+        return False
+    dotted = dotted_name(call.func)
+    if dotted is None:
+        return False
+    return dotted.split(".")[-1].endswith("_probes")
+
+
+def _scoped(module: ModuleContext) -> bool:
+    logical = module.logical
+    return logical is not None and not logical.startswith(("obs/", "lint/"))
+
+
+class _GuardWalker:
+    """Walks one function body tracking which probe refs are known
+    non-``None`` on each path."""
+
+    def __init__(
+        self,
+        rule: Rule,
+        module: ModuleContext,
+        probe_attrs: frozenset[str],
+    ) -> None:
+        self.rule = rule
+        self.module = module
+        self.probe_attrs = probe_attrs
+        self.local_probes: set[str] = set()
+        self.findings: list[Finding] = []
+
+    # -- reference resolution -------------------------------------------------
+
+    def resolve(self, expr: ast.expr) -> _Ref | None:
+        if (
+            isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"
+            and expr.attr in self.probe_attrs
+        ):
+            return ("attr", expr.attr)
+        if isinstance(expr, ast.Name) and expr.id in self.local_probes:
+            return ("name", expr.id)
+        return None
+
+    # -- guard inference ------------------------------------------------------
+
+    def _test_guards(self, test: ast.expr) -> tuple[set[_Ref], set[_Ref]]:
+        """``(non-None-if-true, non-None-if-false)`` refs for a test."""
+        ref = self.resolve(test)
+        if ref is not None:  # truthiness: ``if self._obs:``
+            return {ref}, set()
+        if isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not):
+            true, false = self._test_guards(test.operand)
+            return false, true
+        if (
+            isinstance(test, ast.Compare)
+            and len(test.ops) == 1
+            and isinstance(test.comparators[0], ast.Constant)
+            and test.comparators[0].value is None
+        ):
+            ref = self.resolve(test.left)
+            if ref is not None:
+                if isinstance(test.ops[0], ast.IsNot):
+                    return {ref}, set()
+                if isinstance(test.ops[0], ast.Is):
+                    return set(), {ref}
+        if isinstance(test, ast.BoolOp) and isinstance(test.op, ast.And):
+            true: set[_Ref] = set()
+            for value in test.values:
+                t, _ = self._test_guards(value)
+                true |= t
+            return true, set()
+        return set(), set()
+
+    # -- expression checking --------------------------------------------------
+
+    def check_expr(self, expr: ast.AST | None, guarded: set[_Ref]) -> None:
+        if expr is None:
+            return
+        if isinstance(expr, ast.Attribute):
+            ref = self.resolve(expr.value)
+            if ref is not None:
+                if ref not in guarded:
+                    label = (
+                        f"self.{ref[1]}" if ref[0] == "attr" else ref[1]
+                    )
+                    self.findings.append(
+                        self.rule.finding(
+                            self.module,
+                            expr,
+                            f"probe bundle {label} dereferenced without an "
+                            f"'is not None' guard (it is None while "
+                            f"metrics are disabled)",
+                        )
+                    )
+                return  # the ref itself needs no further descent
+            self.check_expr(expr.value, guarded)
+            return
+        for child in ast.iter_child_nodes(expr):
+            self.check_expr(child, guarded)
+
+    # -- statement walking ----------------------------------------------------
+
+    def walk(self, stmts: list[ast.stmt], guarded: set[_Ref]) -> None:
+        live = set(guarded)
+        for stmt in stmts:
+            live = self._walk_stmt(stmt, live)
+
+    def _terminates(self, stmts: list[ast.stmt]) -> bool:
+        return bool(stmts) and isinstance(
+            stmts[-1], (ast.Return, ast.Raise, ast.Continue, ast.Break)
+        )
+
+    def _walk_stmt(self, stmt: ast.stmt, guarded: set[_Ref]) -> set[_Ref]:
+        if isinstance(stmt, ast.If):
+            self.check_expr(stmt.test, guarded)
+            true, false = self._test_guards(stmt.test)
+            self.walk(stmt.body, guarded | true)
+            self.walk(stmt.orelse, guarded | false)
+            out = set(guarded)
+            if self._terminates(stmt.body):
+                out |= false
+            if stmt.orelse and self._terminates(stmt.orelse):
+                out |= true
+            return out
+        if isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            value = stmt.value
+            self.check_expr(value, guarded)
+            target = (
+                stmt.targets[0]
+                if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1
+                else stmt.target
+                if isinstance(stmt, (ast.AnnAssign, ast.AugAssign))
+                else None
+            )
+            if isinstance(target, ast.Name) and value is not None:
+                source = self.resolve(value) if isinstance(value, ast.expr) else None
+                if source is not None:
+                    # ``probes = self._obs`` — alias inherits guard state.
+                    self.local_probes.add(target.id)
+                    alias: _Ref = ("name", target.id)
+                    out = set(guarded)
+                    out.discard(alias)
+                    if source in guarded:
+                        out.add(alias)
+                    return out
+                if _is_probe_factory(value):
+                    self.local_probes.add(target.id)
+                    out = set(guarded)
+                    out.discard(("name", target.id))
+                    return out
+                if target.id in self.local_probes:
+                    # Rebound to something else: no longer a probe ref.
+                    self.local_probes.discard(target.id)
+                    out = set(guarded)
+                    out.discard(("name", target.id))
+                    return out
+            elif target is not None and not isinstance(target, ast.Name):
+                self.check_expr(target, guarded)
+            return guarded
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self.check_expr(stmt.iter, guarded)
+            self.walk(stmt.body, guarded)
+            self.walk(stmt.orelse, guarded)
+            return guarded
+        if isinstance(stmt, ast.While):
+            self.check_expr(stmt.test, guarded)
+            true, _ = self._test_guards(stmt.test)
+            self.walk(stmt.body, guarded | true)
+            self.walk(stmt.orelse, guarded)
+            return guarded
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                self.check_expr(item.context_expr, guarded)
+            self.walk(stmt.body, guarded)
+            return guarded
+        if isinstance(stmt, ast.Try):
+            self.walk(stmt.body, guarded)
+            for handler in stmt.handlers:
+                self.walk(handler.body, guarded)
+            self.walk(stmt.orelse, guarded)
+            self.walk(stmt.finalbody, guarded)
+            return guarded
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # Nested def: guards cannot be assumed to hold at call time.
+            self.walk(stmt.body, set())
+            return guarded
+        if isinstance(stmt, ast.ClassDef):
+            self.walk(stmt.body, set())
+            return guarded
+        # Expression statements, returns, asserts, raises, deletes…
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.expr):
+                self.check_expr(child, guarded)
+        return guarded
+
+
+@register
+class UnguardedProbeRule(Rule):
+    code = "RPL301"
+    name = "probe bundle used without an `is None` guard"
+    rationale = (
+        "Probe factories return None while metrics are disabled, so every "
+        "dereference of a `*_probes()` bundle must sit behind "
+        "`if probes is not None:` (or an early `if probes is None: return`). "
+        "An unguarded site crashes the uninstrumented path — the one every "
+        "production campaign runs."
+    )
+
+    def _class_probe_attrs(self, cls: ast.ClassDef) -> frozenset[str]:
+        attrs: set[str] = set()
+        for node in ast.walk(cls):
+            if isinstance(node, ast.Assign) and _is_probe_factory(node.value):
+                for target in node.targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        attrs.add(target.attr)
+        return frozenset(attrs)
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        if module.tree is None or not _scoped(module):
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                attrs = self._class_probe_attrs(node)
+                for item in node.body:
+                    if isinstance(
+                        item, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    ):
+                        walker = _GuardWalker(self, module, attrs)
+                        walker.walk(item.body, set())
+                        yield from walker.findings
+            elif isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ) and module.context_of(node) == "<module>":
+                walker = _GuardWalker(self, module, frozenset())
+                walker.walk(node.body, set())
+                yield from walker.findings
+
+
+@register
+class ImportTimeProbeRule(Rule):
+    code = "RPL302"
+    name = "no probe creation at import time"
+    rationale = (
+        "A `*_probes()` call at module or class scope runs at import, "
+        "before any campaign enables the registry: the bundle freezes to "
+        "None (dead instrumentation) or, worse, binds metrics into a "
+        "registry the campaign later clears. Create bundles in __init__."
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        if module.tree is None or not _scoped(module):
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call) and _is_probe_factory(node):
+                if not module.in_function(node):
+                    yield self.finding(
+                        module,
+                        node,
+                        "probe bundle created at import time — the "
+                        "enabled/disabled decision is frozen before any "
+                        "campaign can flip it; build it in __init__",
+                    )

@@ -22,7 +22,7 @@ MAC_OVERHEAD_BYTES = 34
 IP_ICMP_OVERHEAD_BYTES = 28
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True, frozen=True)
 class Frame:
     """Base class for everything that crosses the medium.
 
@@ -46,7 +46,7 @@ class Frame:
             raise ValueError(f"frame size must be positive, got {self.size_bytes!r}")
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True, frozen=True)
 class DataFrame(Frame):
     """A numbered data packet of one AP→car flow.
 
@@ -64,7 +64,7 @@ class DataFrame(Frame):
         return payload_bytes + IP_ICMP_OVERHEAD_BYTES + MAC_OVERHEAD_BYTES
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True, frozen=True)
 class HelloFrame(Frame):
     """Periodic broadcast beacon establishing cooperation relationships.
 
@@ -90,7 +90,7 @@ class HelloFrame(Frame):
         return MAC_OVERHEAD_BYTES + 8 + 6 * n_cooperators + 10 * n_ranges
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True, frozen=True)
 class RequestFrame(Frame):
     """Dark-area request for missing packets of the sender's own flow.
 
@@ -107,7 +107,7 @@ class RequestFrame(Frame):
         return MAC_OVERHEAD_BYTES + 8 + 4 * n_seqs
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True, frozen=True)
 class CoopDataFrame(Frame):
     """A buffered packet relayed by a cooperator during recovery."""
 
@@ -116,14 +116,14 @@ class CoopDataFrame(Frame):
     relayer: NodeId = BROADCAST
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True, frozen=True)
 class AckFrame(Frame):
     """Positive acknowledgement — used only by the in-coverage ARQ baseline."""
 
     acked_seq: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True, frozen=True)
 class NackFrame(Frame):
     """Cumulative NACK — the ARQ baseline's in-coverage feedback."""
 
@@ -135,7 +135,7 @@ class NackFrame(Frame):
         return MAC_OVERHEAD_BYTES + 8 + 4 * n_seqs
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True, frozen=True)
 class SummaryFrame(Frame):
     """Epidemic-baseline summary vector: which packets the sender holds.
 

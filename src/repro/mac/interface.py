@@ -58,6 +58,26 @@ class NetworkInterface:
         ``Medium.attach`` and must not be reassigned afterwards.
     """
 
+    __slots__ = (
+        "_sim",
+        "_medium",
+        "node_id",
+        "_position_fn",
+        "config",
+        "_rng",
+        "mobility",
+        "name",
+        "_queue",
+        "_transmitting",
+        "_contending",
+        "_timing",
+        "_cw",
+        "_receive_callbacks",
+        "frames_sent",
+        "bytes_sent",
+        "frames_received",
+    )
+
     def __init__(
         self,
         sim: Simulator,

@@ -73,7 +73,7 @@ class LossCause(enum.Enum):
     BELOW_SENSITIVITY = "below-sensitivity"
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True, frozen=True)
 class RxInfo:
     """Receive-side metadata handed to the interface with each frame."""
 
@@ -237,6 +237,32 @@ class Medium:
         Below this interface count the index is skipped (a linear scan of
         so few nodes is cheaper than grid bookkeeping).
     """
+
+    __slots__ = (
+        "_sim",
+        "_channel",
+        "_trace",
+        "_sensitivity_margin_db",
+        "_fast_path",
+        "_batch",
+        "_batch_min_candidates",
+        "_cull_headroom_db",
+        "_neighbor_refresh_s",
+        "_max_speed_ms",
+        "_neighbor_index_min_nodes",
+        "_interfaces",
+        "_ongoing",
+        "_attach_rank",
+        "_rx_static",
+        "_obs",
+        "_spans",
+        "_delivery_sink",
+        "_tx_seq",
+        "_index",
+        "_index_version",
+        "_reach_radius_m",
+        "_tx_radius_m",
+    )
 
     def __init__(
         self,

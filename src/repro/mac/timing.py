@@ -9,7 +9,7 @@ from repro.radio.modulation import PhyScheme, WifiRate
 from repro.units import MICROSECOND, bytes_to_bits
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True, frozen=True)
 class MacTiming:
     """Timing parameters of one PHY family.
 

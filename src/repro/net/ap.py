@@ -26,7 +26,7 @@ if typing.TYPE_CHECKING:  # pragma: no cover
     from repro.core.retransmission import RetransmissionPolicy
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True, frozen=True)
 class FlowConfig:
     """One AP→car data flow.
 
@@ -77,6 +77,16 @@ class AccessPoint(Node):
         Optional policy consulted after each transmission round-trip —
         ``None`` reproduces the paper (retransmissions disabled).
     """
+
+    __slots__ = (
+        "flows",
+        "_jitter_fraction",
+        "_rng",
+        "_retx_policy",
+        "last_seq_sent",
+        "frames_sent_per_flow",
+        "_running",
+    )
 
     def __init__(
         self,

@@ -24,7 +24,7 @@ from repro.mac.frames import NodeId
 from repro.obs.probes import buffer_probes
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True, frozen=True)
 class BufferEntry:
     """One stored packet."""
 
@@ -43,6 +43,15 @@ class PacketBuffer:
         Maximum number of stored packets; ``None`` means unbounded.
         When full, the oldest entry (insertion order) is evicted.
     """
+
+    __slots__ = (
+        "_capacity",
+        "_entries",
+        "_per_flow",
+        "_flow_bounds",
+        "evictions",
+        "_obs",
+    )
 
     def __init__(self, capacity: int | None = None) -> None:
         if capacity is not None and capacity <= 0:

@@ -33,6 +33,8 @@ class Node:
         Human-readable label.
     """
 
+    __slots__ = ("sim", "node_id", "name", "mobility", "iface",)
+
     def __init__(
         self,
         sim: Simulator,

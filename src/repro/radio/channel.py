@@ -68,6 +68,15 @@ class Channel:
         Stream for the frame-error Bernoulli draws.
     """
 
+    __slots__ = (
+        "pathloss",
+        "shadowing",
+        "fading",
+        "obstruction",
+        "_rng",
+        "_links",
+    )
+
     def __init__(
         self,
         *,
@@ -81,6 +90,7 @@ class Channel:
         self.shadowing = shadowing if shadowing is not None else NoShadowing()
         self.fading = fading if fading is not None else NoFading()
         self.obstruction = obstruction if obstruction is not None else NoObstruction()
+        # repro: lint-ok RPL101 (ad-hoc convenience fallback only; every scenario builder injects a RandomStreams-derived generator)
         self._rng = rng if rng is not None else np.random.default_rng()
         # (tx_id, rx_id) → (canonical link key, stable 64-bit link hash);
         # pure values, memoised off the per-frame hot path.

@@ -28,6 +28,8 @@ from repro.radio.keyed import KeyedRandom, libm_map
 class FadingModel(abc.ABC):
     """Interface: one power-gain sample (dB) per transmitted frame."""
 
+    __slots__ = ()
+
     @abc.abstractmethod
     def sample_db(self, key: tuple[int, ...] | None = None) -> float:
         """A fading gain in dB (typically negative-mean) for *key*."""
@@ -49,6 +51,8 @@ class FadingModel(abc.ABC):
 class NoFading(FadingModel):
     """Deterministic zero fading — for unit tests and calibration."""
 
+    __slots__ = ()
+
     def sample_db(self, key: tuple[int, ...] | None = None) -> float:
         return 0.0
 
@@ -58,6 +62,8 @@ class NoFading(FadingModel):
 
 class _KeyedFading(FadingModel):
     """Shared plumbing: keyed draws with a sequential-counter fallback."""
+
+    __slots__ = ("_keyed", "_calls",)
 
     def __init__(self, rng: np.random.Generator) -> None:
         self._keyed = KeyedRandom.from_rng(rng)
@@ -75,6 +81,8 @@ class RayleighFading(_KeyedFading):
 
     Models the deep-urban segments of the loop where the AP is not visible.
     """
+
+    __slots__ = ()
 
     def sample_db(self, key: tuple[int, ...] | None = None) -> float:
         gain = self._keyed.exponential(*self._key(key))
@@ -96,6 +104,8 @@ class RicianFading(_KeyedFading):
     gain is 1 (0 dB).  ``K → 0`` degenerates to Rayleigh, ``K → ∞`` to no
     fading.  A K of 3–10 dB fits a street with the AP in view.
     """
+
+    __slots__ = ("k_factor", "_los", "_scatter_sigma",)
 
     def __init__(self, rng: np.random.Generator, *, k_factor: float = 4.0) -> None:
         if k_factor < 0.0:

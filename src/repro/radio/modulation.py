@@ -74,7 +74,7 @@ def _ber_qpsk(snr_linear: float) -> float:
     return _q_function(math.sqrt(snr_linear))
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True, frozen=True)
 class WifiRate:
     """One entry of the 802.11 rate ladder.
 

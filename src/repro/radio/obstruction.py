@@ -26,6 +26,8 @@ from repro.geom.shapes import AxisRect
 class ObstructionModel(abc.ABC):
     """Interface: (tx position, rx position) → extra loss in dB."""
 
+    __slots__ = ()
+
     @abc.abstractmethod
     def extra_loss_db(self, tx_pos: Vec2, rx_pos: Vec2) -> float:
         """Additional attenuation for this link geometry (≥ 0)."""
@@ -50,6 +52,8 @@ class ObstructionModel(abc.ABC):
 class NoObstruction(ObstructionModel):
     """Open field — no extra loss."""
 
+    __slots__ = ()
+
     def extra_loss_db(self, tx_pos: Vec2, rx_pos: Vec2) -> float:
         return 0.0
 
@@ -71,6 +75,8 @@ class BuildingObstruction(ObstructionModel):
     max_buildings:
         Crossings counted at most this many times.
     """
+
+    __slots__ = ("buildings", "loss_per_building_db", "max_buildings",)
 
     def __init__(
         self,

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import abc
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -24,6 +24,8 @@ from repro.units import SPEED_OF_LIGHT
 
 class PathLossModel(abc.ABC):
     """Interface: distance [m] → path loss [dB]."""
+
+    __slots__ = ()
 
     @abc.abstractmethod
     def loss_db(self, distance_m: float) -> float:
@@ -68,7 +70,7 @@ def _clamp_distances(distances_m: np.ndarray, minimum: float) -> np.ndarray:
     return np.maximum(distances_m, minimum)
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True, frozen=True)
 class FreeSpacePathLoss(PathLossModel):
     """Friis free-space propagation.
 
@@ -84,6 +86,7 @@ class FreeSpacePathLoss(PathLossModel):
 
     frequency_hz: float = 2.412e9
     min_distance_m: float = 1.0
+    _constant_db: float = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         # 20·log10(4πf/c), folded so one log10 remains per evaluation.
@@ -104,7 +107,7 @@ class FreeSpacePathLoss(PathLossModel):
         return 10.0 ** ((loss_db - self._constant_db) / 20.0)
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True, frozen=True)
 class LogDistancePathLoss(PathLossModel):
     """Log-distance model — the standard urban-street abstraction.
 
@@ -120,6 +123,7 @@ class LogDistancePathLoss(PathLossModel):
     reference_distance_m: float = 1.0
     reference_loss_db: float | None = None
     frequency_hz: float = 2.412e9
+    _constant_db: float = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.exponent <= 0.0:
@@ -151,7 +155,7 @@ class LogDistancePathLoss(PathLossModel):
         return 10.0 ** ((loss_db - self._constant_db) / (10.0 * self.exponent))
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True, frozen=True)
 class TwoRayGroundPathLoss(PathLossModel):
     """Two-ray ground-reflection model for long flat links (highway).
 
@@ -165,6 +169,8 @@ class TwoRayGroundPathLoss(PathLossModel):
     rx_height_m: float = 1.5
     frequency_hz: float = 2.412e9
     min_distance_m: float = 1.0
+    _free_space: "FreeSpacePathLoss" = field(init=False, repr=False, compare=False)
+    _height_gain_db: float = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.tx_height_m <= 0.0 or self.rx_height_m <= 0.0:
@@ -220,6 +226,8 @@ class MemoizedPathLoss(PathLossModel):
     unbounded distinct distances) it is dropped wholesale; hot static
     entries re-populate within a frame.
     """
+
+    __slots__ = ("model", "max_entries", "_cache",)
 
     def __init__(self, model: PathLossModel, *, max_entries: int = 65536) -> None:
         if max_entries <= 0:

@@ -9,7 +9,7 @@ from repro.radio.modulation import WifiRate, rate_by_name
 from repro.units import thermal_noise_dbm
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True, frozen=True)
 class RadioConfig:
     """Static PHY parameters of one radio.
 
@@ -46,6 +46,7 @@ class RadioConfig:
     rate: WifiRate = field(default_factory=lambda: rate_by_name("dsss-1"))
     carrier_sense_threshold_dbm: float = -96.0
     capture_threshold_db: float = 10.0
+    _noise_floor_dbm: float = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.bandwidth_hz <= 0.0:

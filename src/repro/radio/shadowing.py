@@ -63,6 +63,8 @@ _CORNER_DZ = np.array([0, 0, 0, 0, 1, 1, 1, 1], dtype=np.int64)
 class ShadowingModel(abc.ABC):
     """Interface: per-link, position- and time-indexed shadowing in dB."""
 
+    __slots__ = ()
+
     @abc.abstractmethod
     def sample_db(
         self, link: LinkKey, tx_pos: Vec2, rx_pos: Vec2, time: float = 0.0
@@ -115,6 +117,8 @@ class ShadowingModel(abc.ABC):
 class NoShadowing(ShadowingModel):
     """Deterministic zero shadowing — for unit tests and calibration."""
 
+    __slots__ = ()
+
     def sample_db(
         self, link: LinkKey, tx_pos: Vec2, rx_pos: Vec2, time: float = 0.0
     ) -> float:
@@ -158,6 +162,17 @@ class GudmundsonShadowing(ShadowingModel):
     ``(link, epoch, corner)``, so the field is deterministic per round
     no matter which links the medium samples or skips.
     """
+
+    __slots__ = (
+        "_keyed",
+        "sigma_db",
+        "decorrelation_distance_m",
+        "clamp_sigmas",
+        "_epoch",
+        "_link_hashes",
+        "_corners",
+        "_corner_blocks",
+    )
 
     def __init__(
         self,
@@ -398,6 +413,19 @@ class TemporalTxShadowing(ShadowingModel):
     compose the two with :class:`CompositeShadowing`.
     """
 
+    __slots__ = (
+        "_keyed",
+        "sigma_db",
+        "tau_s",
+        "clamp_sigmas",
+        "_hub",
+        "_step_s",
+        "_rho",
+        "_innovation_scale",
+        "_epoch",
+        "_state",
+    )
+
     #: Grid steps per correlation time; within one step the process is
     #: constant, matching the sub-coherence packet spacing of the flows.
     _STEPS_PER_TAU = 4
@@ -586,6 +614,8 @@ class CompositeShadowing(ShadowingModel):
     per-link component carries spatial diversity across cars and the
     common component carries the shared AP-side variation.
     """
+
+    __slots__ = ("components",)
 
     def __init__(self, components: list[ShadowingModel]) -> None:
         if not components:

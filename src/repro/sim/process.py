@@ -46,6 +46,8 @@ class Signal:
     Plain callbacks can also subscribe via :meth:`subscribe`.
     """
 
+    __slots__ = ("name", "_waiters", "_callbacks",)
+
     def __init__(self, name: str = "") -> None:
         self.name = name
         self._waiters: list[Process] = []
@@ -86,6 +88,17 @@ class Process:
     scheduled immediately, not run inline, so creation order does not leak
     into execution order).
     """
+
+    __slots__ = (
+        "_sim",
+        "_generator",
+        "name",
+        "_alive",
+        "_pending_event",
+        "_waiting_on",
+        "result",
+        "done",
+    )
 
     def __init__(self, sim: "Simulator", generator: Generator[Any, Any, Any], name: str = "") -> None:
         self._sim = sim

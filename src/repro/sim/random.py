@@ -29,6 +29,8 @@ class RandomStreams:
     True
     """
 
+    __slots__ = ("_seed_sequence", "_generators", "_children",)
+
     def __init__(self, seed: int | None = None) -> None:
         self._seed_sequence = np.random.SeedSequence(seed)
         self._generators: dict[str, np.random.Generator] = {}

@@ -77,6 +77,8 @@ class EventQueue:
     live count negative and stop a run while live events remain).
     """
 
+    __slots__ = ("_heap", "_live",)
+
     kind = "heap"
 
     def __init__(self) -> None:

@@ -103,6 +103,23 @@ class SlotWheelQueue:
     heap's total order exactly.
     """
 
+    __slots__ = (
+        "_slot_s",
+        "_inv_slot",
+        "_window",
+        "_horizon",
+        "_buckets",
+        "_slot_heap",
+        "_cursor",
+        "_cursor_hi",
+        "_base_slot",
+        "_overflow",
+        "_overflow_pending",
+        "_live",
+        "_dead",
+        "overflow_pushes",
+    )
+
     kind = "wheel"
 
     def __init__(

@@ -1,0 +1,45 @@
+"""Shared fixtures for the reprolint tests.
+
+Fixture modules are written to a ``repro/``-rooted tree under
+``tmp_path`` so the scoping rules see the same logical paths
+(``mac/foo.py``) they see under ``src/repro`` — the linter derives
+scope from the last ``repro`` path component, not the filesystem root.
+
+``--import-mode=importlib`` does not put this directory on ``sys.path``,
+so the shared assertion helpers live in :mod:`rulefixtures` and the
+path is added here (conftest loads before any test module).
+"""
+
+from __future__ import annotations
+
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from repro.lint import Finding, lint_file  # noqa: E402
+
+
+class _Findings(list):
+    """Reported findings, with the waived ones along for the ride."""
+
+    waived: list
+
+
+@pytest.fixture
+def lint_module(tmp_path):
+    """``lint_module(logical, source)`` → reported findings."""
+
+    def run(logical: str, source: str) -> _Findings:
+        path = tmp_path / "repro" / logical
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+        reported, waived = lint_file(path)
+        result = _Findings(reported)
+        result.waived = waived
+        return result
+
+    return run

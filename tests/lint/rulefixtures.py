@@ -1,0 +1,11 @@
+"""Helpers shared by the reprolint rule tests."""
+
+from __future__ import annotations
+
+
+def codes(findings) -> list[str]:
+    return [f.code for f in findings]
+
+
+def only(findings, code: str) -> list:
+    return [f for f in findings if f.code == code]

@@ -1,0 +1,108 @@
+"""Baseline: round-trip, budgeted matching, staleness, refused growth."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.lint import Finding
+from repro.lint.baseline import (
+    BaselineError,
+    apply_baseline,
+    load_baseline,
+    render_baseline,
+    write_baseline,
+)
+
+
+def _finding(code="RPL501", path="src/repro/mac/f.py", line=10, ctx="Frame"):
+    return Finding(
+        code=code, message="m", path=path, line=line, col=0, context=ctx
+    )
+
+
+class TestRoundTrip:
+    def test_write_then_apply_absorbs_exactly(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        findings = [_finding(line=10), _finding(line=20)]
+        write_baseline(baseline, findings)
+        budgets = load_baseline(baseline)
+        reported, baselined, stale = apply_baseline(findings, budgets)
+        assert reported == []
+        assert len(baselined) == 2
+        assert stale == []
+
+    def test_line_numbers_do_not_matter(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        write_baseline(baseline, [_finding(line=10)])
+        # The same finding after unrelated edits moved it 90 lines down.
+        reported, baselined, stale = apply_baseline(
+            [_finding(line=100)], load_baseline(baseline)
+        )
+        assert reported == [] and len(baselined) == 1 and stale == []
+
+    def test_budget_is_per_key_count(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        write_baseline(baseline, [_finding(line=10)])
+        # A *second* instance in the same context exceeds the budget.
+        reported, baselined, _ = apply_baseline(
+            [_finding(line=10), _finding(line=11)], load_baseline(baseline)
+        )
+        assert len(baselined) == 1
+        assert len(reported) == 1
+
+    def test_paid_down_debt_is_stale(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        write_baseline(baseline, [_finding()])
+        reported, baselined, stale = apply_baseline([], load_baseline(baseline))
+        assert reported == [] and baselined == []
+        assert stale == [("mac/f.py", "RPL501", "Frame")]
+
+
+class TestGrowthRefusal:
+    def test_refuses_new_keys_without_allow_growth(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        write_baseline(baseline, [_finding()])
+        with pytest.raises(BaselineError, match="refusing to grow"):
+            write_baseline(
+                baseline, [_finding(), _finding(code="RPL101", ctx="other")]
+            )
+
+    def test_refuses_count_increase(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        write_baseline(baseline, [_finding(line=10)])
+        with pytest.raises(BaselineError, match="refusing to grow"):
+            write_baseline(baseline, [_finding(line=10), _finding(line=12)])
+
+    def test_allow_growth_overrides(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        write_baseline(baseline, [_finding()])
+        document = write_baseline(
+            baseline,
+            [_finding(), _finding(code="RPL101")],
+            allow_growth=True,
+        )
+        assert len(document["entries"]) == 2
+
+    def test_shrink_always_succeeds(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        write_baseline(baseline, [_finding(), _finding(code="RPL101")])
+        document = write_baseline(baseline, [_finding()])
+        assert len(document["entries"]) == 1
+
+
+class TestFormat:
+    def test_document_shape(self):
+        document = render_baseline([_finding(line=1), _finding(line=2)])
+        assert document["version"] == 1
+        assert document["entries"] == [
+            {"module": "mac/f.py", "code": "RPL501", "context": "Frame",
+             "count": 2},
+        ]
+
+    def test_malformed_file_raises(self, tmp_path):
+        bad = tmp_path / "baseline.json"
+        bad.write_text(json.dumps({"version": 99}))
+        with pytest.raises(BaselineError):
+            load_baseline(bad)

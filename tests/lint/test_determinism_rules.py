@@ -1,0 +1,158 @@
+"""RPL1xx: ambient randomness, id()-ordering, set iteration."""
+
+from __future__ import annotations
+
+from rulefixtures import only
+
+
+class TestAmbientRandomness:
+    def test_numpy_default_rng_flagged(self, lint_module):
+        findings = lint_module(
+            "radio/chan.py",
+            """
+            import numpy as np
+            def build():
+                return np.random.default_rng()
+            """,
+        )
+        assert len(only(findings, "RPL101")) == 1
+
+    def test_stdlib_random_flagged(self, lint_module):
+        findings = lint_module(
+            "mac/backoff.py",
+            """
+            import random
+            def slot():
+                return random.randrange(16)
+            """,
+        )
+        assert len(only(findings, "RPL101")) == 1
+
+    def test_wall_clock_flagged(self, lint_module):
+        findings = lint_module(
+            "sim/stamp.py",
+            """
+            import time
+            from datetime import datetime
+            def stamp():
+                return time.time(), datetime.now()
+            """,
+        )
+        assert len(only(findings, "RPL101")) == 2
+
+    def test_perf_counter_allowed(self, lint_module):
+        findings = lint_module(
+            "sim/cost.py",
+            """
+            import time
+            def measure():
+                return time.perf_counter()
+            """,
+        )
+        assert only(findings, "RPL101") == []
+
+    def test_rng_seams_exempt(self, lint_module):
+        findings = lint_module(
+            "sim/random.py",
+            """
+            import numpy as np
+            def root(seed):
+                return np.random.default_rng(seed)
+            """,
+        )
+        assert only(findings, "RPL101") == []
+
+    def test_outside_determinism_packages_not_scoped(self, lint_module):
+        findings = lint_module(
+            "analysis/timing.py",
+            """
+            import time
+            def wall():
+                return time.time()
+            """,
+        )
+        assert only(findings, "RPL101") == []
+
+    def test_alias_resolution(self, lint_module):
+        findings = lint_module(
+            "net/jitter.py",
+            """
+            from random import uniform as u
+            def jitter():
+                return u(0, 1)
+            """,
+        )
+        assert len(only(findings, "RPL101")) == 1
+
+    def test_local_name_shadowing_numpy_not_flagged(self, lint_module):
+        findings = lint_module(
+            "net/local.py",
+            """
+            def draw(streams):
+                return streams.random.uniform()
+            """,
+        )
+        assert only(findings, "RPL101") == []
+
+
+class TestIdentityOrdering:
+    def test_id_in_sort_key_flagged(self, lint_module):
+        findings = lint_module(
+            "core/order.py",
+            """
+            def stable(nodes):
+                return sorted(nodes, key=lambda n: id(n))
+            """,
+        )
+        assert len(only(findings, "RPL102")) == 1
+
+    def test_id_in_hash_flagged(self, lint_module):
+        findings = lint_module(
+            "core/order.py",
+            """
+            def h(n):
+                return hash(id(n))
+            """,
+        )
+        assert len(only(findings, "RPL102")) == 1
+
+    def test_stable_key_allowed(self, lint_module):
+        findings = lint_module(
+            "core/order.py",
+            """
+            def stable(nodes):
+                return sorted(nodes, key=lambda n: n.node_id)
+            """,
+        )
+        assert only(findings, "RPL102") == []
+
+
+class TestSetIteration:
+    def test_for_over_set_call_flagged(self, lint_module):
+        findings = lint_module(
+            "net/flood.py",
+            """
+            def flood(neighbors):
+                for n in set(neighbors):
+                    n.send()
+            """,
+        )
+        assert len(only(findings, "RPL103")) == 1
+
+    def test_comprehension_over_set_literal_flagged(self, lint_module):
+        findings = lint_module(
+            "net/flood.py",
+            "ids = [n for n in {1, 2, 3}]\n",
+        )
+        assert len(only(findings, "RPL103")) == 1
+
+    def test_sorted_set_allowed(self, lint_module):
+        findings = lint_module(
+            "net/flood.py",
+            """
+            def flood(neighbors):
+                for n in sorted(set(neighbors), key=lambda x: x.node_id):
+                    n.send()
+            """,
+        )
+        assert only(findings, "RPL103") == []

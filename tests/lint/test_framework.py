@@ -1,0 +1,147 @@
+"""Framework behaviour: waivers, scoping, contexts, parse errors."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.lint import ModuleContext, all_rules, logical_path
+from repro.lint.framework import in_packages
+
+from rulefixtures import only
+
+
+class TestLogicalPath:
+    def test_src_tree(self):
+        assert logical_path("src/repro/mac/medium.py") == "mac/medium.py"
+
+    def test_innermost_repro_wins(self):
+        assert (
+            logical_path("/x/repro/tmp/repro/sim/wheel.py") == "sim/wheel.py"
+        )
+
+    def test_outside_any_repro_package(self):
+        assert logical_path("tests/lint/test_framework.py") is None
+
+    def test_in_packages(self):
+        assert in_packages("mac/medium.py", ("mac", "net"))
+        assert not in_packages("obs/probes.py", ("mac", "net"))
+        assert not in_packages(None, ("mac",))
+
+
+class TestWaivers:
+    def test_waiver_with_reason_suppresses_finding(self, lint_module):
+        findings = lint_module(
+            "sim/clock.py",
+            """
+            import time
+            def now():
+                return time.time()  # repro: lint-ok RPL101 (fixture: wall clock wanted)
+            """,
+        )
+        assert only(findings, "RPL101") == []
+        assert [f.code for f in findings.waived] == ["RPL101"]
+
+    def test_waiver_on_preceding_line_covers_statement_below(self, lint_module):
+        findings = lint_module(
+            "sim/clock.py",
+            """
+            import time
+            def now():
+                # repro: lint-ok RPL101 (fixture: wall clock wanted)
+                return time.time()
+            """,
+        )
+        assert only(findings, "RPL101") == []
+
+    def test_waiver_without_reason_is_rpl001(self, lint_module):
+        findings = lint_module(
+            "sim/clock.py",
+            """
+            import time
+            def now():
+                return time.time()  # repro: lint-ok RPL101
+            """,
+        )
+        assert [f.code for f in only(findings, "RPL001")]
+        # The malformed waiver does NOT suppress the finding it sits on.
+        assert [f.code for f in only(findings, "RPL101")]
+
+    def test_waiver_with_unknown_code_is_rpl001(self, lint_module):
+        findings = lint_module(
+            "sim/clock.py",
+            "x = 1  # repro: lint-ok NOTACODE (because)\n",
+        )
+        assert len(only(findings, "RPL001")) == 1
+
+    def test_unused_waiver_is_rpl002(self, lint_module):
+        findings = lint_module(
+            "sim/clean.py",
+            "x = 1  # repro: lint-ok RPL101 (nothing here any more)\n",
+        )
+        assert len(only(findings, "RPL002")) == 1
+
+    def test_waiver_covers_only_listed_codes(self, lint_module):
+        findings = lint_module(
+            "sim/clock.py",
+            """
+            import time
+            def now():
+                return time.time()  # repro: lint-ok RPL102 (wrong code on purpose)
+            """,
+        )
+        # RPL102 waiver does not cover the RPL101 finding, and is stale.
+        assert len(only(findings, "RPL101")) == 1
+        assert len(only(findings, "RPL002")) == 1
+
+    def test_marker_inside_string_literal_is_not_a_waiver(self, lint_module):
+        findings = lint_module(
+            "sim/clock.py",
+            '''
+            import time
+            DOC = """example: # repro: lint-ok RPL101 (doc snippet)"""
+            def now():
+                return time.time()
+            ''',
+        )
+        assert len(only(findings, "RPL101")) == 1
+        assert only(findings, "RPL002") == []
+
+    def test_multiple_codes_one_waiver(self, lint_module):
+        findings = lint_module(
+            "sim/multi.py",
+            """
+            import time, random
+            def draw():
+                return random.random() + time.time()  # repro: lint-ok RPL101, RPL101 (fixture: both on one line)
+            """,
+        )
+        assert only(findings, "RPL101") == []
+
+
+class TestModuleContext:
+    def test_parse_error_is_rpl000(self, lint_module):
+        findings = lint_module("sim/broken.py", "def broken(:\n")
+        assert [f.code for f in findings] == ["RPL000"]
+
+    def test_context_qualnames(self):
+        source = textwrap.dedent(
+            """
+            class Medium:
+                def deliver(self):
+                    x = 1
+            """
+        )
+        module = ModuleContext("src/repro/mac/m.py", source)
+        import ast
+
+        assign = next(
+            n for n in ast.walk(module.tree) if isinstance(n, ast.Assign)
+        )
+        assert module.context_of(assign) == "Medium.deliver"
+        assert module.in_function(assign)
+
+    def test_every_rule_has_metadata(self):
+        for rule in all_rules():
+            assert rule.code.startswith("RPL") and len(rule.code) == 6
+            assert rule.name
+            assert len(rule.rationale) > 40

@@ -1,0 +1,75 @@
+"""RPL2xx: the last-ulp libm contract for radio batch kernels."""
+
+from __future__ import annotations
+
+from rulefixtures import only
+
+
+class TestLibmRouting:
+    def test_np_log10_in_radio_flagged(self, lint_module):
+        findings = lint_module(
+            "radio/pl.py",
+            """
+            import numpy as np
+            def loss_db_batch(d):
+                return 20.0 * np.log10(d)
+            """,
+        )
+        assert len(only(findings, "RPL201")) == 1
+        assert "libm_map" in only(findings, "RPL201")[0].message
+
+    def test_alias_and_from_import_resolved(self, lint_module):
+        findings = lint_module(
+            "radio/pl.py",
+            """
+            import numpy
+            from numpy import hypot
+            def f(a, b):
+                return numpy.exp(a) + hypot(a, b)
+            """,
+        )
+        assert len(only(findings, "RPL201")) == 2
+
+    def test_ieee_exact_ufuncs_allowed(self, lint_module):
+        findings = lint_module(
+            "radio/pl.py",
+            """
+            import numpy as np
+            def f(d):
+                return np.sqrt(d) + np.floor(d) + np.maximum(d, 0.0)
+            """,
+        )
+        assert only(findings, "RPL201") == []
+
+    def test_keyed_seam_exempt(self, lint_module):
+        findings = lint_module(
+            "radio/keyed.py",
+            """
+            import numpy as np
+            def libm_map_fallback(x):
+                return np.log(x)
+            """,
+        )
+        assert only(findings, "RPL201") == []
+
+    def test_math_module_allowed(self, lint_module):
+        findings = lint_module(
+            "radio/pl.py",
+            """
+            import math
+            def loss_db(d):
+                return 20.0 * math.log10(d)
+            """,
+        )
+        assert only(findings, "RPL201") == []
+
+    def test_outside_radio_not_scoped(self, lint_module):
+        findings = lint_module(
+            "analysis/fit.py",
+            """
+            import numpy as np
+            def fit(x):
+                return np.log(x)
+            """,
+        )
+        assert only(findings, "RPL201") == []

@@ -1,0 +1,96 @@
+"""RPL501: hot-package classes declare ``__slots__``."""
+
+from __future__ import annotations
+
+from rulefixtures import only
+
+
+class TestSlots:
+    def test_plain_class_without_slots_flagged(self, lint_module):
+        findings = lint_module(
+            "mac/frames2.py",
+            """
+            class Frame:
+                def __init__(self, src):
+                    self.src = src
+            """,
+        )
+        assert len(only(findings, "RPL501")) == 1
+
+    def test_plain_class_with_slots_allowed(self, lint_module):
+        findings = lint_module(
+            "mac/frames2.py",
+            """
+            class Frame:
+                __slots__ = ("src",)
+                def __init__(self, src):
+                    self.src = src
+            """,
+        )
+        assert only(findings, "RPL501") == []
+
+    def test_dataclass_without_slots_flagged(self, lint_module):
+        findings = lint_module(
+            "sim/ev.py",
+            """
+            from dataclasses import dataclass
+            @dataclass(frozen=True)
+            class Event:
+                time: float
+            """,
+        )
+        assert len(only(findings, "RPL501")) == 1
+
+    def test_dataclass_with_slots_allowed(self, lint_module):
+        findings = lint_module(
+            "sim/ev.py",
+            """
+            from dataclasses import dataclass
+            @dataclass(frozen=True, slots=True)
+            class Event:
+                time: float
+            """,
+        )
+        assert only(findings, "RPL501") == []
+
+    def test_enum_exception_protocol_exempt(self, lint_module):
+        findings = lint_module(
+            "sim/kinds.py",
+            """
+            import enum
+            import typing
+            class Phase(enum.Enum):
+                RX = 1
+            class WheelError(Exception):
+                pass
+            class Chained(WheelError):
+                pass
+            class Queue(typing.Protocol):
+                def pop(self): ...
+            """,
+        )
+        assert only(findings, "RPL501") == []
+
+    def test_abc_base_needs_empty_slots(self, lint_module):
+        findings = lint_module(
+            "radio/models.py",
+            """
+            import abc
+            class Model(abc.ABC):
+                @abc.abstractmethod
+                def loss_db(self, d): ...
+            """,
+        )
+        assert len(only(findings, "RPL501")) == 1
+        assert "__slots__ = ()" in only(findings, "RPL501")[0].message
+
+    def test_cold_packages_not_scoped(self, lint_module):
+        findings = lint_module(
+            "analysis/table.py",
+            """
+            class Row:
+                def __init__(self):
+                    self.cells = []
+            """,
+        )
+        assert only(findings, "RPL501") == []

@@ -1,0 +1,166 @@
+"""RPL3xx: probe bundles guarded with ``is None``; no import-time bundles."""
+
+from __future__ import annotations
+
+from rulefixtures import only
+
+
+class TestUnguardedProbe:
+    def test_unguarded_dereference_flagged(self, lint_module):
+        findings = lint_module(
+            "mac/m.py",
+            """
+            from repro.obs.probes import medium_probes
+            class Medium:
+                def __init__(self):
+                    self._obs = medium_probes()
+                def deliver(self):
+                    self._obs.deliveries.inc()
+            """,
+        )
+        assert len(only(findings, "RPL301")) == 1
+
+    def test_is_not_none_guard_allowed(self, lint_module):
+        findings = lint_module(
+            "mac/m.py",
+            """
+            from repro.obs.probes import medium_probes
+            class Medium:
+                def __init__(self):
+                    self._obs = medium_probes()
+                def deliver(self):
+                    if self._obs is not None:
+                        self._obs.deliveries.inc()
+            """,
+        )
+        assert only(findings, "RPL301") == []
+
+    def test_early_return_guard_allowed(self, lint_module):
+        findings = lint_module(
+            "mac/m.py",
+            """
+            from repro.obs.probes import medium_probes
+            class Medium:
+                def __init__(self):
+                    self._obs = medium_probes()
+                def deliver(self, event):
+                    if self._obs is None:
+                        event.fire()
+                        return
+                    self._obs.deliveries.inc()
+                    event.fire()
+            """,
+        )
+        assert only(findings, "RPL301") == []
+
+    def test_local_alias_inherits_guard(self, lint_module):
+        findings = lint_module(
+            "mac/m.py",
+            """
+            from repro.obs.probes import medium_probes
+            class Medium:
+                def __init__(self):
+                    self._obs = medium_probes()
+                def deliver(self):
+                    obs = self._obs
+                    if obs is not None:
+                        obs.deliveries.inc()
+            """,
+        )
+        assert only(findings, "RPL301") == []
+
+    def test_unguarded_local_alias_flagged(self, lint_module):
+        findings = lint_module(
+            "mac/m.py",
+            """
+            from repro.obs.probes import medium_probes
+            class Medium:
+                def __init__(self):
+                    self._obs = medium_probes()
+                def deliver(self):
+                    obs = self._obs
+                    obs.deliveries.inc()
+            """,
+        )
+        assert len(only(findings, "RPL301")) == 1
+
+    def test_guard_does_not_leak_to_else_branch(self, lint_module):
+        findings = lint_module(
+            "mac/m.py",
+            """
+            from repro.obs.probes import medium_probes
+            class Medium:
+                def __init__(self):
+                    self._obs = medium_probes()
+                def deliver(self, fast):
+                    if self._obs is not None:
+                        self._obs.deliveries.inc()
+                    else:
+                        self._obs.drops.inc()
+            """,
+        )
+        assert len(only(findings, "RPL301")) == 1
+
+    def test_assigning_the_bundle_is_not_a_dereference(self, lint_module):
+        findings = lint_module(
+            "mac/m.py",
+            """
+            from repro.obs.probes import medium_probes
+            class Medium:
+                def __init__(self):
+                    self._obs = medium_probes()
+                def snapshot(self):
+                    return self._obs
+            """,
+        )
+        assert only(findings, "RPL301") == []
+
+    def test_obs_package_itself_exempt(self, lint_module):
+        findings = lint_module(
+            "obs/probes.py",
+            """
+            def medium_probes():
+                return None
+            class Demo:
+                def __init__(self):
+                    self._obs = medium_probes()
+                def hit(self):
+                    self._obs.counter.inc()
+            """,
+        )
+        assert only(findings, "RPL301") == []
+
+
+class TestImportTimeProbe:
+    def test_module_scope_bundle_flagged(self, lint_module):
+        findings = lint_module(
+            "mac/m.py",
+            """
+            from repro.obs.probes import medium_probes
+            PROBES = medium_probes()
+            """,
+        )
+        assert len(only(findings, "RPL302")) == 1
+
+    def test_class_scope_bundle_flagged(self, lint_module):
+        findings = lint_module(
+            "mac/m.py",
+            """
+            from repro.obs.probes import medium_probes
+            class Medium:
+                probes = medium_probes()
+            """,
+        )
+        assert len(only(findings, "RPL302")) == 1
+
+    def test_init_scope_bundle_allowed(self, lint_module):
+        findings = lint_module(
+            "mac/m.py",
+            """
+            from repro.obs.probes import medium_probes
+            class Medium:
+                def __init__(self):
+                    self._obs = medium_probes()
+            """,
+        )
+        assert only(findings, "RPL302") == []

@@ -1,0 +1,43 @@
+"""The mypy typed island stays green (skipped where mypy is absent).
+
+CI's lint job installs mypy and runs the same command; this test gives
+the same signal locally for environments that have it.
+"""
+
+from __future__ import annotations
+
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_mypy_config_names_the_island():
+    config = (REPO_ROOT / "mypy.ini").read_text(encoding="utf-8")
+    assert "[mypy-repro.lint.*]" in config
+    assert "disallow_untyped_defs = True" in config
+
+
+@pytest.mark.skipif(
+    shutil.which("mypy") is None, reason="mypy not installed (CI installs it)"
+)
+def test_typed_island_is_clean():
+    result = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "mypy",
+            "--config-file",
+            str(REPO_ROOT / "mypy.ini"),
+            str(REPO_ROOT / "src" / "repro" / "lint"),
+            str(REPO_ROOT / "src" / "repro" / "sim"),
+        ],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr

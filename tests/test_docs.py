@@ -57,6 +57,25 @@ class TestReadme:
         assert "docs/ARCHITECTURE.md" in readme
         assert "docs/SCENARIOS.md" in readme
 
+    def test_readme_links_the_linting_doc(self):
+        readme = (REPO / "README.md").read_text(encoding="utf-8")
+        assert "docs/LINTING.md" in readme
+
+    def test_linting_doc_catalogs_every_rule(self):
+        from repro.lint import FRAMEWORK_CODES, all_rules
+
+        doc = (REPO / "docs" / "LINTING.md").read_text(encoding="utf-8")
+        for rule in all_rules():
+            assert f"`{rule.code}`" in doc, rule.code
+        for code in FRAMEWORK_CODES:
+            assert f"`{code}`" in doc, code
+        for section in ("Waivers", "Baseline workflow", "lint-ok"):
+            assert section in doc
+
+    def test_architecture_doc_cross_links_linting(self):
+        doc = (REPO / "docs" / "ARCHITECTURE.md").read_text(encoding="utf-8")
+        assert "LINTING.md" in doc
+
     def test_architecture_doc_exists_and_maps_the_layers(self):
         doc = (REPO / "docs" / "ARCHITECTURE.md").read_text(encoding="utf-8")
         for module in (
@@ -79,7 +98,23 @@ class TestMarkdownLinks:
 
     def test_the_checker_actually_scans_this_repo(self):
         names = {p.name for p in markdown_files(REPO)}
-        assert {"README.md", "ARCHITECTURE.md", "SCENARIOS.md"} <= names
+        assert {
+            "README.md",
+            "ARCHITECTURE.md",
+            "SCENARIOS.md",
+            "LINTING.md",
+        } <= names
+
+    def test_inline_code_spans_are_not_link_checked(self, tmp_path):
+        # docs/LINTING.md quotes `table[key](#anchor)`-ish shapes in
+        # backticks; those are code examples, not links.
+        (tmp_path / "doc.md").write_text(
+            "use `rows[code](#fake)` and see [real](exists.md)"
+        )
+        (tmp_path / "exists.md").write_text("ok")
+        from check_markdown_links import broken_links as check
+
+        assert check(tmp_path) == []
 
     def test_checker_cli_entrypoint(self):
         result = subprocess.run(
