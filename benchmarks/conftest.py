@@ -17,6 +17,7 @@ import pytest
 
 from repro.experiments.runner import run_urban_experiment
 from repro.experiments.testbed import paper_testbed_config
+from repro.ioutil import atomic_write_json, atomic_write_text
 
 #: Rounds used by the shared urban run (paper: 30; benches trade a little
 #: variance for wall-clock time).
@@ -50,7 +51,9 @@ def bench_json_sink():
         if BENCH_JSON.exists():
             data = json.loads(BENCH_JSON.read_text())
         data.setdefault("entries", {})[key] = payload
-        BENCH_JSON.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+        # Atomic replace: check_bench_regression.py reads this file as a
+        # baseline — an interrupt mid-write must never tear it.
+        atomic_write_json(BENCH_JSON, data)
         print(f"\n===== BENCH_kernel.json[{key}] =====")
         print(json.dumps(payload, indent=2, sort_keys=True))
 
@@ -63,7 +66,7 @@ def artifact_sink():
     OUTPUT_DIR.mkdir(exist_ok=True)
 
     def write(experiment_id: str, text: str) -> None:
-        (OUTPUT_DIR / f"{experiment_id}.txt").write_text(text + "\n")
+        atomic_write_text(OUTPUT_DIR / f"{experiment_id}.txt", text + "\n")
         print(f"\n===== {experiment_id} =====")
         print(text)
 

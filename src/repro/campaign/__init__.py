@@ -8,10 +8,18 @@ package turns "run one experiment" into "execute a campaign of many":
   content-addressed :class:`TaskSpec` units;
 * :mod:`repro.campaign.seeding` — deterministic seed derivation, so
   serial, parallel, and resumed runs are bit-identical;
-* :mod:`repro.campaign.executor` — multiprocessing fan-out with a serial
-  fallback and store-backed caching;
+* :mod:`repro.campaign.executor` — supervised multiprocessing fan-out
+  (worker respawn, retries, timeouts, graceful SIGINT checkpointing)
+  with a serial fallback and store-backed caching;
+* :mod:`repro.campaign.resilience` — retry/backoff/timeout policy and
+  the failure taxonomy;
+* :mod:`repro.campaign.chaos` — deterministic fault injection for
+  exercising the recovery paths in tests and CI;
 * :mod:`repro.campaign.store` — append-only JSONL result store keyed by
-  task content hash (resume-after-interrupt) plus an in-memory variant;
+  task content hash (resume-after-interrupt) plus an in-memory variant
+  and the metrics / failure sidecar logs;
+* :mod:`repro.campaign.verify` — store/sidecar integrity checking for
+  CI gates (``repro campaign verify``);
 * :mod:`repro.campaign.report` — folds stored rows back into the
   existing :class:`SweepPoint` / Table-1 shapes;
 * :mod:`repro.campaign.progress` — tick/rate/ETA reporting.
@@ -20,8 +28,15 @@ The legacy sweeps in :mod:`repro.experiments.sweeps` and the ``repro
 campaign`` CLI are both fronts over this engine.
 """
 
+from repro.campaign.chaos import ChaosSpec
 from repro.campaign.executor import CampaignRunStats, execute_task, run_campaign
 from repro.campaign.progress import ProgressReporter
+from repro.campaign.resilience import (
+    FailureKind,
+    RetryPolicy,
+    TaskFailure,
+    classify_exception,
+)
 from repro.campaign.report import (
     DownloadSummary,
     SweepPoint,
@@ -41,12 +56,21 @@ from repro.campaign.spec import (
     config_from_dict,
     config_to_dict,
 )
-from repro.campaign.store import JsonlStore, MemoryStore, MetricsLog, ResultStore
+from repro.campaign.store import (
+    FailureLog,
+    JsonlStore,
+    MemoryStore,
+    MetricsLog,
+    ResultStore,
+)
 
 __all__ = [
     "CampaignRunStats",
     "CampaignSpec",
+    "ChaosSpec",
     "DownloadSummary",
+    "FailureKind",
+    "FailureLog",
     "GridAxis",
     "GridPoint",
     "JsonlStore",
@@ -54,8 +78,11 @@ __all__ = [
     "MetricsLog",
     "ProgressReporter",
     "ResultStore",
+    "RetryPolicy",
     "SweepPoint",
+    "TaskFailure",
     "TaskSpec",
+    "classify_exception",
     "aggregate_matrices",
     "axis",
     "config_from_dict",

@@ -1,0 +1,158 @@
+"""Deterministic fault injection for the campaign executor.
+
+A :class:`ChaosSpec` makes campaign workers fail *reproducibly*: every
+injection decision is a pure function of ``(seed, task_id, attempt)``
+through the splitmix64 mixer (:mod:`repro.radio.keyed`) — no wall-clock
+RNG anywhere — so a chaos schedule replays bit-identically and the
+recovery paths of :mod:`repro.campaign.executor` are exercised in tests
+and CI rather than only in production.  ``repro campaign run
+--chaos rate=0.3,seed=7,kinds=crash|raise`` drives it from the CLI.
+
+Fault kinds:
+
+* ``crash`` — the worker hard-kills itself with ``SIGKILL`` (the OOM /
+  segfault shape): no cleanup, no goodbye, a torn result pipe.
+* ``hang`` — the worker sleeps :attr:`ChaosSpec.hang_s` before running
+  the task (the wedged-worker shape): with a per-task timeout the
+  supervisor reaps it, without one the campaign merely slows down.
+* ``raise`` — the worker raises :class:`~repro.errors.ChaosError`,
+  classified transient and retried.
+* ``torn-write`` — the task runs to completion but its result append is
+  torn mid-record (the crash-during-persist shape); the store's
+  torn-tail recovery truncates it and the task retries.
+
+The headline invariant this harness exists to pin: a campaign run under
+chaos yields a result store whose rows are **bit-identical** to a clean
+run's, because every task's row is determined by its spec'd seed and
+retries are therefore free (``tests/campaign/test_chaos.py``).
+
+Inline (serial) execution cannot survive ``crash`` and should not stall
+on ``hang`` — those two kinds are process-level faults that need a
+supervisor above them — so :meth:`ChaosSpec.inline` projects a spec down
+to the kinds the inline path can honestly inject (``raise`` /
+``torn-write``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import CampaignError
+from repro.radio.keyed import KeyedRandom, stable_hash64
+
+#: Every fault kind the harness can inject, in canonical order.
+CHAOS_KINDS: tuple[str, ...] = ("crash", "hang", "raise", "torn-write")
+
+#: Kinds that are safe to inject in the inline (serial) execution path.
+INLINE_KINDS: frozenset[str] = frozenset({"raise", "torn-write"})
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """A deterministic fault-injection schedule.
+
+    Attributes
+    ----------
+    rate:
+        Per-``(task, attempt)`` injection probability in ``[0, 1]``.
+        ``1.0`` makes every attempt fail — the poison-task shape.
+    seed:
+        Seed material of the decision stream; two runs with the same
+        spec and seed inject exactly the same faults.
+    kinds:
+        Fault kinds to draw from (uniformly, keyed) when an injection
+        fires.
+    hang_s:
+        How long a ``hang`` injection sleeps.  Finite so a campaign
+        without a per-task timeout still terminates, merely slowly.
+    """
+
+    rate: float
+    seed: int = 0
+    kinds: tuple[str, ...] = ("crash", "raise")
+    hang_s: float = 120.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise CampaignError(f"chaos rate must be in [0, 1], got {self.rate!r}")
+        if not self.kinds:
+            raise CampaignError("chaos spec needs at least one fault kind")
+        unknown = [kind for kind in self.kinds if kind not in CHAOS_KINDS]
+        if unknown:
+            raise CampaignError(
+                f"unknown chaos kind(s) {', '.join(unknown)}; "
+                f"choose from {', '.join(CHAOS_KINDS)}"
+            )
+        if self.hang_s <= 0:
+            raise CampaignError("chaos hang_s must be positive")
+
+    def draw(self, task_id: str, attempt: int) -> str | None:
+        """The fault to inject for ``(task_id, attempt)``, or ``None``.
+
+        A pure function of ``(seed, task_id, attempt)``: the supervisor,
+        the worker, and a replay of either all see the same decision.
+        """
+        rng = KeyedRandom(self.seed)
+        task_hash = stable_hash64(task_id)
+        if rng.uniform(task_hash, attempt, 0) >= self.rate:
+            return None
+        index = int(rng.uniform(task_hash, attempt, 1) * len(self.kinds))
+        return self.kinds[min(index, len(self.kinds) - 1)]
+
+    def inline(self) -> "ChaosSpec | None":
+        """The projection of this spec onto inline-safe kinds.
+
+        ``crash`` would kill the campaign process itself and ``hang``
+        would stall it un-reapably, so the serial path only injects
+        ``raise`` / ``torn-write``.  Returns ``None`` when nothing
+        survives the projection.
+        """
+        kept = tuple(kind for kind in self.kinds if kind in INLINE_KINDS)
+        if not kept:
+            return None
+        return replace(self, kinds=kept)
+
+    # -- CLI parsing ---------------------------------------------------------
+
+    @staticmethod
+    def parse(text: str) -> "ChaosSpec":
+        """Parse the CLI form ``rate=0.3,seed=7,kinds=crash|raise,hang=5``.
+
+        ``rate`` is mandatory; everything else defaults.  ``kinds`` is a
+        ``|``-separated subset of crash / hang / raise / torn-write.
+        """
+        fields: dict[str, object] = {}
+        for part in text.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            name, sep, raw = part.partition("=")
+            if not sep:
+                raise CampaignError(
+                    f"--chaos expects NAME=VALUE parts, got {part!r}"
+                )
+            name = name.strip()
+            raw = raw.strip()
+            try:
+                if name == "rate":
+                    fields["rate"] = float(raw)
+                elif name == "seed":
+                    fields["seed"] = int(raw)
+                elif name == "kinds":
+                    fields["kinds"] = tuple(
+                        kind for kind in raw.split("|") if kind
+                    )
+                elif name in ("hang", "hang_s"):
+                    fields["hang_s"] = float(raw)
+                else:
+                    raise CampaignError(
+                        f"unknown --chaos field {name!r}; "
+                        "expected rate / seed / kinds / hang"
+                    )
+            except ValueError:
+                raise CampaignError(
+                    f"--chaos field {name}={raw!r} is not a valid value"
+                ) from None
+        if "rate" not in fields:
+            raise CampaignError("--chaos needs at least rate=…")
+        return ChaosSpec(**fields)  # type: ignore[arg-type]

@@ -1,16 +1,31 @@
-"""Campaign execution: task dispatch, process fan-out, caching.
+"""Campaign execution: supervised dispatch, process fan-out, caching.
 
 ``run_campaign`` expands a spec, skips every task already present in the
-store (the cache/resume path), and executes the remainder — serially or
-across a ``multiprocessing`` pool.  Rounds are i.i.d. repetitions and the
-simulation seed of each task is fixed by its spec (see
-:mod:`repro.campaign.seeding`), so scheduling order and worker count
-never change a row: parallel speed is free of reproducibility cost.
+store (the cache/resume path), and executes the remainder — inline or
+across a supervised pool of worker processes.  Rounds are i.i.d.
+repetitions and the simulation seed of each task is fixed by its spec
+(see :mod:`repro.campaign.seeding`), so scheduling order and worker
+count never change a row: parallel speed is free of reproducibility
+cost — and so are **retries**, which is what makes the fault-tolerance
+layer here provably safe: a re-executed task must produce the identical
+row.
 
-The worker function is a module-level single-task runner so it pickles
-into pool processes; each task resolves its scenario plugin from the
-registry, builds one round, runs it, and reduces it to the JSON row
-stored for reporting — no per-scenario code lives here.
+Fault tolerance (PR 9; see ``docs/ROBUSTNESS.md``): the pool path is a
+supervisor, not a fire-and-forget ``imap``.  Each worker owns a duplex
+pipe; the parent tracks exactly which task every worker holds, so a
+worker killed by OOM/segfault (or the chaos harness) is *detected* —
+``exitcode`` set, or a torn result pipe — its task is requeued and
+retried under the :class:`~repro.campaign.resilience.RetryPolicy`, and a
+fresh worker is spawned in its place.  Hung workers are reaped by the
+per-task wall-clock timeout.  Tasks that fail deterministically (the
+task itself raises) are quarantined immediately into the
+:class:`~repro.campaign.store.FailureLog` sidecar; when the pool keeps
+dying without making progress the executor degrades to inline serial
+execution rather than thrashing.  SIGINT/SIGTERM trigger a graceful
+checkpoint: in-flight rows are drained into the store before workers
+are terminated, so an interrupt loses at most work-in-progress that a
+resume re-executes anyway.  The campaign always finishes with partial
+results plus a failure summary instead of losing the run.
 
 Campaign telemetry (``metrics=`` / ``repro campaign run --metrics``)
 rides the same dispatch: each executed task runs with the metrics
@@ -18,21 +33,35 @@ registry enabled and reset, and its snapshot plus wall-clock duration
 streams into a :class:`~repro.campaign.store.MetricsLog` sidecar the
 moment the task finishes.  The snapshots never touch the result rows —
 wall-clock numbers are non-deterministic, result rows are the
-bit-identity surface — and instrumentation takes no RNG draws, so rows
-computed with metrics on equal rows computed with metrics off
-(``tests/scenarios/test_fast_path_ab.py`` pins this).
+bit-identity surface.  Supervisor-side resilience counters
+(``campaign.retries``, ``campaign.timeouts``, …) publish through the
+obs registry and ride the campaign summary record.
 """
 
 from __future__ import annotations
 
+import contextlib
 import multiprocessing
+import os
+import signal
+import threading
 import time
-from dataclasses import dataclass
+import traceback
+from collections import deque
+from dataclasses import dataclass, field
+from multiprocessing import connection
 
+from repro.campaign.chaos import ChaosSpec
 from repro.campaign.progress import ProgressReporter
+from repro.campaign.resilience import (
+    FailureKind,
+    RetryPolicy,
+    TaskFailure,
+    classify_exception,
+)
 from repro.campaign.spec import CampaignSpec, TaskSpec
-from repro.campaign.store import MetricsLog, ResultStore
-from repro.errors import CampaignError
+from repro.campaign.store import FailureLog, JsonlStore, MetricsLog, ResultStore
+from repro.errors import CampaignError, ChaosError
 from repro.obs import registry as metrics_registry
 from repro.scenarios import get_scenario
 
@@ -44,7 +73,7 @@ def execute_task(task: TaskSpec) -> dict:
 
 
 def _execute_keyed(task: TaskSpec) -> tuple[str, str, dict]:
-    """Pool worker: identify the result so completion order can be free."""
+    """Plain runner: identify the result so completion order can be free."""
     return task.task_id(), task.key(), execute_task(task)
 
 
@@ -74,6 +103,22 @@ class CampaignRunStats:
     cached: int
     workers: int
     elapsed_s: float
+    failed: int = 0
+    retried: int = 0
+    timeouts: int = 0
+    worker_restarts: int = 0
+    chaos_injections: int = 0
+    serial_fallback: bool = False
+    interrupted: bool = False
+    failures: tuple[TaskFailure, ...] = ()
+
+    def failure_summary(self) -> str:
+        """One line per quarantined task (empty string when clean)."""
+        return "\n".join(
+            f"  {f.task_id[:12]}: {f.failure} after {f.attempts} attempt(s) — "
+            f"{f.error}"
+            for f in self.failures
+        )
 
 
 def _pool_context():
@@ -84,6 +129,629 @@ def _pool_context():
         return multiprocessing.get_context("spawn")
 
 
+# -- attempt execution (shared by pool workers and the inline path) ----------
+
+
+def _run_attempt(
+    task: TaskSpec, attempt: int, instrumented: bool, chaos: ChaosSpec | None
+) -> tuple:
+    """Execute one attempt, chaos included; returns a result envelope.
+
+    Envelopes are plain picklable tuples::
+
+        ("row", payload, attempt, torn)
+        ("failed", attempt, failure_kind, error, traceback_or_None)
+
+    ``crash``/``hang`` injections act *before* the task runs (and a
+    crash never returns at all — the supervisor sees the worker die);
+    ``torn-write`` lets the task finish and flags the envelope so the
+    parent tears the store append instead of committing it.
+    """
+    kind = chaos.draw(task.task_id(), attempt) if chaos is not None else None
+    if kind == "crash":
+        # The OOM/segfault shape: no cleanup, no goodbye, a torn pipe.
+        os.kill(os.getpid(), signal.SIGKILL)
+    elif kind == "hang":
+        time.sleep(chaos.hang_s)  # type: ignore[union-attr]
+        kind = None  # survived un-reaped: run the task normally
+    try:
+        if kind == "raise":
+            raise ChaosError(
+                f"injected failure (task {task.task_id()[:12]}, "
+                f"attempt {attempt})"
+            )
+        runner = _execute_instrumented if instrumented else _execute_keyed
+        payload = runner(task)
+    except Exception as exc:
+        failure = classify_exception(exc)
+        tb = traceback.format_exc() if failure == FailureKind.TASK_ERROR else None
+        return ("failed", attempt, failure, f"{type(exc).__name__}: {exc}", tb)
+    return ("row", payload, attempt, kind == "torn-write")
+
+
+def _pool_worker_main(
+    conn, instrumented: bool, chaos: ChaosSpec | None
+) -> None:
+    """Worker loop: receive ``(task, attempt)``, send one envelope back.
+
+    SIGINT is ignored — a terminal Ctrl-C reaches the whole process
+    group, and the graceful-checkpoint protocol wants workers to finish
+    their in-flight task so the parent can drain the rows; the parent
+    terminates stragglers itself after the grace period.
+    """
+    with contextlib.suppress(ValueError, OSError):
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    while True:
+        try:
+            item = conn.recv()
+        except (EOFError, OSError):
+            return
+        if item is None:
+            return
+        task, attempt = item
+        try:
+            envelope = _run_attempt(task, attempt, instrumented, chaos)
+        except Exception as exc:
+            # Defensive: _run_attempt already classifies task errors;
+            # anything reaching here is an executor bug, reported as a
+            # deterministic failure rather than silently dying.
+            envelope = (
+                "failed",
+                attempt,
+                FailureKind.TASK_ERROR,
+                f"{type(exc).__name__}: {exc}",
+                traceback.format_exc(),
+            )
+        try:
+            conn.send(envelope)
+        except (BrokenPipeError, OSError):
+            return
+
+
+# -- supervisor bookkeeping ---------------------------------------------------
+
+
+@dataclass(slots=True)
+class _QueuedAttempt:
+    """One task attempt awaiting dispatch (``not_before`` gates backoff)."""
+
+    task: TaskSpec
+    attempt: int
+    not_before: float
+
+
+@dataclass(slots=True)
+class _Worker:
+    """One supervised pool worker and what it currently holds."""
+
+    process: object
+    conn: object
+    item: _QueuedAttempt | None = None
+    deadline: float | None = None
+
+
+class _StopFlag:
+    """Set by the first SIGINT/SIGTERM; the loops checkpoint and exit."""
+
+    __slots__ = ("stop",)
+
+    def __init__(self) -> None:
+        self.stop = False
+
+
+@contextlib.contextmanager
+def _graceful_signals(flag: _StopFlag):
+    """Install the graceful-checkpoint handler for SIGINT/SIGTERM.
+
+    First signal: set the flag — the dispatch loops stop assigning,
+    drain in-flight rows into the store, and return with
+    ``interrupted=True``.  Second signal: give up on the drain and
+    raise :class:`KeyboardInterrupt` immediately.  Signal handlers only
+    exist in the main thread; elsewhere this is a no-op and the caller
+    keeps whatever handling it already has.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        yield flag
+        return
+
+    def handler(signum, frame):
+        if flag.stop:
+            raise KeyboardInterrupt
+        flag.stop = True
+
+    previous = {}
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous[sig] = signal.signal(sig, handler)
+        except (ValueError, OSError):  # pragma: no cover - exotic hosts
+            continue
+    try:
+        yield flag
+    finally:
+        for sig, prior in previous.items():
+            signal.signal(sig, prior)
+
+
+class _CampaignState:
+    """Mutable bookkeeping shared by the inline and supervised paths."""
+
+    def __init__(
+        self,
+        store: ResultStore,
+        metrics: MetricsLog | None,
+        failures: FailureLog | None,
+        progress: ProgressReporter | None,
+        policy: RetryPolicy,
+    ) -> None:
+        self.store = store
+        self.metrics = metrics
+        self.failures = failures
+        self.progress = progress
+        self.policy = policy
+        self.recorded: set[str] = set()
+        self.quarantined: list[TaskFailure] = []
+        self.retried = 0
+        self.timeouts = 0
+        self.worker_restarts = 0
+        self.chaos_injections = 0
+        self.consecutive_losses = 0
+        self.serial_fallback = False
+
+    def already_done(self, task: TaskSpec) -> bool:
+        """Has this task's row landed (this run or a stale duplicate)?"""
+        task_id = task.task_id()
+        return task_id in self.recorded or self.store.has(task_id)
+
+    def record_row(self, payload: tuple, instrumented: bool) -> None:
+        """Persist one successful result envelope payload."""
+        if instrumented:
+            task_id, key, row, elapsed_s, snapshot = payload
+        else:
+            task_id, key, row = payload
+        if task_id in self.recorded:
+            return  # stale duplicate from a worker replaced after timeout
+        if instrumented and self.metrics is not None:
+            self.metrics.put_task(task_id, key, elapsed_s, snapshot)
+        self.store.put(task_id, key, row)
+        self.recorded.add(task_id)
+        self.consecutive_losses = 0
+        if self.progress is not None:
+            self.progress.tick()
+
+    def record_failure(
+        self,
+        task: TaskSpec,
+        attempt: int,
+        kind: str,
+        error: str,
+        tb: str | None = None,
+    ) -> bool:
+        """Log one failed attempt; ``True`` when the task may retry."""
+        task_id, key = task.task_id(), task.key()
+        if kind == FailureKind.TIMEOUT:
+            self.timeouts += 1
+        if kind in (FailureKind.WORKER_LOST, FailureKind.TIMEOUT):
+            self.consecutive_losses += 1
+        if self.failures is not None:
+            self.failures.put_attempt(
+                task_id, key, attempt, kind, error, traceback=tb
+            )
+        if self.policy.allows_retry(kind, attempt):
+            self.retried += 1
+            return True
+        if self.failures is not None:
+            self.failures.put_quarantine(task_id, key, attempt, kind, error)
+        self.quarantined.append(
+            TaskFailure(
+                task_id=task_id,
+                key=key,
+                attempts=attempt,
+                failure=kind,
+                error=error,
+            )
+        )
+        if self.progress is not None:
+            self.progress.tick(failed=True)
+        return False
+
+    def requeued(self, task: TaskSpec, attempt: int) -> _QueuedAttempt:
+        """The retry attempt for *task* with its keyed backoff gate."""
+        return _QueuedAttempt(
+            task=task,
+            attempt=attempt + 1,
+            not_before=time.monotonic()
+            + self.policy.delay_s(task.task_id(), attempt),
+        )
+
+    def publish_obs_counters(self) -> None:
+        """Mirror the resilience counters into the obs registry."""
+        registry = metrics_registry()
+        if not registry.enabled:
+            return
+        registry.counter("campaign.retries").inc(self.retried)
+        registry.counter("campaign.timeouts").inc(self.timeouts)
+        registry.counter("campaign.worker_restarts").inc(self.worker_restarts)
+        registry.counter("campaign.quarantined").inc(len(self.quarantined))
+        registry.counter("campaign.chaos_injections").inc(self.chaos_injections)
+        if self.serial_fallback:
+            registry.counter("campaign.serial_fallbacks").inc()
+
+    def resilience_summary(self) -> dict:
+        """The resilience block of the campaign telemetry record."""
+        return {
+            "retried": self.retried,
+            "timeouts": self.timeouts,
+            "worker_restarts": self.worker_restarts,
+            "quarantined": len(self.quarantined),
+            "chaos_injections": self.chaos_injections,
+            "serial_fallback": self.serial_fallback,
+        }
+
+
+def _apply_torn_write(
+    state: _CampaignState, task: TaskSpec, payload: tuple, instrumented: bool
+) -> None:
+    """Tear the result append (chaos) and route through torn-tail recovery.
+
+    Only a :class:`JsonlStore` has a file to tear; other stores commit
+    the row normally (the injection degrades to a no-op rather than
+    faking a failure mode the store cannot have).
+    """
+    if not isinstance(state.store, JsonlStore):
+        state.record_row(payload, instrumented)
+        return
+    if instrumented:
+        task_id, key, row = payload[0], payload[1], payload[2]
+    else:
+        task_id, key, row = payload
+    if task_id in state.recorded:
+        return
+    state.store.tear(task_id, key, row)
+    # The recovery path an interrupted run takes on resume, exercised
+    # live: reload truncates the torn fragment and rebuilds the index.
+    state.store.reload()
+    if state.store.has(task_id):  # pragma: no cover - tear always loses it
+        state.recorded.add(task_id)
+
+
+def _handle_envelope(
+    state: _CampaignState,
+    task: TaskSpec,
+    envelope: tuple,
+    instrumented: bool,
+    requeue,
+) -> None:
+    """Fold one worker envelope into the campaign state."""
+    if envelope[0] == "row":
+        _, payload, attempt, torn = envelope
+        if torn:
+            _apply_torn_write(state, task, payload, instrumented)
+            if not state.already_done(task):
+                if state.record_failure(
+                    task, attempt, FailureKind.TORN_WRITE,
+                    "result append torn mid-record (injected)",
+                ):
+                    requeue(state.requeued(task, attempt))
+        else:
+            state.record_row(payload, instrumented)
+        return
+    _, attempt, kind, error, tb = envelope
+    if state.record_failure(task, attempt, kind, error, tb):
+        requeue(state.requeued(task, attempt))
+
+
+# -- inline (serial) execution ------------------------------------------------
+
+
+def _run_inline(
+    attempts: deque,
+    instrumented: bool,
+    chaos: ChaosSpec | None,
+    state: _CampaignState,
+    stop: _StopFlag,
+) -> None:
+    """Execute attempts in-process, honoring retry gates and the stop flag.
+
+    Chaos degrades to its inline-safe kinds (``raise``/``torn-write``):
+    a ``crash`` here would kill the campaign itself and a ``hang`` would
+    stall it un-reapably — those faults need a supervisor above the
+    process, which is exactly what the pool path provides.
+    """
+    inline_chaos = chaos.inline() if chaos is not None else None
+    while attempts:
+        if stop.stop:
+            return
+        item = attempts.popleft()
+        if state.already_done(item.task):
+            continue
+        delay = item.not_before - time.monotonic()
+        if delay > 0:
+            time.sleep(delay)
+        if inline_chaos is not None and inline_chaos.draw(
+            item.task.task_id(), item.attempt
+        ):
+            state.chaos_injections += 1
+        envelope = _run_attempt(item.task, item.attempt, instrumented, inline_chaos)
+        _handle_envelope(state, item.task, envelope, instrumented, attempts.append)
+
+
+# -- the supervised pool ------------------------------------------------------
+
+#: Dispatch-loop poll granularity: bounds stop-flag/timeout latency.
+_POLL_S = 0.05
+
+
+def _spawn_worker(ctx, instrumented: bool, chaos: ChaosSpec | None) -> _Worker:
+    parent_conn, child_conn = ctx.Pipe(duplex=True)
+    process = ctx.Process(
+        target=_pool_worker_main,
+        args=(child_conn, instrumented, chaos),
+        daemon=True,
+    )
+    process.start()
+    child_conn.close()
+    return _Worker(process=process, conn=parent_conn)
+
+
+def _stop_worker(worker: _Worker, *, graceful: bool) -> None:
+    """Shut one worker down (politely when *graceful*, else SIGKILL)."""
+    if graceful and worker.process.exitcode is None:
+        with contextlib.suppress(BrokenPipeError, OSError):
+            worker.conn.send(None)
+        worker.process.join(timeout=0.5)
+    if worker.process.exitcode is None:
+        worker.process.kill()
+        worker.process.join(timeout=5.0)
+    with contextlib.suppress(OSError):
+        worker.conn.close()
+
+
+def _receive(state: _CampaignState, worker: _Worker, instrumented, requeue) -> bool:
+    """Drain one envelope from *worker* if available; ``True`` when its
+    in-flight slot was cleared (result received and folded)."""
+    try:
+        if not worker.conn.poll(0):
+            return False
+        envelope = worker.conn.recv()
+    except Exception:
+        # A torn pipe mid-message: the worker is dying; the liveness
+        # check picks the loss up and requeues the task.
+        return False
+    item = worker.item
+    worker.item = None
+    worker.deadline = None
+    if item is not None:
+        _handle_envelope(state, item.task, envelope, instrumented, requeue)
+    return True
+
+
+class _Supervisor:
+    """The pool dispatch loop: assign, watch, reap, respawn, drain."""
+
+    def __init__(
+        self,
+        ctx,
+        workers: int,
+        instrumented: bool,
+        chaos: ChaosSpec | None,
+        state: _CampaignState,
+        stop: _StopFlag,
+    ) -> None:
+        self.ctx = ctx
+        self.target_workers = workers
+        self.instrumented = instrumented
+        self.chaos = chaos
+        self.state = state
+        self.stop = stop
+        self.pool: list[_Worker] = []
+        self.pending: deque[_QueuedAttempt] = deque()
+        self.waiting: list[_QueuedAttempt] = []
+
+    # -- queue plumbing ------------------------------------------------------
+
+    def requeue(self, item: _QueuedAttempt) -> None:
+        self.waiting.append(item)
+
+    def _promote_ripe(self, now: float) -> None:
+        if not self.waiting:
+            return
+        ripe = [qa for qa in self.waiting if qa.not_before <= now]
+        if ripe:
+            self.waiting = [qa for qa in self.waiting if qa.not_before > now]
+            self.pending.extend(ripe)
+
+    def _requeue_in_flight(self) -> None:
+        """Push every busy worker's task back onto the queue (same
+        attempt: the attempt never completed, and chaos draws are keyed
+        by attempt number, so re-dispatching replays deterministically)."""
+        for worker in self.pool:
+            if worker.item is not None:
+                self.pending.appendleft(worker.item)
+                worker.item = None
+                worker.deadline = None
+
+    # -- worker lifecycle ----------------------------------------------------
+
+    def _handle_loss(self, worker: _Worker, kind: str, detail: str) -> None:
+        item = worker.item
+        worker.item = None
+        worker.deadline = None
+        if item is not None and not self.state.already_done(item.task):
+            if self.state.record_failure(item.task, item.attempt, kind, detail):
+                self.requeue(self.state.requeued(item.task, item.attempt))
+
+    def _check_workers(self, now: float) -> None:
+        policy = self.state.policy
+        survivors: list[_Worker] = []
+        for worker in self.pool:
+            exited = worker.process.exitcode is not None
+            if exited:
+                # Drain a result that raced the death before declaring
+                # the task lost with the worker.
+                _receive(self.state, worker, self.instrumented, self.requeue)
+            if exited and worker.item is not None:
+                self._handle_loss(
+                    worker,
+                    FailureKind.WORKER_LOST,
+                    f"worker died (exitcode {worker.process.exitcode})",
+                )
+                _stop_worker(worker, graceful=False)
+                self.state.worker_restarts += 1
+            elif exited:
+                _stop_worker(worker, graceful=False)
+            elif (
+                worker.item is not None
+                and worker.deadline is not None
+                and now > worker.deadline
+            ):
+                if _receive(self.state, worker, self.instrumented, self.requeue):
+                    survivors.append(worker)  # finished just in time
+                    continue
+                timeout_s = policy.timeout_s
+                self._handle_loss(
+                    worker,
+                    FailureKind.TIMEOUT,
+                    f"task exceeded the {timeout_s:.1f} s wall-clock budget",
+                )
+                _stop_worker(worker, graceful=False)
+                self.state.worker_restarts += 1
+            else:
+                survivors.append(worker)
+        self.pool = survivors
+
+    def _replenish(self) -> None:
+        demand = len(self.pending) + sum(
+            1 for worker in self.pool if worker.item is not None
+        )
+        while len(self.pool) < min(self.target_workers, max(demand, 1)):
+            if not self.pending and all(w.item is None for w in self.pool):
+                break
+            self.pool.append(
+                _spawn_worker(self.ctx, self.instrumented, self.chaos)
+            )
+
+    def _assign(self) -> None:
+        for worker in self.pool:
+            if worker.item is not None:
+                continue
+            item = None
+            while self.pending:
+                candidate = self.pending.popleft()
+                if not self.state.already_done(candidate.task):
+                    item = candidate
+                    break
+            if item is None:
+                return
+            try:
+                worker.conn.send((item.task, item.attempt))
+            except (BrokenPipeError, OSError):
+                # Died idle between liveness checks: put the task back;
+                # the next loop iteration reaps and replaces the worker.
+                self.pending.appendleft(item)
+                continue
+            if self.chaos is not None and self.chaos.draw(
+                item.task.task_id(), item.attempt
+            ):
+                self.state.chaos_injections += 1
+            worker.item = item
+            timeout_s = self.state.policy.timeout_s
+            worker.deadline = (
+                time.monotonic() + timeout_s if timeout_s is not None else None
+            )
+
+    # -- the loop ------------------------------------------------------------
+
+    def run(self, tasks: list[TaskSpec]) -> deque:
+        """Dispatch until done, stopped, or fallen back; returns leftovers.
+
+        A non-empty return means the pool kept dying
+        (``policy.restart_limit`` consecutive losses with no progress):
+        the caller finishes the remaining attempts inline.
+        """
+        self.pending = deque(
+            _QueuedAttempt(task=task, attempt=1, not_before=0.0)
+            for task in tasks
+        )
+        try:
+            while True:
+                now = time.monotonic()
+                self._promote_ripe(now)
+                self._check_workers(now)
+                if self.stop.stop:
+                    break
+                if self.state.consecutive_losses >= self.state.policy.restart_limit:
+                    # The pool is dying faster than it finishes tasks:
+                    # stop burning processes and degrade to serial.
+                    self.state.serial_fallback = True
+                    break
+                self._replenish()
+                self._assign()
+                busy = [w for w in self.pool if w.item is not None]
+                if not busy and not self.pending and not self.waiting:
+                    return deque()
+                self._wait(busy, now)
+        finally:
+            self._drain_and_stop()
+        leftovers = deque(self.pending)
+        leftovers.extend(sorted(self.waiting, key=lambda qa: qa.not_before))
+        self.pending = deque()
+        self.waiting = []
+        return leftovers
+
+    def _wait(self, busy: list[_Worker], now: float) -> None:
+        """Block until a result is ready, a gate opens, or a tick passes."""
+        timeout = _POLL_S
+        if not busy and self.waiting:
+            gate = min(qa.not_before for qa in self.waiting) - now
+            timeout = max(min(gate, 0.25), 0.0)
+        if busy:
+            ready = connection.wait([w.conn for w in busy], timeout=timeout)
+            by_conn = {w.conn: w for w in busy}
+            for conn in ready:
+                _receive(
+                    self.state, by_conn[conn], self.instrumented, self.requeue
+                )
+        elif timeout > 0:
+            time.sleep(timeout)
+
+    def _drain_and_stop(self) -> None:
+        """Give in-flight workers the grace period, fold their rows,
+        then shut the pool down (the graceful-checkpoint tail)."""
+        deadline = time.monotonic() + self.state.policy.drain_grace_s
+        while any(w.item is not None for w in self.pool):
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            busy = [
+                w
+                for w in self.pool
+                if w.item is not None and w.process.exitcode is None
+            ]
+            if not busy:
+                break
+            ready = connection.wait(
+                [w.conn for w in busy], timeout=min(remaining, _POLL_S * 4)
+            )
+            by_conn = {w.conn: w for w in busy}
+            for conn in ready:
+                _receive(
+                    self.state, by_conn[conn], self.instrumented, self.requeue
+                )
+            for worker in self.pool:
+                if worker.item is not None and worker.process.exitcode is not None:
+                    # Died during the drain: its task goes back to the
+                    # queue for the resume (or the serial fallback).
+                    self.pending.appendleft(worker.item)
+                    worker.item = None
+        self._requeue_in_flight()
+        for worker in self.pool:
+            _stop_worker(worker, graceful=True)
+        self.pool = []
+
+
+# -- the public entry point ---------------------------------------------------
+
+
 def run_campaign(
     spec: CampaignSpec,
     store: ResultStore,
@@ -91,6 +759,10 @@ def run_campaign(
     workers: int = 1,
     progress: ProgressReporter | None = None,
     metrics: MetricsLog | None = None,
+    failures: FailureLog | None = None,
+    retry: RetryPolicy | None = None,
+    chaos: ChaosSpec | None = None,
+    raise_on_failure: bool = True,
 ) -> CampaignRunStats:
     """Execute every task of *spec* not already present in *store*.
 
@@ -105,17 +777,43 @@ def run_campaign(
         :class:`~repro.campaign.store.JsonlStore` for resumable runs.
     workers:
         Process count; ``1`` executes inline (no pool), which is also
-        the fallback when only one task is pending.
+        the fallback when only one task is pending — and the degraded
+        mode when the pool keeps dying (``retry.restart_limit``).
     progress:
-        Optional reporter ticked once per task (cached ones included).
+        Optional reporter ticked once per task (cached and quarantined
+        ones included).
     metrics:
         Optional telemetry sidecar: every executed task runs with the
         metrics registry enabled and streams its snapshot here, plus a
         final per-campaign summary record.  Cached tasks produce no
         metrics (nothing ran).
+    failures:
+        Optional :class:`~repro.campaign.store.FailureLog` sidecar
+        receiving one record per failed attempt and one quarantine
+        record per task the executor gave up on.
+    retry:
+        The :class:`~repro.campaign.resilience.RetryPolicy`; defaults to
+        ``RetryPolicy()`` (3 attempts, keyed-jitter exponential backoff,
+        no per-task timeout).
+    chaos:
+        Optional deterministic fault-injection schedule (tests/CI; see
+        :mod:`repro.campaign.chaos`).
+    raise_on_failure:
+        When ``True`` (default), quarantined tasks raise a summarising
+        :class:`~repro.errors.CampaignError` *after* the campaign has
+        finished everything else — partial results are already durable
+        in the store by then.  The CLI passes ``False`` and turns the
+        stats into an exit code instead.
+
+    The run always makes maximal progress: a failing task never aborts
+    the other tasks, a dying worker is respawned and its task retried,
+    and an interrupt (SIGINT/SIGTERM) checkpoints gracefully — in-flight
+    rows are drained, sidecars stay consistent, and ``interrupted=True``
+    comes back in the stats.
     """
     if workers < 1:
         raise CampaignError("need at least one worker")
+    policy = retry if retry is not None else RetryPolicy()
     start = time.perf_counter()
     tasks = spec.expand()
     pending: list[TaskSpec] = []
@@ -128,44 +826,48 @@ def run_campaign(
         else:
             pending.append(task)
 
-    runner = _execute_keyed if metrics is None else _execute_instrumented
-
-    def record(result) -> None:
-        if metrics is None:
-            task_id, key, row = result
-        else:
-            task_id, key, row, elapsed_s, snapshot = result
-            metrics.put_task(task_id, key, elapsed_s, snapshot)
-        store.put(task_id, key, row)
-        if progress is not None:
-            progress.tick()
+    instrumented = metrics is not None
+    state = _CampaignState(store, metrics, failures, progress, policy)
+    stop = _StopFlag()
 
     # The instrumented runner enables the process-wide registry; remember
     # the caller's state so an inline metrics run does not leak "enabled"
     # into whatever the process does next.
     was_enabled = metrics_registry().enabled
     try:
-        if workers == 1 or len(pending) <= 1:
-            for task in pending:
-                record(runner(task))
-        else:
-            ctx = _pool_context()
-            with ctx.Pool(processes=min(workers, len(pending))) as pool:
-                # Unordered: each row is persisted the moment its task
-                # finishes, so an interrupt behind a straggler never discards
-                # completed work the resumable store exists to preserve.
-                for result in pool.imap_unordered(runner, pending, chunksize=1):
-                    record(result)
+        with _graceful_signals(stop):
+            if workers == 1 or len(pending) <= 1:
+                attempts = deque(
+                    _QueuedAttempt(task=task, attempt=1, not_before=0.0)
+                    for task in pending
+                )
+                _run_inline(attempts, instrumented, chaos, state, stop)
+            else:
+                supervisor = _Supervisor(
+                    _pool_context(), workers, instrumented, chaos, state, stop
+                )
+                leftovers = supervisor.run(pending)
+                if leftovers and not stop.stop:
+                    _run_inline(leftovers, instrumented, chaos, state, stop)
     finally:
         if metrics is not None and not was_enabled:
             metrics_registry().disable()
 
+    state.publish_obs_counters()
     stats = CampaignRunStats(
         total=len(tasks),
-        executed=len(pending),
+        executed=len(state.recorded),
         cached=cached,
         workers=workers,
         elapsed_s=time.perf_counter() - start,
+        failed=len(state.quarantined),
+        retried=state.retried,
+        timeouts=state.timeouts,
+        worker_restarts=state.worker_restarts,
+        chaos_injections=state.chaos_injections,
+        serial_fallback=state.serial_fallback,
+        interrupted=stop.stop,
+        failures=tuple(state.quarantined),
     )
     if metrics is not None:
         metrics.put_campaign({
@@ -176,5 +878,12 @@ def run_campaign(
             "cached": stats.cached,
             "workers": stats.workers,
             "elapsed_s": stats.elapsed_s,
+            "interrupted": stats.interrupted,
+            "resilience": state.resilience_summary(),
         })
+    if stats.failed and raise_on_failure and not stats.interrupted:
+        raise CampaignError(
+            f"campaign {spec.name!r} finished with {stats.failed} "
+            f"quarantined task(s):\n{stats.failure_summary()}"
+        )
     return stats

@@ -42,6 +42,7 @@ class ProgressReporter:
         self._last_emit = float("-inf")
         self.done = 0
         self.cached = 0
+        self.failed = 0
         # Execution-rate base: cache-hit replays are (near-)instant store
         # lookups, while executions are full simulation rounds — one rate
         # over both skews the ETA badly after a big cached prefix (the
@@ -55,16 +56,23 @@ class ProgressReporter:
 
     @property
     def executed(self) -> int:
-        return self.done - self.cached
+        return self.done - self.cached - self.failed
 
-    def tick(self, *, cached: bool = False) -> None:
-        """Record one finished task; maybe emit a progress line."""
+    def tick(self, *, cached: bool = False, failed: bool = False) -> None:
+        """Record one finished task; maybe emit a progress line.
+
+        A *failed* tick is a quarantined task: it counts toward ``done``
+        (the campaign is past it) but not toward the execution rate —
+        quarantine is bookkeeping, not a simulation round.
+        """
         self.done += 1
         now = self._clock()
         if cached:
             self.cached += 1
             if not self._exec_started:
                 self._exec_base = now
+        elif failed:
+            self.failed += 1
         else:
             self._exec_started = True
         if self.done < self.total and now - self._last_emit < self.min_interval_s:
@@ -84,6 +92,8 @@ class ProgressReporter:
                 )
             else:
                 parts.append(f"({self.cached} cached)")
+        if self.failed:
+            parts.append(f"[{self.failed} failed]")
         executed = self.executed
         exec_elapsed = now - self._exec_base
         if executed and exec_elapsed > 0:
@@ -97,7 +107,8 @@ class ProgressReporter:
     def summary(self) -> str:
         """One line describing the finished campaign."""
         elapsed = self._clock() - self._start
+        failed = f", {self.failed} failed" if self.failed else ""
         return (
-            f"{self.name}: {self.executed} executed, {self.cached} cached "
-            f"of {self.total} tasks in {_format_duration(elapsed)}"
+            f"{self.name}: {self.executed} executed, {self.cached} cached"
+            f"{failed} of {self.total} tasks in {_format_duration(elapsed)}"
         )

@@ -1,0 +1,164 @@
+"""Fault-tolerance policy for campaign execution: retries, backoff,
+timeouts, and failure classification.
+
+The paper's whole premise is graceful operation under loss — C-ARQ
+treats a dropped frame as routine and recovers it from cooperators — and
+this module gives the execution layer the same posture.  Because every
+task's rows are bit-determined by its spec'd seed
+(:mod:`repro.campaign.seeding`), a retry is provably free: the re-executed
+task must produce the identical row, so recovering from a dead worker is
+as safe as recovering a frame from a cooperator.
+
+Failure taxonomy (see ``docs/ROBUSTNESS.md``):
+
+* **task-error** — the task itself raised.  Deterministic: the same
+  task raises the same error on every attempt, so retrying wastes work;
+  the task is quarantined immediately.
+* **transient** — an injected :class:`~repro.errors.ChaosError` (or any
+  future marker of a recoverable in-task condition).  Retried.
+* **worker-lost** — the worker process died (OOM kill, segfault,
+  injected ``SIGKILL``).  The task is innocent until proven poison:
+  retried, on a respawned worker.
+* **timeout** — the task exceeded :attr:`RetryPolicy.timeout_s`
+  wall-clock; the worker is killed and the task retried.
+* **torn-write** — the task finished but its result append was torn
+  (injected by the chaos harness; in production, a crash mid-append).
+  The store recovers by truncation and the task is retried.
+
+Backoff delays are **keyed**, not drawn from a wall-clock-seeded RNG:
+the jitter for ``(task, attempt)`` comes from the splitmix64 mixer in
+:mod:`repro.radio.keyed`, so a retry schedule replays bit-identically —
+the same discipline every other stochastic choice in this repo follows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CampaignError, ChaosError
+from repro.radio.keyed import KeyedRandom, stable_hash64
+
+
+class FailureKind:
+    """String constants classifying one failed execution attempt."""
+
+    TASK_ERROR = "task-error"
+    TRANSIENT = "transient"
+    WORKER_LOST = "worker-lost"
+    TIMEOUT = "timeout"
+    TORN_WRITE = "torn-write"
+
+
+#: Kinds worth retrying: everything except a deterministic task error.
+RETRYABLE_KINDS = frozenset({
+    FailureKind.TRANSIENT,
+    FailureKind.WORKER_LOST,
+    FailureKind.TIMEOUT,
+    FailureKind.TORN_WRITE,
+})
+
+
+def classify_exception(exc: BaseException) -> str:
+    """Failure kind of an exception raised *inside* a task.
+
+    :class:`~repro.errors.ChaosError` is the transient marker — injected
+    faults are keyed per attempt, so a retry draws a fresh decision.
+    Everything else a task raises is deterministic: the task's inputs
+    are content-addressed, so the same exception recurs on every attempt
+    and the task is poison.
+    """
+    if isinstance(exc, ChaosError):
+        return FailureKind.TRANSIENT
+    return FailureKind.TASK_ERROR
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """One task the executor gave up on (mirrors the quarantine record)."""
+
+    task_id: str
+    key: str
+    attempts: int
+    failure: str
+    error: str
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the executor responds to failing tasks and dying workers.
+
+    Attributes
+    ----------
+    max_attempts:
+        Executions per task before it is quarantined (deterministic
+        task errors quarantine on the first attempt regardless — see
+        :func:`classify_exception`).
+    timeout_s:
+        Per-task wall-clock budget.  ``None`` disables timeouts.  Only
+        enforceable in pool mode, where a hung worker can be killed
+        without taking the campaign down; the inline path cannot preempt
+        itself.
+    backoff_base_s / backoff_factor / backoff_max_s:
+        Exponential backoff before retry *n* (1-based):
+        ``min(backoff_max_s, backoff_base_s * backoff_factor**(n-1))``.
+    jitter:
+        Fractional spread applied to the backoff, ``delay * (1 ± jitter)``,
+        drawn via keyed splitmix64 from ``(task, attempt)`` — replayable,
+        never wall-clock seeded.  ``0`` disables jitter.
+    jitter_seed:
+        Seed material of the jitter stream (campaign-level constant).
+    restart_limit:
+        Consecutive worker losses/timeouts *without an intervening
+        success* before the executor stops respawning the pool and
+        degrades to inline serial execution.
+    drain_grace_s:
+        On SIGINT/SIGTERM (and at pool shutdown), how long in-flight
+        workers get to finish so their rows are drained into the store
+        before they are terminated.
+    """
+
+    max_attempts: int = 3
+    timeout_s: float | None = None
+    backoff_base_s: float = 0.25
+    backoff_factor: float = 2.0
+    backoff_max_s: float = 10.0
+    jitter: float = 0.5
+    jitter_seed: int = 2008
+    restart_limit: int = 8
+    drain_grace_s: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise CampaignError("retry policy needs max_attempts >= 1")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise CampaignError("retry policy timeout_s must be positive")
+        if self.backoff_base_s < 0 or self.backoff_max_s < 0:
+            raise CampaignError("retry policy backoff must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise CampaignError("retry policy backoff_factor must be >= 1")
+        if not 0.0 <= self.jitter < 1.0:
+            raise CampaignError("retry policy jitter must be in [0, 1)")
+        if self.restart_limit < 1:
+            raise CampaignError("retry policy restart_limit must be >= 1")
+        if self.drain_grace_s < 0:
+            raise CampaignError("retry policy drain_grace_s must be >= 0")
+
+    def delay_s(self, task_id: str, attempt: int) -> float:
+        """Backoff before retrying *task_id* after failed attempt *attempt*.
+
+        A pure function of ``(jitter_seed, task_id, attempt)``: retry
+        schedules replay bit-identically across runs, and distinct tasks
+        retrying after one pool crash spread out instead of stampeding.
+        """
+        base = min(
+            self.backoff_max_s,
+            self.backoff_base_s * self.backoff_factor ** (attempt - 1),
+        )
+        if self.jitter <= 0.0 or base <= 0.0:
+            return base
+        u = KeyedRandom(self.jitter_seed).uniform(stable_hash64(task_id), attempt)
+        return base * (1.0 + self.jitter * (2.0 * u - 1.0))
+
+    def allows_retry(self, kind: str, attempt: int) -> bool:
+        """May a task that failed with *kind* on attempt *attempt* retry?"""
+        return kind in RETRYABLE_KINDS and attempt < self.max_attempts

@@ -237,8 +237,11 @@ class CampaignSpec:
         return CampaignSpec.from_dict(data)
 
     def save(self, path) -> None:
-        with open(path, "w", encoding="utf-8") as handle:
-            handle.write(self.to_json() + "\n")
+        from repro.ioutil import atomic_write_text
+
+        # Atomic: an interrupt mid-save must never leave a half-written
+        # spec for a later --spec run (or resume) to choke on.
+        atomic_write_text(path, self.to_json() + "\n")
 
     @staticmethod
     def load(path) -> "CampaignSpec":

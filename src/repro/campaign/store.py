@@ -7,6 +7,16 @@ reopen the loader tolerates a truncated final line (the interrupt case)
 and simply re-executes that task; corruption anywhere else is an error —
 silent data loss in the middle of a store would skew reported results.
 
+The same torn-tail-tolerant posture covers the two sidecar logs that
+live next to a result store: :class:`MetricsLog` (``<store>.metrics``,
+per-task telemetry snapshots) and :class:`FailureLog`
+(``<store>.failures``, the quarantine record of the fault-tolerant
+executor — see :mod:`repro.campaign.resilience`).  All three share one
+loader: a final line that fails to parse *or* decodes to the wrong
+record shape (a truncated-but-valid JSON scalar, a non-dict line) is
+truncated away as a torn write; the same defect mid-file is corruption
+and raises.
+
 Rows are plain JSON dicts.  The reception-matrix codec — the common
 payload of coverage-style scenarios — lives with the other row shapes in
 :mod:`repro.scenarios.summaries` and is re-exported here for
@@ -17,13 +27,60 @@ from __future__ import annotations
 
 import json
 import os
-from typing import Iterator
+from typing import Any, Callable, Iterator
 
 from repro.errors import CampaignError
 from repro.scenarios.summaries import (  # noqa: F401  (re-exported API)
     decode_matrix,
     encode_matrix,
 )
+
+
+def _scan_jsonl(
+    path: str,
+    describe: str,
+    extract: Callable[[Any], Any],
+) -> tuple[list[Any], bool]:
+    """Tolerantly read a JSONL file of shape-validated records.
+
+    ``extract`` receives each decoded line and returns the value to keep;
+    it must raise ``KeyError``/``TypeError``/``ValueError`` when the
+    record has the wrong shape.  A defective *final* line — whether it
+    fails to decode or decodes to the wrong shape, both of which a write
+    torn by an interrupt can produce — is truncated off the file so
+    later appends start on a clean line.  The same defect anywhere else
+    is corruption and raises :class:`CampaignError`.
+
+    Returns ``(values, needs_newline)``: *needs_newline* is ``True`` when
+    the final record is valid but its terminating newline never made it
+    to disk, so the next append must write one first.
+    """
+    with open(path, "r", encoding="utf-8", newline="") as handle:
+        lines = handle.readlines()
+    values: list[Any] = []
+    consumed_bytes = 0
+    needs_newline = False
+    for index, line in enumerate(lines):
+        is_last = index == len(lines) - 1
+        if line.strip():
+            try:
+                values.append(extract(json.loads(line)))
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+                if is_last:
+                    # Torn final write from an interrupted run: cut it
+                    # off so later appends start on a clean line; the
+                    # lost record simply re-materialises on resume.
+                    os.truncate(path, consumed_bytes)
+                    return values, False
+                raise CampaignError(
+                    f"corrupt {describe} {path!r} at line {index + 1}: {exc}"
+                ) from None
+        consumed_bytes += len(line.encode("utf-8"))
+        if is_last and not line.endswith("\n"):
+            # Valid final record whose newline never made it to disk:
+            # keep the record, but terminate the line before appending.
+            needs_newline = True
+    return values, needs_newline
 
 
 class ResultStore:
@@ -67,6 +124,14 @@ class MemoryStore(ResultStore):
         return len(self._rows)
 
 
+def _extract_store_record(record: Any) -> tuple[str, dict]:
+    """``(task_id, row)`` from one result-store line (shape-validated)."""
+    task_id, row = record["task_id"], record["row"]
+    if not isinstance(task_id, str) or not isinstance(row, dict):
+        raise TypeError("result record fields have the wrong types")
+    return task_id, row
+
+
 class JsonlStore(ResultStore):
     """Append-only JSONL store: caching and resume-after-interrupt.
 
@@ -86,32 +151,11 @@ class JsonlStore(ResultStore):
             self._load()
 
     def _load(self) -> None:
-        with open(self.path, "r", encoding="utf-8", newline="") as handle:
-            lines = handle.readlines()
-        consumed_bytes = 0
-        for index, line in enumerate(lines):
-            is_last = index == len(lines) - 1
-            if line.strip():
-                try:
-                    record = json.loads(line)
-                    task_id, row = record["task_id"], record["row"]
-                except (json.JSONDecodeError, KeyError, TypeError) as exc:
-                    if is_last:
-                        # Torn final write from an interrupted run: cut it
-                        # off so later appends start on a clean line; the
-                        # task simply re-executes on resume.
-                        os.truncate(self.path, consumed_bytes)
-                        return
-                    raise CampaignError(
-                        f"corrupt result store {self.path!r} at line "
-                        f"{index + 1}: {exc}"
-                    ) from None
-                self._rows[task_id] = row
-            consumed_bytes += len(line.encode("utf-8"))
-            if is_last and not line.endswith("\n"):
-                # Valid final record whose newline never made it to disk:
-                # keep the row, but terminate the line before appending.
-                self._needs_newline = True
+        pairs, self._needs_newline = _scan_jsonl(
+            self.path, "result store", _extract_store_record
+        )
+        for task_id, row in pairs:
+            self._rows[task_id] = row
 
     def has(self, task_id: str) -> bool:
         return task_id in self._rows
@@ -135,6 +179,43 @@ class JsonlStore(ResultStore):
         self._handle.flush()
         self._rows[task_id] = row
 
+    def tear(self, task_id: str, key: str, row: dict) -> None:
+        """Chaos hook: leave a *torn* half-record on disk, as a crash
+        mid-append would, and close the handle.
+
+        The row is deliberately **not** indexed — from this store
+        handle's point of view the write was lost.  The next
+        :meth:`reload` (or a fresh open) goes through the torn-tail
+        recovery in the loader, truncating the fragment away.  Only the
+        deterministic fault-injection harness (:mod:`repro.campaign.chaos`)
+        calls this.
+        """
+        record = json.dumps(
+            {"task_id": task_id, "key": key, "row": row}, sort_keys=True
+        )
+        if self._handle is None:
+            self._handle = open(self.path, "a", encoding="utf-8")
+            if self._needs_newline:
+                self._handle.write("\n")
+                self._needs_newline = False
+        self._handle.write(record[: max(1, len(record) // 2)])
+        self._handle.flush()
+        self.close()
+
+    def reload(self) -> None:
+        """Re-read the file from disk, exactly as a fresh open would.
+
+        This is the resume-after-interrupt path made callable mid-run:
+        any torn tail is truncated, the in-memory index is rebuilt from
+        what actually survived on disk, and the append handle reopens on
+        the next :meth:`put`.
+        """
+        self.close()
+        self._rows.clear()
+        self._needs_newline = False
+        if os.path.exists(self.path):
+            self._load()
+
     def close(self) -> None:
         if self._handle is not None:
             self._handle.close()
@@ -154,7 +235,70 @@ class JsonlStore(ResultStore):
         return iter(self._rows.items())
 
 
-class MetricsLog:
+def _extract_log_record(record: Any) -> dict:
+    """One sidecar-log line: must be a dict with a string ``kind``."""
+    if not isinstance(record, dict) or not isinstance(record.get("kind"), str):
+        raise TypeError("sidecar record is not a kind-tagged object")
+    return record
+
+
+class _JsonlLog:
+    """Shared base of the append-only JSONL sidecar logs.
+
+    Same durability posture as :class:`JsonlStore`: append+flush per
+    record, and a defective final line (interrupted run) — torn JSON
+    *or* a wrong-shaped record — is truncated away on reopen rather than
+    poisoning the file.  Every record is a dict carrying a ``kind`` tag.
+    """
+
+    #: Human name used in corruption error messages.
+    describe = "sidecar log"
+
+    def __init__(self, path) -> None:
+        self.path = os.fspath(path)
+        self._records: list[dict] = []
+        self._handle = None
+        self._needs_newline = False
+        parent = os.path.dirname(self.path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        if os.path.exists(self.path):
+            self._records, self._needs_newline = _scan_jsonl(
+                self.path, self.describe, _extract_log_record
+            )
+
+    def _append(self, record: dict) -> None:
+        if self._handle is None:
+            self._handle = open(self.path, "a", encoding="utf-8")
+            if self._needs_newline:
+                self._handle.write("\n")
+                self._needs_newline = False
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+        self._records.append(record)
+
+    def records(self, kind: str | None = None) -> list[dict]:
+        """Records currently held (newest last), optionally one kind."""
+        if kind is None:
+            return list(self._records)
+        return [r for r in self._records if r.get("kind") == kind]
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class MetricsLog(_JsonlLog):
     """Append-only JSONL sidecar of per-task metric snapshots.
 
     Lives next to a result store (``<store>.jsonl.metrics``) and carries
@@ -164,52 +308,14 @@ class MetricsLog:
     Timing data is wall-clock and therefore non-deterministic, which is
     exactly why it is kept out of the result rows — those feed the
     bit-identity pins and the science tables.
-
-    Same durability posture as :class:`JsonlStore`: append+flush per
-    record, and a torn final line (interrupted run) is truncated away on
-    reopen rather than poisoning the file.
     """
 
-    def __init__(self, path) -> None:
-        self.path = os.fspath(path)
-        self._records: list[dict] = []
-        self._handle = None
-        parent = os.path.dirname(self.path)
-        if parent:
-            os.makedirs(parent, exist_ok=True)
-        if os.path.exists(self.path):
-            self._load()
+    describe = "metrics log"
 
     @staticmethod
     def sidecar_path(store_path) -> str:
         """The metrics path belonging to a result-store path."""
         return f"{os.fspath(store_path)}.metrics"
-
-    def _load(self) -> None:
-        with open(self.path, "r", encoding="utf-8", newline="") as handle:
-            lines = handle.readlines()
-        consumed_bytes = 0
-        for index, line in enumerate(lines):
-            if line.strip():
-                try:
-                    record = json.loads(line)
-                except json.JSONDecodeError as exc:
-                    if index == len(lines) - 1:
-                        os.truncate(self.path, consumed_bytes)
-                        return
-                    raise CampaignError(
-                        f"corrupt metrics log {self.path!r} at line "
-                        f"{index + 1}: {exc}"
-                    ) from None
-                self._records.append(record)
-            consumed_bytes += len(line.encode("utf-8"))
-
-    def _append(self, record: dict) -> None:
-        if self._handle is None:
-            self._handle = open(self.path, "a", encoding="utf-8")
-        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
-        self._handle.flush()
-        self._records.append(record)
 
     def put_task(
         self, task_id: str, key: str, elapsed_s: float, snapshot: dict
@@ -229,22 +335,73 @@ class MetricsLog:
 
     def task_records(self) -> list[dict]:
         """All per-task records currently held (newest last)."""
-        return [r for r in self._records if r.get("kind") == "task"]
+        return self.records("task")
 
     def campaign_records(self) -> list[dict]:
         """All campaign summary records currently held (newest last)."""
-        return [r for r in self._records if r.get("kind") == "campaign"]
+        return self.records("campaign")
 
-    def __len__(self) -> int:
-        return len(self._records)
 
-    def close(self) -> None:
-        if self._handle is not None:
-            self._handle.close()
-            self._handle = None
+class FailureLog(_JsonlLog):
+    """Append-only JSONL sidecar quarantining campaign task failures.
 
-    def __enter__(self) -> "MetricsLog":
-        return self
+    Lives next to a result store (``<store>.jsonl.failures``).  The
+    fault-tolerant executor streams one ``{"kind": "attempt", ...}``
+    line per failed attempt (classification, error text, traceback for
+    in-task errors) and one ``{"kind": "quarantine", ...}`` line per
+    task it finally gave up on — the poison-task record a resumed run or
+    an operator starts debugging from.  A completed-with-failures
+    campaign is therefore fully accounted: every task is either a row in
+    the store or a quarantine record here.
+    """
 
-    def __exit__(self, *exc_info) -> None:
-        self.close()
+    describe = "failure log"
+
+    @staticmethod
+    def sidecar_path(store_path) -> str:
+        """The failures path belonging to a result-store path."""
+        return f"{os.fspath(store_path)}.failures"
+
+    def put_attempt(
+        self,
+        task_id: str,
+        key: str,
+        attempt: int,
+        failure: str,
+        error: str,
+        *,
+        traceback: str | None = None,
+    ) -> None:
+        """Record one failed execution attempt."""
+        record = {
+            "kind": "attempt",
+            "task_id": task_id,
+            "key": key,
+            "attempt": attempt,
+            "failure": failure,
+            "error": error,
+        }
+        if traceback is not None:
+            record["traceback"] = traceback
+        self._append(record)
+
+    def put_quarantine(
+        self, task_id: str, key: str, attempts: int, failure: str, error: str
+    ) -> None:
+        """Record a task the executor gave up on (the poison record)."""
+        self._append({
+            "kind": "quarantine",
+            "task_id": task_id,
+            "key": key,
+            "attempts": attempts,
+            "failure": failure,
+            "error": error,
+        })
+
+    def attempt_records(self) -> list[dict]:
+        """All failed-attempt records currently held (newest last)."""
+        return self.records("attempt")
+
+    def quarantine_records(self) -> list[dict]:
+        """All quarantine records currently held (newest last)."""
+        return self.records("quarantine")

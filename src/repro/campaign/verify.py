@@ -1,0 +1,243 @@
+"""Read-only integrity verification for campaign stores and sidecars.
+
+``repro campaign verify`` answers, with a CI-usable exit code, the
+question an operator (or a pipeline gate) asks after a crash, a chaos
+run, or an interrupted campaign: *is this store intact, and does it
+account for every task?*  The loaders in :mod:`repro.campaign.store`
+already tolerate a torn tail — but they **repair** it by truncation;
+this module never writes a byte.  It re-implements the same line
+discipline read-only, so verification can run against a store that
+another process still holds open.
+
+Checks, in order:
+
+* every result-store line decodes to a well-shaped record (a defective
+  *final* line is a warning — the torn-tail shape a resume repairs —
+  anywhere else it is corruption, an error);
+* duplicate ``task_id`` rows are counted (legal: last-wins append
+  semantics — reported so an operator sees re-runs happened);
+* the ``.metrics`` and ``.failures`` sidecars, when present, pass the
+  same line discipline;
+* with a spec: every expanded task is **accounted** — either a row in
+  the store or a quarantine record in the failure log (missing tasks
+  are errors: the campaign is incomplete); rows for task ids the spec
+  does not expand are warnings (a stale store or edited spec);
+* a task that is both quarantined *and* stored is a warning — a later
+  run succeeded where an earlier one gave up, so the quarantine record
+  is stale.
+
+Exit-code mapping used by the CLI: ``0`` — clean (warnings allowed with
+``--strict`` absent); ``1`` — errors (or warnings under ``--strict``);
+``2`` — usage problems (missing file, unreadable spec).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+
+from repro.campaign.spec import CampaignSpec
+from repro.campaign.store import FailureLog, MetricsLog
+from repro.errors import CampaignError
+
+#: Severity levels of verification findings.
+ERROR = "error"
+WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class VerifyFinding:
+    """One problem (or oddity) found in a store or sidecar."""
+
+    severity: str
+    message: str
+
+
+@dataclass(frozen=True)
+class VerifyReport:
+    """Everything ``verify_store`` learned about one store."""
+
+    store_path: str
+    rows: int = 0
+    distinct_tasks: int = 0
+    duplicates: int = 0
+    metrics_records: int = 0
+    failure_attempts: int = 0
+    quarantined: int = 0
+    missing: tuple[str, ...] = ()
+    unknown: tuple[str, ...] = ()
+    findings: tuple[VerifyFinding, ...] = field(default=())
+
+    @property
+    def errors(self) -> tuple[VerifyFinding, ...]:
+        return tuple(f for f in self.findings if f.severity == ERROR)
+
+    @property
+    def warnings(self) -> tuple[VerifyFinding, ...]:
+        return tuple(f for f in self.findings if f.severity == WARNING)
+
+    @property
+    def ok(self) -> bool:
+        """No errors (warnings do not spoil a store)."""
+        return not self.errors
+
+    def render(self) -> str:
+        """The multi-line human report the CLI prints."""
+        lines = [
+            f"store:      {self.store_path}",
+            f"rows:       {self.rows} ({self.distinct_tasks} distinct"
+            + (f", {self.duplicates} duplicate" if self.duplicates else "")
+            + ")",
+        ]
+        if self.metrics_records:
+            lines.append(f"metrics:    {self.metrics_records} records")
+        if self.failure_attempts or self.quarantined:
+            lines.append(
+                f"failures:   {self.failure_attempts} attempt(s), "
+                f"{self.quarantined} quarantined"
+            )
+        if self.missing:
+            lines.append(f"missing:    {len(self.missing)} task(s)")
+        for finding in self.findings:
+            lines.append(f"{finding.severity}: {finding.message}")
+        lines.append("verdict:    " + ("OK" if self.ok else "CORRUPT/INCOMPLETE"))
+        return "\n".join(lines)
+
+
+def _scan_readonly(
+    path: str, extract, describe: str, findings: list[VerifyFinding]
+) -> list:
+    """The store line discipline, applied without repairing anything.
+
+    Mirrors ``repro.campaign.store._scan_jsonl``: a defective final line
+    is the torn-tail shape (warning — a resume truncates it away), a
+    defective interior line is corruption (error).  Returns the values
+    that did decode, so accounting can proceed past a torn tail.
+    """
+    with open(path, "r", encoding="utf-8", newline="") as handle:
+        lines = handle.readlines()
+    values = []
+    for index, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            values.append(extract(json.loads(line)))
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+            if index == len(lines) - 1:
+                findings.append(VerifyFinding(
+                    WARNING,
+                    f"{describe} has a torn final line (interrupted write; "
+                    "a resume will truncate and re-execute it)",
+                ))
+            else:
+                findings.append(VerifyFinding(
+                    ERROR,
+                    f"{describe} is corrupt at line {index + 1}: {exc}",
+                ))
+    return values
+
+
+def _extract_row(record) -> tuple[str, dict]:
+    task_id, row = record["task_id"], record["row"]
+    if not isinstance(task_id, str) or not isinstance(row, dict):
+        raise TypeError("result record fields have the wrong types")
+    return task_id, row
+
+
+def _extract_sidecar(record) -> dict:
+    if not isinstance(record, dict) or not isinstance(record.get("kind"), str):
+        raise TypeError("sidecar record is not a kind-tagged object")
+    return record
+
+
+def verify_store(
+    store_path, spec: CampaignSpec | None = None
+) -> VerifyReport:
+    """Verify one store (and its sidecars) without modifying anything.
+
+    With *spec*, additionally checks completeness: every task the spec
+    expands must be accounted for — a stored row or a quarantine record.
+    Raises :class:`CampaignError` when the store file does not exist
+    (distinct from "exists but corrupt": the former is a usage error).
+    """
+    store_path = os.fspath(store_path)
+    findings: list[VerifyFinding] = []
+    if os.path.exists(store_path):
+        pairs = _scan_readonly(store_path, _extract_row, "result store", findings)
+    elif os.path.exists(FailureLog.sidecar_path(store_path)):
+        # A campaign whose every task was quarantined writes the failure
+        # sidecar but never a store row: account it, don't call it a typo.
+        pairs = []
+        findings.append(VerifyFinding(
+            WARNING, "store file absent (no task ever produced a row)"
+        ))
+    else:
+        raise CampaignError(f"no result store at {store_path!r}")
+    stored: dict[str, int] = {}
+    for task_id, _row in pairs:
+        stored[task_id] = stored.get(task_id, 0) + 1
+    duplicates = sum(count - 1 for count in stored.values())
+
+    metrics_records = 0
+    metrics_path = MetricsLog.sidecar_path(store_path)
+    if os.path.exists(metrics_path):
+        metrics_records = len(
+            _scan_readonly(metrics_path, _extract_sidecar, "metrics log", findings)
+        )
+
+    attempts = 0
+    quarantined_ids: set[str] = set()
+    failures_path = FailureLog.sidecar_path(store_path)
+    if os.path.exists(failures_path):
+        for record in _scan_readonly(
+            failures_path, _extract_sidecar, "failure log", findings
+        ):
+            if record.get("kind") == "attempt":
+                attempts += 1
+            elif record.get("kind") == "quarantine":
+                quarantined_ids.add(str(record.get("task_id")))
+
+    missing: tuple[str, ...] = ()
+    unknown: tuple[str, ...] = ()
+    if spec is not None:
+        expected = {task.task_id() for task in spec.expand()}
+        missing = tuple(sorted(
+            task_id
+            for task_id in expected
+            if task_id not in stored and task_id not in quarantined_ids
+        ))
+        unknown = tuple(sorted(set(stored) - expected))
+        if missing:
+            findings.append(VerifyFinding(
+                ERROR,
+                f"{len(missing)} of {len(expected)} task(s) have neither a "
+                "stored row nor a quarantine record (incomplete campaign; "
+                "resume it)",
+            ))
+        if unknown:
+            findings.append(VerifyFinding(
+                WARNING,
+                f"{len(unknown)} stored row(s) belong to no task of this "
+                "spec (stale store or edited spec)",
+            ))
+        stale = sorted(quarantined_ids & set(stored))
+        if stale:
+            findings.append(VerifyFinding(
+                WARNING,
+                f"{len(stale)} quarantined task(s) also have stored rows "
+                "(a later run succeeded; the quarantine records are stale)",
+            ))
+
+    return VerifyReport(
+        store_path=store_path,
+        rows=len(pairs),
+        distinct_tasks=len(stored),
+        duplicates=duplicates,
+        metrics_records=metrics_records,
+        failure_attempts=attempts,
+        quarantined=len(quarantined_ids),
+        missing=missing,
+        unknown=unknown,
+        findings=tuple(findings),
+    )

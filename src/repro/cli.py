@@ -13,11 +13,16 @@ any Python:
 * ``trace synth|info`` — generate a deterministic synthetic mobility
   trace / summarise any supported trace file (see
   :mod:`repro.mobility.traceio`);
-* ``campaign run|report`` — declarative, parallel, resumable campaigns
-  over any registered scenario, its presets, or a spec file (see
-  :mod:`repro.campaign` and :mod:`repro.scenarios`); ``--metrics``
+* ``campaign run|report|verify`` — declarative, parallel, resumable
+  campaigns over any registered scenario, its presets, or a spec file
+  (see :mod:`repro.campaign` and :mod:`repro.scenarios`); ``--metrics``
   streams per-task telemetry into a JSONL sidecar and folds it back in
-  reports;
+  reports; runs are supervised (worker respawn, ``--max-attempts``
+  retries, ``--task-timeout`` reaping, quarantine into a
+  ``<store>.failures`` sidecar, graceful Ctrl-C checkpointing) and
+  ``--chaos`` injects deterministic faults to prove it
+  (``docs/ROBUSTNESS.md``); ``verify`` integrity-checks a store with
+  CI-usable exit codes;
 * ``profile`` — cProfile one round or a whole campaign (aggregated),
   optionally emitting a collapsed-stacks flamegraph file;
 * ``stats`` — one instrumented round, metrics breakdown with the top
@@ -48,9 +53,12 @@ from repro.analysis import (
 )
 from repro.campaign import (
     CampaignSpec,
+    ChaosSpec,
+    FailureLog,
     JsonlStore,
     MetricsLog,
     ProgressReporter,
+    RetryPolicy,
     config_from_dict,
     config_to_dict,
     point_summaries,
@@ -512,6 +520,18 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
     return 0
 
 
+def _campaign_retry_policy(args: argparse.Namespace) -> RetryPolicy:
+    """The :class:`RetryPolicy` described by the run flags."""
+    import dataclasses
+
+    policy = RetryPolicy()
+    if getattr(args, "max_attempts", None) is not None:
+        policy = dataclasses.replace(policy, max_attempts=args.max_attempts)
+    if getattr(args, "task_timeout", None) is not None:
+        policy = dataclasses.replace(policy, timeout_s=args.task_timeout)
+    return policy
+
+
 def _cmd_campaign_run(args: argparse.Namespace) -> int:
     import contextlib
 
@@ -519,6 +539,8 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
         spec = _campaign_spec(args)
         if args.save_spec:
             spec.save(args.save_spec)
+        chaos = ChaosSpec.parse(args.chaos) if args.chaos else None
+        retry = _campaign_retry_policy(args)
         store_path = args.store or _default_store_path(spec)
         with contextlib.ExitStack() as stack:
             store = stack.enter_context(JsonlStore(store_path))
@@ -527,12 +549,16 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
                 metrics = stack.enter_context(
                     MetricsLog(MetricsLog.sidecar_path(store_path))
                 )
+            failures = stack.enter_context(
+                FailureLog(FailureLog.sidecar_path(store_path))
+            )
             progress = ProgressReporter(
                 total=len(spec.expand()), name=spec.name, stream=sys.stderr
             )
             stats = run_campaign(
                 spec, store, workers=args.workers, progress=progress,
-                metrics=metrics,
+                metrics=metrics, failures=failures, retry=retry, chaos=chaos,
+                raise_on_failure=False,
             )
             print(progress.summary(), file=sys.stderr)
             print(
@@ -540,8 +566,39 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
                 f"{stats.cached} cached on {stats.workers} worker(s) "
                 f"in {stats.elapsed_s:.1f} s; store: {store_path}"
             )
+            resilience = []
+            if stats.retried:
+                resilience.append(f"{stats.retried} retried")
+            if stats.timeouts:
+                resilience.append(f"{stats.timeouts} timed out")
+            if stats.worker_restarts:
+                resilience.append(f"{stats.worker_restarts} worker restart(s)")
+            if stats.chaos_injections:
+                resilience.append(f"{stats.chaos_injections} fault(s) injected")
+            if stats.serial_fallback:
+                resilience.append("degraded to serial")
+            if resilience:
+                print("resilience: " + ", ".join(resilience))
             if metrics is not None:
                 print(f"metrics: {metrics.path}")
+            if stats.failed:
+                print(
+                    f"campaign: {stats.failed} task(s) quarantined "
+                    f"(see {failures.path}):",
+                    file=sys.stderr,
+                )
+                print(stats.failure_summary(), file=sys.stderr)
+            if stats.interrupted:
+                print(
+                    "campaign: interrupted — partial results are saved; "
+                    "re-run the same command to resume",
+                    file=sys.stderr,
+                )
+                return 130
+            if stats.failed:
+                # A partial store cannot fold into the per-point report
+                # (and the exit code already says "look at the failures").
+                return 3
             _print_campaign_report(spec, store)
     except (ReproError, OSError) as exc:
         print(f"campaign: {exc}", file=sys.stderr)
@@ -564,6 +621,38 @@ def _cmd_campaign_report(args: argparse.Namespace) -> int:
     except (ReproError, OSError) as exc:
         print(f"campaign: {exc}", file=sys.stderr)
         return 2
+    return 0
+
+
+def _cmd_campaign_verify(args: argparse.Namespace) -> int:
+    """Integrity-check a store and its sidecars (read-only, CI-gateable).
+
+    Exit codes: 0 clean, 1 corrupt/incomplete (or warnings under
+    ``--strict``), 2 usage errors — so a pipeline can gate on the store
+    it just produced: ``repro campaign verify --spec s.json --store x``.
+    """
+    from repro.campaign.verify import verify_store
+
+    try:
+        spec = None
+        if args.spec or args.preset or getattr(args, "scenario", None):
+            spec = _campaign_spec(args)
+        store_path = args.store or (
+            _default_store_path(spec) if spec is not None else None
+        )
+        if store_path is None:
+            raise CampaignError(
+                "pass --store PATH (or a spec source to derive it from)"
+            )
+        report = verify_store(store_path, spec=spec)
+    except (ReproError, OSError) as exc:
+        print(f"campaign verify: {exc}", file=sys.stderr)
+        return 2
+    print(report.render())
+    if not report.ok:
+        return 1
+    if args.strict and report.warnings:
+        return 1
     return 0
 
 
@@ -799,6 +888,27 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="stream per-task metric snapshots into <store>.metrics",
     )
+    run.add_argument(
+        "--max-attempts",
+        type=int,
+        default=None,
+        help="executions per task before quarantine (default 3)",
+    )
+    run.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-task wall-clock budget; hung workers are killed and "
+        "the task retried (pool mode only)",
+    )
+    run.add_argument(
+        "--chaos",
+        metavar="SPEC",
+        help="deterministic fault injection, e.g. "
+        "rate=0.3,seed=7,kinds=crash|raise,hang=5 "
+        "(kinds: crash, hang, raise, torn-write)",
+    )
     run.set_defaults(func=_cmd_campaign_run)
 
     report = campaign_sub.add_parser(
@@ -811,6 +921,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="also fold and print the <store>.metrics telemetry sidecar",
     )
     report.set_defaults(func=_cmd_campaign_report)
+
+    verify = campaign_sub.add_parser(
+        "verify",
+        help="integrity-check a result store and its sidecars (read-only)",
+    )
+    _spec_arguments(verify)
+    verify.add_argument(
+        "--strict",
+        action="store_true",
+        help="treat warnings (torn tail, stale rows) as failures too",
+    )
+    verify.set_defaults(func=_cmd_campaign_verify)
 
     lint = sub.add_parser(
         "lint",

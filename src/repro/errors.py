@@ -76,6 +76,20 @@ class CampaignError(ReproError):
     """
 
 
+class ChaosError(ReproError):
+    """A deterministically *injected* fault from the chaos harness.
+
+    Raised inside a campaign worker when the fault-injection schedule
+    (:mod:`repro.campaign.chaos`) selects the ``raise`` kind for a
+    ``(task, attempt)`` pair.  The executor classifies it as transient —
+    the injection is keyed by attempt number, so a retry draws a fresh
+    decision — which is exactly how a recoverable infrastructure error
+    should behave.  Kept separate from :class:`CampaignError` so a
+    chaos-injected failure can never be mistaken for an invalid spec or
+    store.
+    """
+
+
 class ScenarioError(CampaignError):
     """The scenario plugin registry was used incorrectly.
 

@@ -12,7 +12,9 @@ The rules encode this repo's load-bearing invariants as static checks
 * **RPL4xx hot-path shape** — no generator processes in ``mac``/``net``,
   no mid-accumulation rebinds (the PR 7 ``_finish_batch`` bug shape),
   no mutable defaults;
-* **RPL5xx layout** — hot-package classes declare ``__slots__``.
+* **RPL5xx layout** — hot-package classes declare ``__slots__``;
+* **RPL6xx robustness** — no silently swallowed broad excepts (failures
+  must reach the campaign resilience layer, not vanish).
 
 Importing this package registers every built-in rule.
 """
@@ -26,6 +28,7 @@ from repro.lint import (  # noqa: F401
     kernel as _kernel,
     layout as _layout,
     probes as _probes,
+    robustness as _robustness,
 )
 from repro.lint.baseline import (
     BaselineError,

@@ -1,0 +1,92 @@
+"""RPL6xx — robustness: failures must be handled or propagated, never
+silently swallowed.
+
+PR 9 gave campaigns a real failure taxonomy (classify → retry →
+quarantine, ``docs/ROBUSTNESS.md``); the discipline only holds if errors
+actually *reach* that machinery.  A ``try: … except Exception: pass``
+deletes the evidence — the task looks successful, the row is missing,
+and the bug surfaces as a bit-parity failure three layers up.  This
+module forbids the silent-swallow shape in library code.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.framework import Finding, ModuleContext, Rule, dotted_name, register
+
+#: Exception names whose silent swallow hides everything, not one
+#: specific anticipated condition.
+_BROAD_NAMES = frozenset({"Exception", "BaseException"})
+
+
+def _is_broad(type_node: ast.expr | None) -> bool:
+    """Does this handler clause catch everything (or nearly)?
+
+    ``except:``, ``except Exception:``, ``except BaseException:`` — and
+    either of the broad names hiding inside a tuple clause.  A specific
+    exception type (``except tokenize.TokenizeError:``) is *not* broad:
+    naming the condition is exactly the documentation this rule wants.
+    """
+    if type_node is None:
+        return True
+    if isinstance(type_node, ast.Tuple):
+        return any(_is_broad(el) for el in type_node.elts)
+    dotted = dotted_name(type_node)
+    if dotted is None:
+        return False
+    return dotted.split(".")[-1] in _BROAD_NAMES
+
+
+def _is_silent(body: list[ast.stmt]) -> bool:
+    """Is this handler body pure swallow — no handling, logging,
+    re-raising, or result produced?
+
+    ``pass``, ``...``, a bare docstring, ``continue`` and ``break``
+    count as silent: they discard the exception and leave no trace.
+    Anything else (assignment, call, ``raise``, ``return``) is the
+    handler doing *something* with the failure, which is all the rule
+    asks.
+    """
+    for stmt in body:
+        if isinstance(stmt, (ast.Pass, ast.Continue, ast.Break)):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            continue  # docstring or `...`
+        return False
+    return True
+
+
+@register
+class SilentBroadExceptRule(Rule):
+    code = "RPL601"
+    name = "no silently swallowed broad excepts"
+    rationale = (
+        "except Exception: pass deletes the failure evidence the "
+        "campaign resilience layer (classify/retry/quarantine) exists to "
+        "collect: the task looks successful, the row is missing, and the "
+        "bug resurfaces as a bit-parity mismatch far from its cause. "
+        "Either catch the specific exception the code anticipates, or "
+        "handle the broad one: log it, record it, re-raise it, or use "
+        "contextlib.suppress(SpecificError) to make the intent explicit."
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        if module.tree is None or module.logical is None:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if _is_broad(node.type) and _is_silent(node.body):
+                caught = (
+                    "bare except"
+                    if node.type is None
+                    else f"except {ast.unparse(node.type)}"
+                )
+                yield self.finding(
+                    module,
+                    node,
+                    f"{caught} silently swallows the failure; catch the "
+                    "specific exception or handle it (log/record/re-raise)",
+                )

@@ -15,6 +15,7 @@ import os
 from typing import Any
 
 from repro.errors import ObsError
+from repro.ioutil import atomic_write_text
 from repro.obs.spans import SpanTracer
 
 
@@ -94,13 +95,9 @@ def write_chrome_trace(
     """Validate and write the trace JSON; returns the document."""
     document = chrome_trace(tracer, metadata=metadata)
     validate_chrome_trace(document)
-    path = os.fspath(path)
-    parent = os.path.dirname(path)
-    if parent:
-        os.makedirs(parent, exist_ok=True)
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(document, handle)
-        handle.write("\n")
+    # Atomic replace: a half-written trace JSON fails Perfetto's parser
+    # with no hint that an interrupt (not the exporter) tore it.
+    atomic_write_text(os.fspath(path), json.dumps(document) + "\n")
     return document
 
 

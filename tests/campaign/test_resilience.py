@@ -1,0 +1,115 @@
+"""Retry policy, failure classification, and keyed backoff jitter."""
+
+import pytest
+
+from repro.campaign.resilience import (
+    RETRYABLE_KINDS,
+    FailureKind,
+    RetryPolicy,
+    TaskFailure,
+    classify_exception,
+)
+from repro.errors import CampaignError, ChaosError
+
+
+class TestClassification:
+    def test_chaos_error_is_transient(self):
+        assert classify_exception(ChaosError("injected")) == FailureKind.TRANSIENT
+
+    def test_everything_else_is_deterministic(self):
+        for exc in (ValueError("x"), CampaignError("y"), KeyError("z")):
+            assert classify_exception(exc) == FailureKind.TASK_ERROR
+
+    def test_task_error_is_the_only_unretryable_kind(self):
+        assert FailureKind.TASK_ERROR not in RETRYABLE_KINDS
+        assert RETRYABLE_KINDS == {
+            FailureKind.TRANSIENT,
+            FailureKind.WORKER_LOST,
+            FailureKind.TIMEOUT,
+            FailureKind.TORN_WRITE,
+        }
+
+
+class TestRetryPolicyValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"timeout_s": 0.0},
+            {"timeout_s": -1.0},
+            {"backoff_base_s": -0.1},
+            {"backoff_factor": 0.5},
+            {"jitter": 1.0},
+            {"jitter": -0.1},
+            {"restart_limit": 0},
+            {"drain_grace_s": -1.0},
+        ],
+    )
+    def test_bad_fields_rejected(self, kwargs):
+        with pytest.raises(CampaignError):
+            RetryPolicy(**kwargs)
+
+    def test_defaults_are_valid(self):
+        policy = RetryPolicy()
+        assert policy.max_attempts == 3
+        assert policy.timeout_s is None
+
+
+class TestAllowsRetry:
+    def test_respects_max_attempts(self):
+        policy = RetryPolicy(max_attempts=3)
+        assert policy.allows_retry(FailureKind.TRANSIENT, 1)
+        assert policy.allows_retry(FailureKind.TRANSIENT, 2)
+        assert not policy.allows_retry(FailureKind.TRANSIENT, 3)
+
+    def test_task_errors_never_retry(self):
+        policy = RetryPolicy(max_attempts=5)
+        assert not policy.allows_retry(FailureKind.TASK_ERROR, 1)
+
+
+class TestKeyedBackoff:
+    def test_delay_is_deterministic(self):
+        policy = RetryPolicy()
+        assert policy.delay_s("abc", 2) == policy.delay_s("abc", 2)
+
+    def test_delay_grows_exponentially_without_jitter(self):
+        policy = RetryPolicy(
+            backoff_base_s=1.0, backoff_factor=2.0, backoff_max_s=100.0,
+            jitter=0.0,
+        )
+        assert [policy.delay_s("t", n) for n in (1, 2, 3)] == [1.0, 2.0, 4.0]
+
+    def test_delay_caps_at_backoff_max(self):
+        policy = RetryPolicy(
+            backoff_base_s=1.0, backoff_factor=10.0, backoff_max_s=5.0,
+            jitter=0.0,
+        )
+        assert policy.delay_s("t", 4) == 5.0
+
+    def test_jitter_stays_inside_the_band(self):
+        policy = RetryPolicy(
+            backoff_base_s=1.0, backoff_factor=1.0, backoff_max_s=1.0,
+            jitter=0.5,
+        )
+        delays = [policy.delay_s(f"task-{i}", 1) for i in range(200)]
+        assert all(0.5 <= d <= 1.5 for d in delays)
+        # ...and actually varies per task (keyed, not constant).
+        assert len({round(d, 9) for d in delays}) > 100
+
+    def test_distinct_tasks_spread_out(self):
+        policy = RetryPolicy()
+        assert policy.delay_s("task-a", 1) != policy.delay_s("task-b", 1)
+
+    def test_zero_base_yields_zero_delay(self):
+        policy = RetryPolicy(backoff_base_s=0.0)
+        assert policy.delay_s("t", 1) == 0.0
+
+
+class TestTaskFailure:
+    def test_carries_the_quarantine_facts(self):
+        failure = TaskFailure(
+            task_id="abc", key="{}", attempts=3,
+            failure=FailureKind.TRANSIENT, error="ChaosError: injected",
+        )
+        assert failure.attempts == 3
+        assert failure.failure in RETRYABLE_KINDS

@@ -1,0 +1,121 @@
+"""Sidecar logs (metrics, failures) and the chaos tear/reload hooks.
+
+The satellite fix this pins: ``MetricsLog`` now shares the store's
+torn-tail discipline — a defective final line (torn JSON *or* a
+wrong-shaped record) is truncated away on reopen, while interior
+corruption still fails loudly.
+"""
+
+import json
+
+import pytest
+
+from repro.campaign.store import FailureLog, JsonlStore, MetricsLog
+from repro.errors import CampaignError
+
+
+class TestMetricsLogTornTail:
+    def test_torn_final_line_is_truncated_on_reopen(self, tmp_path):
+        path = tmp_path / "s.jsonl.metrics"
+        with MetricsLog(path) as log:
+            log.put_task("a", "ka", 0.5, {"counters": {}})
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"kind": "task", "task_id"')
+        reopened = MetricsLog(path)
+        assert len(reopened.task_records()) == 1
+        # ...and the next append starts on a clean line.
+        reopened.put_task("b", "kb", 0.1, {"counters": {}})
+        reopened.close()
+        assert len(MetricsLog(path).task_records()) == 2
+
+    def test_valid_json_wrong_shape_final_line_is_truncated(self, tmp_path):
+        # The satellite-1 bug shape: json.loads succeeds but the record
+        # is not a kind-tagged dict (e.g. a bare number from a torn
+        # write that happens to parse).  KeyError/TypeError must get the
+        # same torn-tail treatment as JSONDecodeError.
+        path = tmp_path / "s.jsonl.metrics"
+        with MetricsLog(path) as log:
+            log.put_campaign({"total": 4})
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("42\n")
+        reopened = MetricsLog(path)
+        assert len(reopened.campaign_records()) == 1
+
+    def test_final_record_without_newline_is_kept(self, tmp_path):
+        path = tmp_path / "s.jsonl.metrics"
+        record = {"kind": "task", "task_id": "a", "key": "k",
+                  "elapsed_s": 0.5, "metrics": {}}
+        path.write_text(json.dumps(record), encoding="utf-8")  # no \n
+        log = MetricsLog(path)
+        assert len(log.task_records()) == 1
+        log.put_task("b", "kb", 0.1, {})
+        log.close()
+        reopened = MetricsLog(path)
+        assert [r["task_id"] for r in reopened.task_records()] == ["a", "b"]
+
+    def test_interior_corruption_still_raises(self, tmp_path):
+        path = tmp_path / "s.jsonl.metrics"
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("junk\n")
+            handle.write(json.dumps({"kind": "task"}) + "\n")
+        with pytest.raises(CampaignError, match="metrics log"):
+            MetricsLog(path)
+
+
+class TestFailureLog:
+    def test_sidecar_path_derivation(self):
+        assert FailureLog.sidecar_path("x/s.jsonl") == "x/s.jsonl.failures"
+
+    def test_attempt_and_quarantine_records_round_trip(self, tmp_path):
+        path = tmp_path / "s.jsonl.failures"
+        with FailureLog(path) as log:
+            log.put_attempt("a", "ka", 1, "worker-lost", "died",
+                            traceback=None)
+            log.put_attempt("a", "ka", 2, "task-error", "ValueError: x",
+                            traceback="Traceback ...")
+            log.put_quarantine("a", "ka", 2, "task-error", "ValueError: x")
+        reopened = FailureLog(path)
+        attempts = reopened.attempt_records()
+        assert [r["attempt"] for r in attempts] == [1, 2]
+        assert "traceback" not in attempts[0]
+        assert attempts[1]["traceback"].startswith("Traceback")
+        quarantined = reopened.quarantine_records()
+        assert len(quarantined) == 1
+        assert quarantined[0]["attempts"] == 2
+
+    def test_torn_tail_tolerated(self, tmp_path):
+        path = tmp_path / "s.jsonl.failures"
+        with FailureLog(path) as log:
+            log.put_attempt("a", "ka", 1, "transient", "boom")
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"kind": "qua')
+        assert len(FailureLog(path).attempt_records()) == 1
+
+
+class TestTearAndReload:
+    def test_tear_leaves_row_unindexed_and_reload_recovers(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        store = JsonlStore(path)
+        store.put("a", "ka", {"v": 1})
+        store.tear("b", "kb", {"v": 2})
+        assert not store.has("b"), "a torn append must not be indexed"
+        store.reload()
+        assert store.has("a")
+        assert not store.has("b")
+        # The torn fragment is gone: the re-put lands cleanly.
+        store.put("b", "kb", {"v": 2})
+        store.close()
+        reopened = JsonlStore(path)
+        assert reopened.get("b") == {"v": 2}
+        with open(path, encoding="utf-8") as handle:
+            assert all(json.loads(line) for line in handle)
+
+    def test_tear_on_empty_store_then_reload(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        store = JsonlStore(path)
+        store.tear("a", "ka", {"v": 1})
+        store.reload()
+        assert len(store) == 0
+        store.put("a", "ka", {"v": 1})
+        store.close()
+        assert JsonlStore(path).get("a") == {"v": 1}

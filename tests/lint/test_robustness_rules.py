@@ -1,0 +1,128 @@
+"""RPL6xx robustness rules: silently swallowed broad excepts."""
+
+from rulefixtures import codes, only
+
+
+class TestSilentBroadExcept:
+    def test_flags_except_exception_pass(self, lint_module):
+        findings = lint_module(
+            "campaign/util.py",
+            """
+            def load(path):
+                try:
+                    return open(path).read()
+                except Exception:
+                    pass
+            """,
+        )
+        assert codes(findings) == ["RPL601"]
+        assert "except Exception" in findings[0].message
+
+    def test_flags_bare_except(self, lint_module):
+        findings = lint_module(
+            "campaign/util.py",
+            """
+            def load(path):
+                try:
+                    return open(path).read()
+                except:
+                    pass
+            """,
+        )
+        assert codes(findings) == ["RPL601"]
+        assert "bare except" in findings[0].message
+
+    def test_flags_base_exception_and_tuple_clauses(self, lint_module):
+        findings = lint_module(
+            "campaign/util.py",
+            """
+            def load(paths):
+                for path in paths:
+                    try:
+                        return open(path).read()
+                    except BaseException:
+                        ...
+                    try:
+                        return open(path).read()
+                    except (ValueError, Exception):
+                        continue
+            """,
+        )
+        assert codes(only(findings, "RPL601")) == ["RPL601", "RPL601"]
+
+    def test_specific_exception_swallow_is_legal(self, lint_module):
+        # Naming the anticipated condition is the documentation the rule
+        # wants; suppressing a *specific* error is a decision, not a hole.
+        findings = lint_module(
+            "campaign/util.py",
+            """
+            import tokenize
+
+            def scan(source):
+                try:
+                    list(tokenize.generate_tokens(source.readline))
+                except tokenize.TokenizeError:
+                    pass
+            """,
+        )
+        assert not only(findings, "RPL601")
+
+    def test_handled_broad_except_is_legal(self, lint_module):
+        findings = lint_module(
+            "campaign/util.py",
+            """
+            def attempt(task, log):
+                try:
+                    return task()
+                except Exception as exc:
+                    log.append(exc)
+                    return None
+            """,
+        )
+        assert not only(findings, "RPL601")
+
+    def test_reraise_and_return_are_legal(self, lint_module):
+        findings = lint_module(
+            "campaign/util.py",
+            """
+            def attempt(task):
+                try:
+                    return task()
+                except Exception:
+                    raise
+
+            def ok(task):
+                try:
+                    task()
+                    return True
+                except Exception:
+                    return False
+            """,
+        )
+        assert not only(findings, "RPL601")
+
+    def test_waivable_with_reason(self, lint_module):
+        findings = lint_module(
+            "campaign/util.py",
+            """
+            def best_effort_cleanup(path):
+                import os
+                try:
+                    os.unlink(path)
+                except Exception:  # repro: lint-ok RPL601 (cleanup is best-effort by design)
+                    pass
+            """,
+        )
+        assert not only(findings, "RPL601")
+        assert [w.code for w in findings.waived] == ["RPL601"]
+
+    def test_outside_repro_package_not_checked(self, tmp_path):
+        from repro.lint import lint_file
+
+        path = tmp_path / "scripts" / "helper.py"
+        path.parent.mkdir(parents=True)
+        path.write_text(
+            "try:\n    pass\nexcept Exception:\n    pass\n", encoding="utf-8"
+        )
+        reported, _waived = lint_file(path)
+        assert not [f for f in reported if f.code == "RPL601"]

@@ -1,0 +1,62 @@
+"""Atomic file writes: readers never observe a half-written artifact."""
+
+import json
+import os
+
+import pytest
+
+from repro.ioutil import atomic_write_json, atomic_write_text
+
+
+class TestAtomicWriteText:
+    def test_writes_content(self, tmp_path):
+        path = tmp_path / "out.txt"
+        atomic_write_text(path, "hello\n")
+        assert path.read_text(encoding="utf-8") == "hello\n"
+
+    def test_replaces_existing_file(self, tmp_path):
+        path = tmp_path / "out.txt"
+        path.write_text("old", encoding="utf-8")
+        atomic_write_text(path, "new")
+        assert path.read_text(encoding="utf-8") == "new"
+
+    def test_no_temp_file_left_behind(self, tmp_path):
+        path = tmp_path / "out.txt"
+        atomic_write_text(path, "x")
+        assert os.listdir(tmp_path) == ["out.txt"]
+
+    def test_failed_write_leaves_target_untouched(self, tmp_path):
+        path = tmp_path / "out.txt"
+        path.write_text("precious", encoding="utf-8")
+
+        class Boom:
+            def __str__(self):
+                raise RuntimeError("mid-serialisation failure")
+
+        with pytest.raises(TypeError):
+            atomic_write_text(path, Boom())  # not a str: write() rejects it
+        assert path.read_text(encoding="utf-8") == "precious"
+        assert os.listdir(tmp_path) == ["out.txt"]
+
+
+class TestAtomicWriteJson:
+    def test_round_trips_payload(self, tmp_path):
+        path = tmp_path / "out.json"
+        payload = {"b": [1, 2], "a": {"nested": True}}
+        atomic_write_json(path, payload)
+        assert json.loads(path.read_text(encoding="utf-8")) == payload
+
+    def test_output_is_sorted_and_newline_terminated(self, tmp_path):
+        path = tmp_path / "out.json"
+        atomic_write_json(path, {"b": 1, "a": 2})
+        text = path.read_text(encoding="utf-8")
+        assert text.endswith("\n")
+        assert text.index('"a"') < text.index('"b"')
+
+    def test_unserialisable_payload_leaves_target_untouched(self, tmp_path):
+        path = tmp_path / "out.json"
+        atomic_write_json(path, {"ok": True})
+        with pytest.raises(TypeError):
+            atomic_write_json(path, {"bad": object()})
+        assert json.loads(path.read_text(encoding="utf-8")) == {"ok": True}
+        assert os.listdir(tmp_path) == ["out.json"]
