@@ -65,7 +65,7 @@ def test_highway_large_n_fast_path(benchmark, bench_json_sink):
 
     from repro.experiments.highway import build_highway_round
 
-    def window_seconds(fast_path: bool, batch: bool) -> float:
+    def window_seconds(fast_path: bool, batch: bool, cross: bool = True) -> float:
         cfg = HighwayConfig(
             n_cars=96,
             gap_m=150.0,
@@ -80,6 +80,7 @@ def test_highway_large_n_fast_path(benchmark, bench_json_sink):
                 cfg.radio,
                 reception_fast_path=fast_path,
                 reception_batch=batch,
+                cross_broadcast_batch=cross,
             ),
         )
         ctx = build_highway_round(cfg, 0)
@@ -90,8 +91,9 @@ def test_highway_large_n_fast_path(benchmark, bench_json_sink):
     batch = benchmark.pedantic(
         window_seconds, args=(True, True), rounds=1, iterations=1
     )
-    fast = window_seconds(True, False)
-    exhaustive = window_seconds(False, False)
+    # Legacy reference arms keep cross-broadcast coalescing off.
+    fast = window_seconds(True, False, cross=False)
+    exhaustive = window_seconds(False, False, cross=False)
     bench_json_sink(
         "highway.large_n",
         {

@@ -65,7 +65,10 @@ DENSE = TraceScenarioConfig(
 )
 
 
-def _trace_network(*, fast_path: bool, batch: bool, vehicles: int = 64, seed: int = 23):
+def _trace_network(
+    *, fast_path: bool, batch: bool, cross: bool = True,
+    vehicles: int = 64, seed: int = 23,
+):
     """A medium whose interfaces move along a dense synthetic trace.
 
     Same stochastic stack as bench_kernel's line network (Gudmundson +
@@ -104,7 +107,10 @@ def _trace_network(*, fast_path: bool, batch: bool, vehicles: int = 64, seed: in
         fading=RicianFading(sim.streams.get("fading"), k_factor=4.0),
         rng=sim.streams.get("channel"),
     )
-    medium = Medium(sim, channel, fast_path=fast_path, batch=batch)
+    medium = Medium(
+        sim, channel, fast_path=fast_path, batch=batch,
+        cross_broadcast_batch=cross,
+    )
     models = list(traces.to_mobility().values())
     ifaces = []
     for index, mobility in enumerate(models):
@@ -123,11 +129,15 @@ def _trace_network(*, fast_path: bool, batch: bool, vehicles: int = 64, seed: in
     return sim, medium, ifaces
 
 
-def _trace_storm(broadcasts: int, *, fast_path: bool, batch: bool) -> float:
+def _trace_storm(
+    broadcasts: int, *, fast_path: bool, batch: bool, cross: bool = True
+) -> float:
     """Wall-clock seconds for *broadcasts* transmissions while the
     population drives past (transmitters rotate; the window 10–70 s keeps
     most of the fleet on the road and moving)."""
-    sim, medium, ifaces = _trace_network(fast_path=fast_path, batch=batch)
+    sim, medium, ifaces = _trace_network(
+        fast_path=fast_path, batch=batch, cross=cross
+    )
     rate = rate_by_name("dsss-11")
     for i in range(broadcasts):
         tx = ifaces[i % len(ifaces)]
@@ -151,8 +161,10 @@ def test_trace_broadcast_storm(benchmark, bench_json_sink):
         _trace_storm, args=(400,), kwargs={"fast_path": True, "batch": True},
         rounds=1, iterations=1,
     )
-    fast = _trace_storm(400, fast_path=True, batch=False)
-    exhaustive = _trace_storm(400, fast_path=False, batch=False)
+    # Legacy reference arms: cross-broadcast coalescing off, so the
+    # ratios measure the full reception ladder against PR 3/PR 6 shapes.
+    fast = _trace_storm(400, fast_path=True, batch=False, cross=False)
+    exhaustive = _trace_storm(400, fast_path=False, batch=False, cross=False)
     bench_json_sink(
         "trace.broadcast_storm",
         {
@@ -171,10 +183,14 @@ def test_trace_broadcast_storm(benchmark, bench_json_sink):
     assert fast / batch > 1.2
 
 
-def _round_seconds(config: TraceScenarioConfig, *, fast_path: bool, batch: bool) -> float:
+def _round_seconds(
+    config: TraceScenarioConfig, *, fast_path: bool, batch: bool,
+    cross: bool = True,
+) -> float:
     """Wall-clock seconds for one fully-built-and-run scenario round."""
     radio = dataclasses.replace(
-        config.radio, reception_fast_path=fast_path, reception_batch=batch
+        config.radio, reception_fast_path=fast_path, reception_batch=batch,
+        cross_broadcast_batch=cross,
     )
     ctx = build_trace_round(dataclasses.replace(config, radio=radio), 0)
     t0 = time.perf_counter()
@@ -198,9 +214,21 @@ def test_trace_scenario_ladder(bench_json_sink):
         DENSE, synth=dataclasses.replace(DENSE.synth, vehicles=8, duration_s=20.0)
     )
     _round_seconds(small, fast_path=True, batch=True)
-    batch = _round_seconds(DENSE, fast_path=True, batch=True)
-    fast = _round_seconds(DENSE, fast_path=True, batch=False)
-    exhaustive = _round_seconds(DENSE, fast_path=False, batch=False)
+    # Best-of-2 per arm: a full round is ~10 s, single samples swing by
+    # ~20% under scheduler noise while the end-to-end margin is only
+    # ~1.2×, so one bad draw flips the floor below.  The minimum is the
+    # honest hot-path number; the committed JSON records it.
+    batch = min(
+        _round_seconds(DENSE, fast_path=True, batch=True) for _ in range(2)
+    )
+    fast = min(
+        _round_seconds(DENSE, fast_path=True, batch=False, cross=False)
+        for _ in range(2)
+    )
+    exhaustive = min(
+        _round_seconds(DENSE, fast_path=False, batch=False, cross=False)
+        for _ in range(2)
+    )
     bench_json_sink(
         "trace.scenario_ladder",
         {

@@ -32,7 +32,8 @@ import typing
 
 import numpy as np
 
-from repro.mac.frames import DataFrame, Frame
+from repro.core.protocol import hello_order, hello_ranges
+from repro.mac.frames import DataFrame, Frame, HelloFrame
 from repro.mac.medium import RxInfo
 from repro.sim import Simulator
 
@@ -89,6 +90,9 @@ class ProtocolPool:
         if type(deliveries[0][1]) is DataFrame:
             self._ap_data_pass(deliveries)
             return
+        if type(deliveries[0][1]) is HelloFrame and len(deliveries) >= 2:
+            self._hello_pass(deliveries)
+            return
         by_iface = self._by_iface
         protocols = self._protocols
         for iface, frame, info in deliveries:
@@ -100,6 +104,33 @@ class ProtocolPool:
                 protocols[index]._on_frame(frame, info)
                 for callback in iface._receive_callbacks:
                     callback(frame, info)
+
+    def _hello_pass(self, deliveries: list[Delivery]) -> None:
+        """All HELLO receptions of one broadcast, frame digested once.
+
+        Every receiver of a broadcast sees the same frame, so the
+        cooperator-order and flow-range scans of the legacy per-receiver
+        ``_on_hello`` are redundant past the first receiver.  The pass
+        digests them once (:func:`~repro.core.protocol.hello_order` /
+        :func:`~repro.core.protocol.hello_ranges`) and hands the dicts to
+        every member's :meth:`CarqProtocol._receive_hello`; non-members
+        get the exact legacy dispatch.  Only taken for ≥2 receivers —
+        a single receiver pays the digest either way.
+        """
+        by_iface = self._by_iface
+        protocols = self._protocols
+        frame = deliveries[0][1]
+        order = hello_order(frame)
+        ranges = hello_ranges(frame)
+        for iface, frame, info in deliveries:
+            index = by_iface.get(iface)
+            if index is None:
+                iface.deliver(frame, info)
+                continue
+            iface.frames_received += 1
+            protocols[index]._receive_hello(frame, info, order, ranges)
+            for callback in iface._receive_callbacks:
+                callback(frame, info)
 
     def _ap_data_pass(self, deliveries: list[Delivery]) -> None:
         """All data receptions of one broadcast, one watchdog re-arm.

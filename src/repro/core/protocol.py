@@ -40,6 +40,33 @@ from repro.obs.probes import protocol_probes
 from repro.sim import Event, Interrupt, Process, Simulator
 
 
+def hello_order(frame: HelloFrame) -> dict[NodeId, int]:
+    """Cooperator → responder-order map of one HELLO frame.
+
+    First occurrence wins, exactly like the ``list.index`` scan it
+    replaces (cooperator tuples should never repeat a node, but the
+    digest must not silently change semantics if one does).
+    """
+    order: dict[NodeId, int] = {}
+    for position, node_id in enumerate(frame.cooperators):
+        if node_id not in order:
+            order[node_id] = position
+    return order
+
+
+def hello_ranges(frame: HelloFrame) -> dict[NodeId, list[tuple[int, int]]]:
+    """Flow → ``(lo, hi)`` known-range list of one HELLO frame.
+
+    Entry order within a flow is preserved, so replaying a flow's list
+    issues the same ``extend_range`` calls in the same order as the
+    legacy whole-tuple scan.
+    """
+    ranges: dict[NodeId, list[tuple[int, int]]] = {}
+    for flow, lo, hi in frame.flow_ranges:
+        ranges.setdefault(flow, []).append((lo, hi))
+    return ranges
+
+
 @dataclass(slots=True)
 class CarqStats:
     """Protocol activity counters for one vehicle and one round."""
@@ -246,25 +273,44 @@ class CarqProtocol:
             )
 
     def _on_hello(self, frame: HelloFrame, info: RxInfo) -> None:
+        self._receive_hello(
+            frame, info, hello_order(frame), hello_ranges(frame)
+        )
+
+    def _receive_hello(
+        self,
+        frame: HelloFrame,
+        info: RxInfo,
+        order: dict[NodeId, int],
+        ranges: dict[NodeId, list[tuple[int, int]]],
+    ) -> None:
+        """Reception bookkeeping for one HELLO frame.
+
+        *order* and *ranges* are the frame's cooperator list and flow
+        ranges pre-digested by :func:`hello_order` / :func:`hello_ranges`
+        — the pooled path (:class:`repro.core.engine.ProtocolPool`)
+        digests them once per broadcast and fans the dicts out to every
+        member receiver, so the per-receiver work drops from two list
+        scans to two dict lookups while the semantics exist exactly once.
+        """
         now = self.sim.now
         if self._obs is not None:
             self._obs.hello_rx.value += 1
         self.table.hear_hello(NodeId(frame.src), now, info.rx_power_dbm)
-        if self.node.node_id in frame.cooperators:
-            my_order = frame.cooperators.index(self.node.node_id)
+        my_order = order.get(self.node.node_id)
+        if my_order is not None:
             self.table.note_partner(NodeId(frame.src), my_order, now)
         else:
             self.table.forget_partner(NodeId(frame.src))
         if self.config.recovery_range == "platoon":
             extended = False
-            for flow, lo, hi in frame.flow_ranges:
-                if flow == self.my_flow:
-                    old = (self.state.known_lo, self.state.known_hi)
-                    self.state.extend_range(lo, hi)
-                    extended = extended or old != (
-                        self.state.known_lo,
-                        self.state.known_hi,
-                    )
+            for lo, hi in ranges.get(self.my_flow, ()):
+                old = (self.state.known_lo, self.state.known_hi)
+                self.state.extend_range(lo, hi)
+                extended = extended or old != (
+                    self.state.known_lo,
+                    self.state.known_hi,
+                )
             if extended:
                 self._maybe_restart_recovery()
 

@@ -98,6 +98,8 @@ class MediumProbes:
         "frame_end_batch",
         "frame_end_scalar",
         "delivery_lanes",
+        "coalesced_broadcasts",
+        "scalar_floor_calls",
     )
 
     def __init__(self, reg: MetricsRegistry) -> None:
@@ -109,6 +111,14 @@ class MediumProbes:
         self.lanes = reg.histogram("medium.batch_lanes", lo=1.0, hi=1e4)
         self.frame_end_batch = reg.counter("medium.frame_end_batch")
         self.frame_end_scalar = reg.counter("medium.frame_end_scalar")
+        # Broadcasts whose candidate lanes rode a concatenated
+        # cross-broadcast pass (the instant's drain pooled enough lanes
+        # to clear the vectorization floor), and scalar channel.sample calls issued
+        # by the medium's reception paths (the legacy sub-batch_min loop
+        # and the coalescer's scalar floor) — the before/after pair the
+        # cross-broadcast bench compares.
+        self.coalesced_broadcasts = reg.counter("medium.coalesced_broadcasts")
+        self.scalar_floor_calls = reg.counter("medium.scalar_floor_calls")
         # Receivers per *coalesced* frame-end delivery (the batched
         # protocol-delivery path dispatches one event per broadcast and
         # fans out to every successful receiver inside it).

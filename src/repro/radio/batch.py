@@ -64,6 +64,50 @@ _EMPTY = BroadcastBatch(
 )
 
 
+class LaneScratch:
+    """Preallocated gather buffers for the medium's candidate-lane tables.
+
+    The per-broadcast gather used to build fresh ``np.array``/``np.empty``
+    arrays for every transmission; with thousands of small broadcasts per
+    round that small-array churn dominates the kernel's profile.  The
+    medium instead fills (geometrically grown) scratch columns and hands
+    ``[:n]`` views to the kernels — safe because every consumer either
+    reads the lanes synchronously or copies through fancy indexing before
+    the next gather reuses the buffers.
+    """
+
+    __slots__ = (
+        "rx_xs",
+        "rx_ys",
+        "rx_gains",
+        "rx_floors",
+        "tx_xs",
+        "tx_ys",
+        "tx_powers",
+        "tx_seqs",
+        "_capacity",
+    )
+
+    def __init__(self, capacity: int = 64) -> None:
+        self._capacity = 0
+        self.reserve(capacity)
+
+    def reserve(self, n: int) -> None:
+        """Ensure every column holds at least *n* lanes."""
+        if n <= self._capacity:
+            return
+        capacity = max(64, 1 << (n - 1).bit_length())
+        self.rx_xs = np.empty(capacity, dtype=np.float64)
+        self.rx_ys = np.empty(capacity, dtype=np.float64)
+        self.rx_gains = np.empty(capacity, dtype=np.float64)
+        self.rx_floors = np.empty(capacity, dtype=np.float64)
+        self.tx_xs = np.empty(capacity, dtype=np.float64)
+        self.tx_ys = np.empty(capacity, dtype=np.float64)
+        self.tx_powers = np.empty(capacity, dtype=np.float64)
+        self.tx_seqs = np.empty(capacity, dtype=np.int64)
+        self._capacity = capacity
+
+
 def broadcast_samples(
     channel: "Channel",
     tx_id: typing.Hashable,

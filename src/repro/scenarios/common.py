@@ -29,9 +29,10 @@ def build_medium(sim: Simulator, channel, radio, *, trace=None) -> Medium:
     """The scenario's shared medium, honouring the radio's reception knobs.
 
     Every scenario builder wires its medium through here so the
-    ``reception_fast_path`` / ``reception_batch`` / ``cull_headroom_db``
-    fields of :class:`~repro.scenarios.urban.RadioEnvironment` reach the
-    MAC layer uniformly (and campaigns can A/B each path per arm).
+    ``reception_fast_path`` / ``reception_batch`` /
+    ``cross_broadcast_batch`` / ``cull_headroom_db`` fields of
+    :class:`~repro.scenarios.urban.RadioEnvironment` reach the MAC layer
+    uniformly (and campaigns can A/B each path per arm).
     """
     return Medium(
         sim,
@@ -39,6 +40,7 @@ def build_medium(sim: Simulator, channel, radio, *, trace=None) -> Medium:
         trace=trace,
         fast_path=radio.reception_fast_path,
         batch=radio.reception_batch,
+        cross_broadcast_batch=getattr(radio, "cross_broadcast_batch", True),
         cull_headroom_db=radio.cull_headroom_db,
     )
 

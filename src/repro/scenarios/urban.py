@@ -84,6 +84,14 @@ class RadioEnvironment:
     #: tests pin both settings bit-identical, so this is purely a
     #: throughput knob.
     reception_batch: bool = True
+    #: Cross-broadcast coalescing (see :mod:`repro.radio.multibatch`):
+    #: when true (default), same-instant transmissions queue and the
+    #: medium evaluates all their candidate lanes as one concatenated
+    #: keyed pass at the instant's end, coalescing same-time frame-ends
+    #: too.  Turning it off restores the one-broadcast-at-a-time path;
+    #: the five-arm A/B harness pins both bit-identical, so this is
+    #: purely a throughput knob.
+    cross_broadcast_batch: bool = True
     #: Worst-case shadowing boost (dB) granted by the reachability bound.
     cull_headroom_db: float = 12.0
     #: Event scheduler of the simulation kernel: ``"wheel"`` (default)

@@ -188,6 +188,22 @@ class Simulator:
             self._obs.pushed.value += 1
         return event
 
+    def at_instant_end(
+        self, callback: Callable[..., Any], *args: Any
+    ) -> Event:
+        """Run *callback* after every already-queued event of this instant.
+
+        A delay-0 event at :data:`Priority.LATE` — the drain phase of the
+        current instant (wheel slot or heap timestamp): every URGENT and
+        NORMAL event at the same time fires first, and no NORMAL event at
+        this time can be observed after it (callbacks only schedule at
+        equal-or-later times with equal-or-lower priority).  The medium's
+        cross-broadcast coalescer uses this as its slot-boundary drain
+        hook; it is scheduler-agnostic (wheel and heap order identically
+        on the ``(time, priority, seq)`` key).
+        """
+        return self.schedule(0.0, callback, *args, priority=Priority.LATE)
+
     def cancel(self, event: Event) -> None:
         """Cancel a pending event.  Idempotent.
 

@@ -171,11 +171,17 @@ class TestChaosParity:
     def test_torn_write_recovery_round_trips(self, clean_rows, tmp_path):
         spec = small_spec()
         store = JsonlStore(tmp_path / "torn.jsonl")
+        # Chaos draws are keyed per (seed, task_id, attempt), and task
+        # ids hash the whole config dict — adding a config field re-rolls
+        # every draw, so at rate 0.8 a schema change can hand one task
+        # eight straight injections.  When this assertion trips after
+        # such a change, re-pick a seed where all four tasks recover
+        # within the retry budget (and still see several injections).
         stats = run_campaign(
             spec,
             store,
             workers=1,
-            chaos=ChaosSpec(rate=0.8, seed=11, kinds=("torn-write",)),
+            chaos=ChaosSpec(rate=0.8, seed=12, kinds=("torn-write",)),
             retry=FAST_RETRY,
         )
         assert stats.failed == 0

@@ -1,0 +1,385 @@
+"""Property pin: the cross-broadcast kernel equals one-at-a-time evaluation.
+
+The medium's coalescer concatenates the candidate lanes of several
+same-instant broadcasts and evaluates them in one keyed pass
+(:mod:`repro.radio.multibatch`).  Because every stochastic draw — the
+Gudmundson corner probes, the temporal OU innovations, the fading
+variates — is a pure function of its ``(link, transmission)`` key, any
+partition of the lane set into passes must realise exactly the same
+floats.  Hypothesis drives random topologies *and random partitions*
+(including one-broadcast and zero-candidate slices) and asserts ``==``
+lane for lane, never ``isclose``; the sequential Bernoulli delivery
+stream gets its own pin at the bottom.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geom import Vec2
+from repro.mac.frames import DataFrame
+from repro.radio.batch import broadcast_samples
+from repro.radio.channel import Channel, LinkSample
+from repro.radio.error_models import frame_error_rate_batch
+from repro.radio.fading import RicianFading
+from repro.radio.keyed import hypot_map, stable_hash64
+from repro.radio.modulation import rate_by_name
+from repro.radio.pathloss import LogDistancePathLoss
+from repro.radio.shadowing import (
+    CompositeShadowing,
+    GudmundsonShadowing,
+    TemporalTxShadowing,
+)
+
+coords = st.floats(
+    min_value=-5e3, max_value=5e3, allow_nan=False, allow_infinity=False
+)
+
+HEADROOM_DB = 12.0
+THRESHOLD_DBM = -105.0
+
+
+@st.composite
+def partitioned_broadcasts(draw, max_broadcasts=6, max_lanes=10):
+    """A list of broadcasts: (tx position, tx power, candidate positions).
+
+    Candidate lists may be empty (a broadcast whose only candidate was
+    the transmitter itself), and a single-element outer list exercises
+    the degenerate one-broadcast partition.
+    """
+    n = draw(st.integers(min_value=1, max_value=max_broadcasts))
+    broadcasts = []
+    for _ in range(n):
+        tx = draw(st.tuples(coords, coords))
+        power = draw(st.floats(min_value=5.0, max_value=30.0, allow_nan=False))
+        rxs = draw(
+            st.lists(st.tuples(coords, coords), min_size=0, max_size=max_lanes)
+        )
+        broadcasts.append((tx, power, rxs))
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    return broadcasts, seed
+
+
+def _full_channel(seed):
+    """The worst-case composite: grid-correlated + temporal shadowing,
+    Rician fading — every keyed draw family the coalescer regroups."""
+    return Channel(
+        pathloss=LogDistancePathLoss(exponent=3.4, reference_loss_db=40.0),
+        shadowing=CompositeShadowing(
+            [
+                GudmundsonShadowing(np.random.default_rng(seed), sigma_db=4.0),
+                TemporalTxShadowing(
+                    np.random.default_rng(seed + 1), sigma_db=3.0, hub=0
+                ),
+            ]
+        ),
+        fading=RicianFading(np.random.default_rng(seed + 2), k_factor=4.0),
+        rng=np.random.default_rng(seed + 3),
+    )
+
+
+def _flatten(broadcasts):
+    """Gather a partition into the flat lane columns the medium builds."""
+    from repro.radio.multibatch import PendingSlice
+
+    slices = []
+    rx_ids, tx_xs, tx_ys, rx_xs, rx_ys = [], [], [], [], []
+    powers, seqs = [], []
+    lane = 0
+    next_rx_id = 1000
+    for k, ((txx, txy), power, rxs) in enumerate(broadcasts):
+        start = lane
+        for x, y in rxs:
+            rx_ids.append(next_rx_id)
+            next_rx_id += 1
+            tx_xs.append(txx)
+            tx_ys.append(txy)
+            rx_xs.append(x)
+            rx_ys.append(y)
+            powers.append(power)
+            seqs.append(k + 1)
+            lane += 1
+        slices.append(
+            PendingSlice(k, Vec2(txx, txy), power, k + 1, start, lane)
+        )
+    return slices, rx_ids, (
+        np.array(tx_xs), np.array(tx_ys), np.array(rx_xs), np.array(rx_ys),
+        np.array(powers), np.array(seqs, dtype=np.int64),
+    )
+
+
+def _reference(channel, slices, rx_ids, columns, time):
+    """One-at-a-time evaluation: broadcast_samples per pending slice."""
+    tx_xs, tx_ys, rx_xs, rx_ys, powers, seqs = columns
+    results = []
+    for b in slices:
+        sl = slice(b.start, b.stop)
+        results.append(
+            broadcast_samples(
+                channel,
+                b.tx_id,
+                rx_ids[sl],
+                b.tx_pos,
+                rx_xs[sl],
+                rx_ys[sl],
+                np.zeros(b.stop - b.start),
+                np.full(b.stop - b.start, THRESHOLD_DBM),
+                b.tx_power_dbm,
+                HEADROOM_DB,
+                time,
+                b.tx_seq,
+            )
+        )
+    return results
+
+
+def _run_multibatch(channel, slices, rx_ids, columns, time):
+    from repro.radio.multibatch import multibroadcast_samples
+
+    tx_xs, tx_ys, rx_xs, rx_ys, powers, seqs = columns
+    total = len(rx_ids)
+    return multibroadcast_samples(
+        channel, slices, rx_ids, tx_xs, tx_ys, rx_xs, rx_ys,
+        np.zeros(total), np.full(total, THRESHOLD_DBM), powers, seqs,
+        HEADROOM_DB, time,
+    )
+
+
+def _assert_batches_equal(got, expected):
+    assert len(got) == len(expected)
+    for g, e in zip(got, expected):
+        assert g.kept.tolist() == e.kept.tolist()
+        assert g.rx_power_dbm.tolist() == e.rx_power_dbm.tolist()
+        assert g.mean_rx_power_dbm.tolist() == e.mean_rx_power_dbm.tolist()
+        assert g.distance_m.tolist() == e.distance_m.tolist()
+
+
+class TestMultibroadcastParity:
+    @settings(deadline=None, max_examples=60)
+    @given(partitioned_broadcasts(), st.floats(min_value=0.0, max_value=30.0))
+    def test_concatenated_pass_equals_one_at_a_time(self, drawn, time):
+        broadcasts, seed = drawn
+        slices, rx_ids, columns = _flatten(broadcasts)
+        # Two channels seeded identically: the shadowing models carry
+        # caches (corner blocks, OU chains), so each arm gets its own.
+        got = _run_multibatch(_full_channel(seed), slices, rx_ids, columns, time)
+        expected = _reference(_full_channel(seed), slices, rx_ids, columns, time)
+        _assert_batches_equal(got, expected)
+
+    @settings(deadline=None, max_examples=30)
+    @given(partitioned_broadcasts(), st.floats(min_value=0.0, max_value=30.0))
+    def test_warm_caches_do_not_break_parity(self, drawn, time):
+        """Second evaluation of the same partition hits the Gudmundson
+        corner memo and the advanced OU chains on both arms alike."""
+        broadcasts, seed = drawn
+        slices, rx_ids, columns = _flatten(broadcasts)
+        multibatch = _full_channel(seed)
+        reference = _full_channel(seed)
+        _run_multibatch(multibatch, slices, rx_ids, columns, time)
+        _reference(reference, slices, rx_ids, columns, time)
+        got = _run_multibatch(multibatch, slices, rx_ids, columns, time)
+        expected = _reference(reference, slices, rx_ids, columns, time)
+        _assert_batches_equal(got, expected)
+
+    def test_single_broadcast_partition(self):
+        broadcasts = [((0.0, 0.0), 17.0, [(30.0, 0.0), (0.0, 55.0), (200.0, 90.0)])]
+        slices, rx_ids, columns = _flatten(broadcasts)
+        got = _run_multibatch(_full_channel(7), slices, rx_ids, columns, 1.5)
+        expected = _reference(_full_channel(7), slices, rx_ids, columns, 1.5)
+        _assert_batches_equal(got, expected)
+
+    def test_zero_candidate_slices_yield_empty_batches(self):
+        broadcasts = [
+            ((0.0, 0.0), 17.0, []),
+            ((10.0, 10.0), 17.0, [(40.0, 10.0), (10.0, 80.0)]),
+            ((-5.0, 3.0), 20.0, []),
+        ]
+        slices, rx_ids, columns = _flatten(broadcasts)
+        got = _run_multibatch(_full_channel(11), slices, rx_ids, columns, 0.0)
+        expected = _reference(_full_channel(11), slices, rx_ids, columns, 0.0)
+        _assert_batches_equal(got, expected)
+        assert got[0].kept.size == 0
+        assert got[2].kept.size == 0
+
+    def test_all_lanes_unreachable_is_all_empty(self):
+        broadcasts = [
+            ((0.0, 0.0), 5.0, [(1e7, 1e7)]),
+            ((3.0, 0.0), 5.0, [(-1e7, 1e7)]),
+        ]
+        slices, rx_ids, columns = _flatten(broadcasts)
+        # Far beyond any loss budget: the reachability cull must empty
+        # the pass before a single stochastic draw happens.
+        got = _run_multibatch(_full_channel(3), slices, rx_ids, columns, 0.0)
+        assert all(batch.kept.size == 0 for batch in got)
+
+    @settings(deadline=None, max_examples=25)
+    @given(partitioned_broadcasts(max_broadcasts=4, max_lanes=6))
+    def test_overridden_channel_falls_back_per_broadcast(self, drawn):
+        """Scripted channel physics must not ride the flat pass."""
+        broadcasts, seed = drawn
+
+        calls = []
+
+        class ScriptedChannel(Channel):
+            def sample(self, tx_id, rx_id, *args, **kwargs):
+                calls.append((tx_id, rx_id))
+                return super().sample(tx_id, rx_id, *args, **kwargs)
+
+        def scripted(s):
+            return ScriptedChannel(
+                pathloss=LogDistancePathLoss(exponent=3.4, reference_loss_db=40.0),
+                shadowing=GudmundsonShadowing(
+                    np.random.default_rng(s), sigma_db=4.0
+                ),
+                fading=RicianFading(np.random.default_rng(s + 2), k_factor=4.0),
+                rng=np.random.default_rng(s + 3),
+            )
+
+        slices, rx_ids, columns = _flatten(broadcasts)
+        got = _run_multibatch(scripted(seed), slices, rx_ids, columns, 0.5)
+        expected = _reference(scripted(seed), slices, rx_ids, columns, 0.5)
+        _assert_batches_equal(got, expected)
+
+
+class TestSampleMultibatchParity:
+    @settings(deadline=None, max_examples=50)
+    @given(partitioned_broadcasts(), st.floats(min_value=0.0, max_value=30.0))
+    def test_lanes_equal_scalar_sample(self, drawn, time):
+        """``Channel.sample_multibatch`` itself, pinned per lane against
+        scalar ``channel.sample`` with per-lane transmitter facts."""
+        broadcasts, seed = drawn
+        slices, rx_ids, columns = _flatten(broadcasts)
+        tx_xs, tx_ys, rx_xs, rx_ys, powers, seqs = columns
+        if len(rx_ids) == 0:
+            return
+        multibatch = _full_channel(seed)
+        scalar = _full_channel(seed)
+        n = len(rx_ids)
+        # hypot_map, not np.hypot: the scalar arm's distances come from
+        # math.hypot and the two can differ in the last ulp.
+        budget_d = hypot_map(tx_xs - rx_xs, tx_ys - rx_ys)
+        budget_l = multibatch.pathloss.loss_db_batch(budget_d)
+        tx_ids = []
+        for b in slices:
+            tx_ids.extend([b.tx_id] * (b.stop - b.start))
+        rx_power, mean_power = multibatch.sample_multibatch(
+            tx_ids, rx_ids, tx_xs, tx_ys, rx_xs, rx_ys, powers,
+            np.zeros(n), time, seqs, (budget_d, budget_l),
+        )
+        for i in range(n):
+            sample = scalar.sample(
+                tx_ids[i],
+                rx_ids[i],
+                Vec2(tx_xs[i], tx_ys[i]),
+                Vec2(rx_xs[i], rx_ys[i]),
+                float(powers[i]),
+                0.0,
+                time=time,
+                tx_seq=int(seqs[i]),
+            )
+            assert rx_power[i] == sample.rx_power_dbm
+            assert mean_power[i] == sample.mean_rx_power_dbm
+
+
+class TestShadowingMultibatchParity:
+    @settings(deadline=None, max_examples=50)
+    @given(partitioned_broadcasts(), st.floats(min_value=0.0, max_value=30.0))
+    def test_per_lane_tx_columns_equal_scalar(self, drawn, time):
+        broadcasts, seed = drawn
+        slices, rx_ids, columns = _flatten(broadcasts)
+        tx_xs, tx_ys, rx_xs, rx_ys, _, _ = columns
+        n = len(rx_ids)
+        if n == 0:
+            return
+        links = [(0, i + 1) for i in range(n)]
+        hashes = np.empty(n, dtype=np.uint64)
+        for i, link in enumerate(links):
+            hashes[i] = stable_hash64(link)
+        dists = hypot_map(tx_xs - rx_xs, tx_ys - rx_ys)
+        model = CompositeShadowing(
+            [
+                GudmundsonShadowing(np.random.default_rng(seed), sigma_db=4.0),
+                TemporalTxShadowing(
+                    np.random.default_rng(seed + 1), sigma_db=3.0, hub=0
+                ),
+            ]
+        )
+        reference = CompositeShadowing(
+            [
+                GudmundsonShadowing(np.random.default_rng(seed), sigma_db=4.0),
+                TemporalTxShadowing(
+                    np.random.default_rng(seed + 1), sigma_db=3.0, hub=0
+                ),
+            ]
+        )
+        got = model.sample_db_multibatch(
+            links, hashes, tx_xs, tx_ys, rx_xs, rx_ys, dists, time
+        )
+        expected = np.array(
+            [
+                reference.sample_db(
+                    links[i],
+                    Vec2(tx_xs[i], tx_ys[i]),
+                    Vec2(rx_xs[i], rx_ys[i]),
+                    time,
+                )
+                for i in range(n)
+            ]
+        )
+        assert np.array_equal(got, expected)
+
+
+class TestDeliveryDrawParity:
+    @settings(deadline=None, max_examples=50)
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=-40.0, max_value=40.0, allow_nan=False),
+                st.sampled_from(["dsss-1", "dsss-11", "ofdm-24"]),
+                st.integers(min_value=1, max_value=1500),
+            ),
+            min_size=1,
+            max_size=30,
+        ),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    def test_bucketed_fers_preserve_the_bernoulli_stream(self, lanes, seed):
+        """The coalesced frame-end recipe — FER bucketed per (rate,
+        size), Bernoulli drawn sequentially in flat order — consumes the
+        channel RNG exactly like per-lane ``frame_delivered`` calls."""
+        scalar = Channel(
+            pathloss=LogDistancePathLoss(), rng=np.random.default_rng(seed)
+        )
+        coalesced = Channel(
+            pathloss=LogDistancePathLoss(), rng=np.random.default_rng(seed)
+        )
+        npi = -95.0
+        samples = [
+            LinkSample(
+                rx_power_dbm=npi + sinr, mean_rx_power_dbm=npi + sinr,
+                distance_m=10.0,
+            )
+            for sinr, _, _ in lanes
+        ]
+        expected = [
+            scalar.frame_delivered(
+                sample,
+                rate_by_name(rate_name),
+                DataFrame(src=0, dst=1, flow_dst=1, seq=i, size_bytes=size),
+                npi,
+            )
+            for i, (sample, (_, rate_name, size)) in enumerate(
+                zip(samples, lanes)
+            )
+        ]
+        buckets = {}
+        for i, (sinr, rate_name, size) in enumerate(lanes):
+            buckets.setdefault((rate_name, size), []).append(i)
+        fers = np.empty(len(lanes))
+        for (rate_name, size), members in buckets.items():
+            sinr = np.array([lanes[i][0] for i in members])
+            fers[members] = frame_error_rate_batch(
+                rate_by_name(rate_name), sinr, size
+            )
+        got = coalesced.delivery_draws(fers.tolist())
+        assert got == expected

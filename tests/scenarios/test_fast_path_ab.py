@@ -66,7 +66,7 @@ SMALL_CONFIGS = {
 def run_rows(
     scenario: str, config, *, fast_path: bool, batch: bool,
     scheduler: str = "wheel", batched_delivery: bool = True,
-    instrumented: bool = False,
+    cross_broadcast_batch: bool = True, instrumented: bool = False,
 ):
     radio = dataclasses.replace(
         config.radio,
@@ -74,6 +74,7 @@ def run_rows(
         reception_batch=batch,
         scheduler=scheduler,
         batched_delivery=batched_delivery,
+        cross_broadcast_batch=cross_broadcast_batch,
     )
     config = dataclasses.replace(config, radio=radio)
     spec = CampaignSpec(
@@ -144,6 +145,28 @@ def test_scheduler_and_delivery_rows_bit_identical(scenario):
     legacy = run_rows(config=config, scenario=scenario, fast_path=True,
                       batch=True, scheduler="heap", batched_delivery=False)
     assert default == heap == unbatched == legacy
+
+
+@pytest.mark.parametrize("scenario", sorted(SMALL_CONFIGS))
+def test_cross_broadcast_batch_rows_bit_identical(scenario):
+    """The cross-broadcast coalescer A/B pin (reception ladder rung 5).
+
+    With ``radio.cross_broadcast_batch`` on (the default), same-instant
+    broadcasts defer their candidate evaluation to one instant-end drain
+    and share a single concatenated sampling pass plus coalesced
+    frame-end delivery.  Every order-sensitive fact is captured at the
+    original transmit event (tx_seq, trace row, kill loop, candidate
+    snapshot), every mid-instant observer forces an early drain, and all
+    channel draws are keyed per ``(link, transmission)`` — so the
+    one-at-a-time arm must reproduce the coalesced rows bit for bit.
+    """
+    config = SMALL_CONFIGS[scenario]
+    default = plain_rows(scenario, fast_path=True, batch=True)
+    one_at_a_time = run_rows(
+        config=config, scenario=scenario, fast_path=True, batch=True,
+        cross_broadcast_batch=False,
+    )
+    assert default == one_at_a_time
 
 
 @pytest.mark.parametrize("scenario", sorted(SMALL_CONFIGS))
